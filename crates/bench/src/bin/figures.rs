@@ -1,0 +1,46 @@
+//! Regenerate the paper's evaluation figures.
+//!
+//! ```text
+//! cargo run --release -p qrs-bench --bin figures -- [--scale quick|paper] <ids…|all>
+//! ```
+//!
+//! Ids: fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
+//! thm1 ablation. Default scale: quick.
+
+use qrs_bench::experiments::{run, ALL_IDS};
+use qrs_bench::Scale;
+use std::time::Instant;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    if let Some(i) = args.iter().position(|a| a == "--scale") {
+        let v = args.get(i + 1).cloned().unwrap_or_default();
+        scale = Scale::parse(&v).unwrap_or_else(|| {
+            eprintln!("unknown scale '{v}' (quick|paper)");
+            std::process::exit(2);
+        });
+        args.drain(i..=i + 1);
+    }
+    if args.is_empty() {
+        eprintln!(
+            "usage: figures [--scale quick|paper] <{}|all>",
+            ALL_IDS.join("|")
+        );
+        std::process::exit(2);
+    }
+    let ids: Vec<String> = if args.iter().any(|a| a == "all") {
+        ALL_IDS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    println!("scale: {scale:?}");
+    for id in &ids {
+        let t0 = Instant::now();
+        if !run(id, scale) {
+            eprintln!("unknown experiment id '{id}'");
+            std::process::exit(2);
+        }
+        println!("[{id} done in {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+}

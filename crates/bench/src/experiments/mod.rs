@@ -1,0 +1,66 @@
+//! One module per group of paper figures. Each `figN` function prints its
+//! series (and returns them for tests).
+
+pub mod ablation;
+pub mod md;
+pub mod one_d;
+pub mod online;
+pub mod thm1;
+
+use crate::Scale;
+
+/// All experiment ids, in paper order.
+pub const ALL_IDS: [&str; 14] = [
+    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "fig16", "fig17", "thm1", "ablation",
+];
+
+/// Run one experiment by id; `false` if the id is unknown.
+pub fn run(id: &str, scale: Scale) -> bool {
+    match id {
+        "fig6" => {
+            one_d::fig6(scale);
+        }
+        "fig7" => {
+            one_d::fig7(scale);
+        }
+        "fig8" => {
+            one_d::fig8(scale);
+        }
+        "fig9" => {
+            one_d::fig9(scale);
+        }
+        "fig10" => {
+            one_d::fig10(scale);
+        }
+        "fig11" => {
+            online::fig11(scale);
+        }
+        "fig12" => {
+            online::fig12(scale);
+        }
+        "fig13" => {
+            md::fig13(scale);
+        }
+        "fig14" => {
+            md::fig14(scale);
+        }
+        "fig15" => {
+            md::fig15(scale);
+        }
+        "fig16" => {
+            online::fig16(scale);
+        }
+        "fig17" => {
+            online::fig17(scale);
+        }
+        "thm1" => {
+            thm1::run(scale);
+        }
+        "ablation" => {
+            ablation::run(scale);
+        }
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,130 @@
+//! The naive comparators discussed in §1.
+//!
+//! * *Crawl-then-rank* — enumerate `R(q)` entirely (the [15]-style crawler in
+//!   [`crate::crawl`]) and rank locally. Exact, but costs at least linear in
+//!   `|R(q)|/k` queries.
+//! * *Page-down rerank* — fetch `h·k` tuples through the system ranking's
+//!   page turns and rerank locally. Cheap, but **approximate with unknown
+//!   error** unless paging exhausts `R(q)` — the paper's argument for why
+//!   this shortcut is not a reranking service. [`PageDownResult::exact`]
+//!   reports whether the answer happens to be provably correct, and the
+//!   Fig.-adjacent ablation measures its recall.
+
+use crate::ctx::SharedState;
+use qrs_server::SearchInterface;
+use qrs_types::value::cmp_f64;
+use qrs_types::{Query, Tuple};
+use std::sync::Arc;
+
+pub use crate::crawl::{crawl_region, crawl_then_rank, CrawlResult};
+
+/// Outcome of the page-down shortcut.
+#[derive(Debug, Clone)]
+pub struct PageDownResult {
+    /// Locally reranked tuples (best first).
+    pub tuples: Vec<Arc<Tuple>>,
+    /// True iff paging reached the end of `R(q)`, making the rerank exact.
+    pub exact: bool,
+    /// Pages fetched.
+    pub pages: usize,
+}
+
+/// Fetch up to `max_pages` pages of the system ranking for `q` and rerank
+/// locally by `score`. Requires [`SearchInterface::supports_paging`].
+pub fn page_down_rerank(
+    server: &dyn SearchInterface,
+    st: &mut SharedState,
+    q: &Query,
+    score: impl Fn(&Tuple) -> f64,
+    max_pages: usize,
+) -> PageDownResult {
+    assert!(server.supports_paging(), "server lacks page-turn support");
+    let mut tuples: Vec<Arc<Tuple>> = Vec::new();
+    let mut exact = false;
+    let mut pages = 0;
+    for page in 0..max_pages {
+        let resp = server.query_page(q, page);
+        st.history.record_response(&resp);
+        pages += 1;
+        tuples.extend(resp.tuples.iter().cloned());
+        if !resp.is_overflow() {
+            exact = true;
+            break;
+        }
+    }
+    tuples.sort_by(|a, b| cmp_f64(score(a), score(b)).then(a.id.cmp(&b.id)));
+    tuples.dedup_by_key(|t| t.id);
+    PageDownResult {
+        tuples,
+        exact,
+        pages,
+    }
+}
+
+/// Recall of an approximate top-h list against ground truth (by tuple id).
+pub fn recall_at_h(approx: &[Arc<Tuple>], truth: &[Arc<Tuple>], h: usize) -> f64 {
+    if h == 0 || truth.is_empty() {
+        return 1.0;
+    }
+    let want: std::collections::HashSet<_> = truth.iter().take(h).map(|t| t.id).collect();
+    let hit = approx
+        .iter()
+        .take(h)
+        .filter(|t| want.contains(&t.id))
+        .count();
+    hit as f64 / want.len().min(h) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::RerankParams;
+    use qrs_datagen::synthetic::uniform;
+    use qrs_server::{SimServer, SystemRank};
+    use qrs_types::AttrId;
+
+    fn score(t: &Tuple) -> f64 {
+        t.ord(AttrId(0)) + t.ord(AttrId(1))
+    }
+
+    #[test]
+    fn page_down_is_inexact_when_system_disagrees() {
+        let data = uniform(300, 2, 1, 401);
+        let truth = data.rank_by(&Query::all(), score);
+        // System ranks by the *opposite* of the user's preference.
+        let sys = SystemRank::linear("anti", vec![(AttrId(0), -1.0), (AttrId(1), -1.0)]);
+        let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(300, 10));
+        let server = SimServer::new(data, sys, 10).with_paging();
+        let r = page_down_rerank(&server, &mut st, &Query::all(), score, 3);
+        assert!(!r.exact);
+        // With anti-correlated system ranking, 3 pages of 10 should miss
+        // most of the true top-10.
+        assert!(recall_at_h(&r.tuples, &truth, 10) < 0.5);
+    }
+
+    #[test]
+    fn page_down_exact_when_it_drains_the_result() {
+        let data = uniform(25, 2, 1, 403);
+        let truth = data.rank_by(&Query::all(), score);
+        let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(25, 10));
+        let server =
+            SimServer::new(data, SystemRank::pseudo_random(41), 10).with_paging();
+        let r = page_down_rerank(&server, &mut st, &Query::all(), score, 100);
+        assert!(r.exact);
+        assert_eq!(r.pages, 3); // 25 tuples / k=10
+        let got: Vec<u32> = r.tuples.iter().map(|t| t.id.0).collect();
+        let want: Vec<u32> = truth.iter().map(|t| t.id.0).collect();
+        assert_eq!(got, want);
+        assert_eq!(recall_at_h(&r.tuples, &truth, 10), 1.0);
+    }
+
+    #[test]
+    fn recall_edge_cases() {
+        assert_eq!(recall_at_h(&[], &[], 5), 1.0);
+        let data = uniform(10, 2, 1, 405);
+        let ts: Vec<Arc<Tuple>> = data.tuples().to_vec();
+        assert_eq!(recall_at_h(&ts, &ts, 0), 1.0);
+        assert_eq!(recall_at_h(&ts[..3], &ts, 3), 1.0);
+        assert_eq!(recall_at_h(&ts[5..8], &ts, 3), 0.0);
+    }
+}

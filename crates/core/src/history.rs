@@ -1,0 +1,326 @@
+//! Query-answer history (§3.1.1 "Leveraging History").
+//!
+//! Every tuple the server ever returns is retained and indexed per attribute;
+//! all algorithms consult the history before spending a query, and the
+//! sharing happens *across user queries* — the paper's point being that the
+//! more the service is used, the cheaper each rerank becomes.
+//!
+//! The companion [`CompleteRegions`] registry remembers queries whose answer
+//! was *complete* (valid or underflow responses, and fully crawled regions):
+//! if a new query is subsumed by a registered region, its entire answer is
+//! already in history and costs zero server queries.
+
+use qrs_types::value::OrdF64;
+use qrs_types::{AttrId, Direction, Interval, Query, QueryResponse, Tuple, TupleId};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// All tuples observed so far, with per-attribute sorted indexes.
+#[derive(Debug, Default)]
+pub struct History {
+    tuples: HashMap<TupleId, Arc<Tuple>>,
+    /// For each ordinal attribute: (value, id) → tuple, sorted by raw value.
+    by_attr: Vec<BTreeMap<(OrdF64, TupleId), Arc<Tuple>>>,
+}
+
+impl History {
+    pub fn new(num_ordinal_attrs: usize) -> Self {
+        History {
+            tuples: HashMap::new(),
+            by_attr: (0..num_ordinal_attrs).map(|_| BTreeMap::new()).collect(),
+        }
+    }
+
+    /// Number of distinct tuples observed.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    pub fn contains(&self, id: TupleId) -> bool {
+        self.tuples.contains_key(&id)
+    }
+
+    pub fn get(&self, id: TupleId) -> Option<&Arc<Tuple>> {
+        self.tuples.get(&id)
+    }
+
+    /// Record one tuple.
+    pub fn record(&mut self, t: &Arc<Tuple>) {
+        if self.tuples.insert(t.id, Arc::clone(t)).is_none() {
+            for (i, idx) in self.by_attr.iter_mut().enumerate() {
+                idx.insert((OrdF64(t.ord(AttrId(i))), t.id), Arc::clone(t));
+            }
+        }
+    }
+
+    /// Record every tuple of a response.
+    pub fn record_response(&mut self, resp: &QueryResponse) {
+        for t in &resp.tuples {
+            self.record(t);
+        }
+    }
+
+    /// Tuples whose raw `attr` value lies in `iv`, in ascending value order.
+    pub fn in_range<'a>(
+        &'a self,
+        attr: AttrId,
+        iv: Interval,
+    ) -> impl Iterator<Item = &'a Arc<Tuple>> + 'a {
+        use qrs_types::Endpoint;
+        use std::ops::Bound;
+        let lo = match iv.lo {
+            Endpoint::Unbounded => Bound::Unbounded,
+            Endpoint::Open(v) => Bound::Excluded((OrdF64(v), TupleId(u32::MAX))),
+            Endpoint::Closed(v) => Bound::Included((OrdF64(v), TupleId(0))),
+        };
+        let hi = match iv.hi {
+            Endpoint::Unbounded => Bound::Unbounded,
+            Endpoint::Open(v) => Bound::Excluded((OrdF64(v), TupleId(0))),
+            Endpoint::Closed(v) => Bound::Included((OrdF64(v), TupleId(u32::MAX))),
+        };
+        self.by_attr[attr.0].range((lo, hi)).map(|(_, t)| t)
+    }
+
+    /// The matching tuple ranked first along `attr` in direction `dir` whose
+    /// *normalized* value is strictly greater than `after_norm` (pass
+    /// `f64::NEG_INFINITY` for "the minimum"), optionally capped strictly
+    /// below `upto_norm`.
+    pub fn next_norm_above(
+        &self,
+        attr: AttrId,
+        dir: Direction,
+        after_norm: f64,
+        upto_norm: Option<f64>,
+        q: &Query,
+    ) -> Option<&Arc<Tuple>> {
+        let norm_iv = Interval {
+            lo: if after_norm == f64::NEG_INFINITY {
+                qrs_types::Endpoint::Unbounded
+            } else {
+                qrs_types::Endpoint::Open(after_norm)
+            },
+            hi: match upto_norm {
+                None => qrs_types::Endpoint::Unbounded,
+                Some(v) => qrs_types::Endpoint::Open(v),
+            },
+        };
+        let raw_iv = match dir {
+            Direction::Asc => norm_iv,
+            Direction::Desc => norm_iv.negate(),
+        };
+        let it = self.in_range(attr, raw_iv).filter(|t| q.matches(t));
+        match dir {
+            Direction::Asc => it.min_by_key(|t| (OrdF64(t.ord(attr)), t.id)),
+            Direction::Desc => it.max_by_key(|t| (OrdF64(t.ord(attr)), std::cmp::Reverse(t.id))),
+        }
+    }
+
+    /// All observed tuples matching `q`, sorted by id (full scan — used when
+    /// a complete region makes the local answer authoritative).
+    pub fn matching(&self, q: &Query) -> Vec<Arc<Tuple>> {
+        let mut v: Vec<Arc<Tuple>> = self
+            .tuples
+            .values()
+            .filter(|t| q.matches(t))
+            .cloned()
+            .collect();
+        v.sort_by_key(|t| t.id);
+        v
+    }
+
+    /// All matching tuples at exactly `attr = raw_value`, sorted by id.
+    pub fn at_value(&self, attr: AttrId, raw_value: f64, q: &Query) -> Vec<Arc<Tuple>> {
+        let mut v: Vec<Arc<Tuple>> = self
+            .in_range(attr, Interval::point(raw_value))
+            .filter(|t| q.matches(t))
+            .cloned()
+            .collect();
+        v.sort_by_key(|t| t.id);
+        v
+    }
+}
+
+/// Registry of queries with fully known answers.
+///
+/// A query lands here when the server's response was valid/underflow, or the
+/// crawler exhausted it. Capped FIFO — dropping an entry only costs future
+/// queries, never correctness.
+#[derive(Debug)]
+pub struct CompleteRegions {
+    regions: std::collections::VecDeque<Query>,
+    cap: usize,
+}
+
+impl Default for CompleteRegions {
+    fn default() -> Self {
+        CompleteRegions::new(4096)
+    }
+}
+
+impl CompleteRegions {
+    pub fn new(cap: usize) -> Self {
+        CompleteRegions {
+            regions: std::collections::VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Register a query whose full answer is now in history.
+    pub fn register(&mut self, q: Query) {
+        if self.regions.len() == self.cap {
+            self.regions.pop_front();
+        }
+        self.regions.push_back(q);
+    }
+
+    /// Is every tuple matching `q` guaranteed to be in history already?
+    pub fn covers(&self, q: &Query) -> bool {
+        self.regions.iter().any(|r| q.is_subsumed_by(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrs_types::{Endpoint, QueryOutcome};
+
+    fn t(id: u32, vals: Vec<f64>) -> Arc<Tuple> {
+        Arc::new(Tuple::new(TupleId(id), vals, vec![]))
+    }
+
+    fn hist() -> History {
+        let mut h = History::new(2);
+        for (i, (a, b)) in [(1.0, 9.0), (2.0, 8.0), (2.0, 7.0), (5.0, 1.0)]
+            .into_iter()
+            .enumerate()
+        {
+            h.record(&t(i as u32, vec![a, b]));
+        }
+        h
+    }
+
+    #[test]
+    fn record_is_idempotent() {
+        let mut h = History::new(1);
+        let x = t(3, vec![1.0]);
+        h.record(&x);
+        h.record(&x);
+        assert_eq!(h.len(), 1);
+        assert!(h.contains(TupleId(3)));
+    }
+
+    #[test]
+    fn record_response_stores_all() {
+        let mut h = History::new(1);
+        let resp = QueryResponse {
+            tuples: vec![t(0, vec![1.0]), t(1, vec![2.0])],
+            outcome: QueryOutcome::Valid,
+        };
+        h.record_response(&resp);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn range_respects_open_bounds() {
+        let h = hist();
+        let ids: Vec<u32> = h
+            .in_range(AttrId(0), Interval::open(1.0, 5.0))
+            .map(|t| t.id.0)
+            .collect();
+        assert_eq!(ids, vec![1, 2]); // the two x=2 tuples, id order within key
+    }
+
+    #[test]
+    fn next_norm_above_asc_and_desc() {
+        let h = hist();
+        let q = Query::all();
+        // Ascending on attr0 after 1.0 → the smallest id at value 2.0.
+        let n = h
+            .next_norm_above(AttrId(0), Direction::Asc, 1.0, None, &q)
+            .unwrap();
+        assert_eq!(n.ord(AttrId(0)), 2.0);
+        // Descending on attr0: normalized value = -x; after -5.0 means x < 5.
+        let d = h
+            .next_norm_above(AttrId(0), Direction::Desc, -5.0, None, &q)
+            .unwrap();
+        assert_eq!(d.ord(AttrId(0)), 2.0);
+        // From the very start.
+        let first = h
+            .next_norm_above(AttrId(0), Direction::Asc, f64::NEG_INFINITY, None, &q)
+            .unwrap();
+        assert_eq!(first.ord(AttrId(0)), 1.0);
+    }
+
+    #[test]
+    fn next_norm_above_respects_upto_and_filter() {
+        let h = hist();
+        let q = Query::all().and_range(AttrId(1), Interval::at_most(8.0));
+        // after 1, upto 5 (exclusive), filtered to attr1 <= 8 → x = 2 rows.
+        let n = h
+            .next_norm_above(AttrId(0), Direction::Asc, 1.0, Some(5.0), &q)
+            .unwrap();
+        assert_eq!(n.ord(AttrId(0)), 2.0);
+        // upto 2 (exclusive) excludes them.
+        assert!(h
+            .next_norm_above(AttrId(0), Direction::Asc, 1.0, Some(2.0), &q)
+            .is_none());
+    }
+
+    #[test]
+    fn at_value_collects_ties_sorted() {
+        let h = hist();
+        let ties = h.at_value(AttrId(0), 2.0, &Query::all());
+        let ids: Vec<u32> = ties.iter().map(|t| t.id.0).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn complete_regions_subsumption() {
+        let mut c = CompleteRegions::default();
+        let big = Query::all().and_range(AttrId(0), Interval::open(0.0, 10.0));
+        c.register(big);
+        let small = Query::all().and_range(AttrId(0), Interval::closed(2.0, 5.0));
+        assert!(c.covers(&small));
+        let other = Query::all().and_range(AttrId(0), Interval::closed(2.0, 15.0));
+        assert!(!c.covers(&other));
+    }
+
+    #[test]
+    fn complete_regions_cap_evicts() {
+        let mut c = CompleteRegions::new(2);
+        for i in 0..3 {
+            c.register(Query::all().and_range(AttrId(0), Interval::point(f64::from(i))));
+        }
+        assert_eq!(c.len(), 2);
+        assert!(!c.covers(&Query::all().and_range(AttrId(0), Interval::point(0.0))));
+        assert!(c.covers(&Query::all().and_range(AttrId(0), Interval::point(2.0))));
+    }
+
+    #[test]
+    fn endpoint_bound_translation_includes_closed() {
+        let h = hist();
+        let ids: Vec<u32> = h
+            .in_range(
+                AttrId(0),
+                Interval {
+                    lo: Endpoint::Closed(2.0),
+                    hi: Endpoint::Closed(5.0),
+                },
+            )
+            .map(|t| t.id.0)
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,14 @@
+//! On-the-fly dense-region indexes (§3.2.2 and §4.4).
+//!
+//! Dense regions — many tuples packed into a narrow window — are what makes
+//! the binary-search algorithms expensive, and the same dense region gets hit
+//! by many different user queries. Both indexes trade a one-time crawling
+//! cost for zero-cost answers on all future hits:
+//!
+//! * [`dense1d`] — per-(attribute, direction) intervals with an incremental
+//!   crawl frontier (Algorithm 4's oracle),
+//! * [`densemd`] — fully crawled normalized boxes for the MD oracle
+//!   (Algorithm 6 lines 3–12).
+
+pub mod dense1d;
+pub mod densemd;

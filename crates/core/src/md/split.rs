@@ -1,0 +1,184 @@
+//! Prefix-box partition geometry.
+//!
+//! The recurring MD step is: given a box `b` and a pivot `p` with
+//! `S(p) ≥ target`, cover `{u ∈ b : S(u) < target}` with rectangular
+//! queries while pruning the corner `{u ⪰ p}` (every point there scores at
+//! least `S(p) ≥ target` by monotonicity). [`prefix_split`] produces the `m`
+//! mutually-exclusive boxes
+//!
+//! ```text
+//! child_j = b ∩ {u_1 ≥ p_1, …, u_{j-1} ≥ p_{j-1}, u_j < p_j}
+//! ```
+//!
+//! whose union is exactly `b \ {u ⪰ p}` — the corrected, complete version of
+//! the paper's Eq. 7/Eq. 9 covers (see `qrs-ranking`'s module docs for why
+//! the cumulative corner replaces per-coordinate `b(Aj)` when `m ≥ 3`).
+//! [`split_excluding`] additionally sub-splits the one child containing a
+//! witness tuple so the witness lands in no child — the progress guarantee.
+
+use crate::norm::{NormBox, NormView};
+use qrs_types::Interval;
+
+/// `b \ {u ⪰ pivot}` as at most `m` disjoint boxes (empty children dropped).
+pub fn prefix_split(b: &NormBox, pivot: &[f64]) -> Vec<NormBox> {
+    let m = b.dims.len();
+    debug_assert_eq!(pivot.len(), m);
+    let mut out = Vec::with_capacity(m);
+    for j in 0..m {
+        let mut child = b.clone();
+        for (l, &pl) in pivot.iter().enumerate().take(j) {
+            child.dims[l] = child.dims[l].intersect(&Interval::at_least(pl));
+        }
+        child.dims[j] = child.dims[j].intersect(&Interval::less_than(pivot[j]));
+        if !child.is_empty() {
+            out.push(child);
+        }
+    }
+    out
+}
+
+/// Split `b` around `pivot` (pruning `{u ⪰ pivot}`), then sub-split the
+/// child containing the witness `w` around the contour corner derived from
+/// `w`, so `w` itself is excluded from every returned box.
+///
+/// Preconditions: `S(pivot) ≥ target`, `S(w) ≥ target`, `w ∈ b`.
+pub fn split_excluding(
+    view: &NormView,
+    b: &NormBox,
+    pivot: &[f64],
+    w: &[f64],
+    target: f64,
+) -> Vec<NormBox> {
+    let mut children = prefix_split(b, pivot);
+    if let Some(i) = children.iter().position(|c| c.contains(w)) {
+        let host = children.swap_remove(i);
+        let lo = host.lo_corner(view.bounds());
+        let corner = view.rank().corner(w, target, &lo);
+        debug_assert!(view.rank().score_norm(&corner) >= target);
+        children.extend(prefix_split(&host, &corner));
+    }
+    children
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrs_ranking::{LinearRank, NormBounds};
+    use qrs_types::{AttrId, Direction, OrdinalAttr, Schema};
+    use std::sync::Arc;
+
+    fn unit_box(m: usize) -> NormBox {
+        NormBox {
+            dims: vec![Interval::closed(0.0, 1.0); m],
+        }
+    }
+
+    fn grid_points(m: usize, steps: usize) -> Vec<Vec<f64>> {
+        // All grid points in [0,1]^m.
+        let mut pts = vec![vec![]];
+        for _ in 0..m {
+            let mut next = Vec::new();
+            for p in &pts {
+                for s in 0..=steps {
+                    let mut q = p.clone();
+                    q.push(s as f64 / steps as f64);
+                    next.push(q);
+                }
+            }
+            pts = next;
+        }
+        pts
+    }
+
+    #[test]
+    fn prefix_split_is_disjoint_and_covers_complement() {
+        for m in [1, 2, 3, 4] {
+            let b = unit_box(m);
+            let pivot = vec![0.4; m];
+            let children = prefix_split(&b, &pivot);
+            assert!(children.len() <= m);
+            for u in grid_points(m, 5) {
+                let in_corner = u.iter().all(|&x| x >= 0.4);
+                let holders = children.iter().filter(|c| c.contains(&u)).count();
+                if in_corner {
+                    assert_eq!(holders, 0, "corner point {u:?} covered");
+                } else {
+                    assert_eq!(holders, 1, "point {u:?} held by {holders} boxes");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_split_with_pivot_on_boundary() {
+        let b = unit_box(2);
+        // Pivot at the lo corner: everything is in the pruned corner.
+        assert!(prefix_split(&b, &[0.0, 0.0]).is_empty());
+        // Pivot at the hi corner: children cover all but the single point.
+        let children = prefix_split(&b, &[1.0, 1.0]);
+        assert_eq!(children.len(), 2);
+        assert!(children.iter().all(|c| !c.contains(&[1.0, 1.0])));
+        assert_eq!(
+            children.iter().filter(|c| c.contains(&[0.3, 0.9])).count(),
+            1
+        );
+    }
+
+    fn view3() -> NormView {
+        let schema = Schema::new(
+            vec![
+                OrdinalAttr::new("a", 0.0, 1.0),
+                OrdinalAttr::new("b", 0.0, 1.0),
+                OrdinalAttr::new("c", 0.0, 1.0),
+            ],
+            vec![],
+        );
+        let rank = LinearRank::new(vec![
+            (AttrId(0), Direction::Asc, 1.0),
+            (AttrId(1), Direction::Asc, 1.0),
+            (AttrId(2), Direction::Asc, 1.0),
+        ]);
+        NormView::new(Arc::new(rank), &schema)
+    }
+
+    #[test]
+    fn split_excluding_removes_witness_but_keeps_candidates() {
+        let view = view3();
+        let b = unit_box(3);
+        let target = 0.75;
+        let w = [0.3, 0.3, 0.3]; // S = 0.9 >= target
+        let pivot = view
+            .rank()
+            .contour_point(&[0.0; 3], &[1.0; 3], target)
+            .unwrap();
+        let children = split_excluding(&view, &b, &pivot, &w, target);
+        // The witness is in no child.
+        assert!(children.iter().all(|c| !c.contains(&w)));
+        // Every grid point scoring < target is in exactly one child.
+        for u in grid_points(3, 4) {
+            let s: f64 = u.iter().sum();
+            let holders = children.iter().filter(|c| c.contains(&u)).count();
+            if s < target {
+                assert_eq!(holders, 1, "u {u:?} s {s} holders {holders}");
+            } else {
+                assert!(holders <= 1, "u {u:?} double-covered");
+            }
+        }
+        // This is the counterexample shape from the ranking crate docs:
+        // (0.24, 0.24, 0.44·…) analog must stay covered.
+        let tricky = [0.24, 0.24, 0.26];
+        assert_eq!(children.iter().filter(|c| c.contains(&tricky)).count(), 1);
+    }
+
+    #[test]
+    fn bounds_helper_consistency() {
+        // NormBounds used by lo_corner must clamp unbounded dims.
+        let nb = NormBounds::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let mut b = NormBox {
+            dims: vec![Interval::all(), Interval::closed(0.2, 0.8)],
+        };
+        assert_eq!(b.lo_corner(&nb), vec![0.0, 0.2]);
+        b.dims[0] = Interval::less_than(0.5);
+        assert_eq!(b.hi_corner(&nb), vec![0.5, 0.8]);
+    }
+}

@@ -1,0 +1,390 @@
+//! The shared MD top-1 search loop (§4.2–§4.4).
+//!
+//! One loop, three strategy toggles:
+//!
+//! * **off/off/off** — MD-BASELINE: maintain a queue of candidate boxes;
+//!   each overflowing box is partitioned around the contour corner of its
+//!   witness tuple (the corrected Eq. 8/Eq. 9 cover), and boxes are shrunk
+//!   by the `ℓ(Ai)` axis caps (Eq. 6) of the best score so far,
+//! * **`virtual_tuples`** — split around the max-volume contour point `v'`
+//!   instead (§4.3.2 "virtual tuple pruning"), sub-splitting the child that
+//!   contains the witness so progress is still guaranteed,
+//! * **`domination`** — before splitting, probe the box `{u ⪯ v'}` dominated
+//!   by the virtual tuple (§4.3.2 "direct domination detection"): any tuple
+//!   there scores ≤ S(v') = target and usually improves the threshold,
+//! * **`dense_index`** — boxes smaller than the `(s/n)/c` relative-volume
+//!   threshold go to the MD dense-region oracle instead of being split
+//!   further (§4.4).
+
+use crate::ctx::SharedState;
+use crate::index::densemd::md_oracle;
+use crate::md::split::{prefix_split, split_excluding};
+use crate::norm::{NormBox, NormView};
+use qrs_server::SearchInterface;
+use qrs_types::{Interval, Query, Tuple};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Strategy toggles (see module docs). Presets map onto the paper's three
+/// MD algorithms; individual flags support the ablation experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MdOptions {
+    pub virtual_tuples: bool,
+    pub domination: bool,
+    pub dense_index: bool,
+}
+
+impl MdOptions {
+    pub fn baseline() -> Self {
+        MdOptions {
+            virtual_tuples: false,
+            domination: false,
+            dense_index: false,
+        }
+    }
+
+    pub fn binary() -> Self {
+        MdOptions {
+            virtual_tuples: true,
+            domination: true,
+            dense_index: false,
+        }
+    }
+
+    pub fn rerank() -> Self {
+        MdOptions {
+            virtual_tuples: true,
+            domination: true,
+            dense_index: true,
+        }
+    }
+}
+
+type Best = Option<(Arc<Tuple>, f64)>;
+
+fn consider(best: &mut Best, t: &Arc<Tuple>, score: f64) {
+    match best {
+        None => *best = Some((Arc::clone(t), score)),
+        Some((bt, bs)) => {
+            if score < *bs || (score == *bs && t.id < bt.id) {
+                *best = Some((Arc::clone(t), score));
+            }
+        }
+    }
+}
+
+/// Lowest-scoring tuple in `b ∧ sel` (ties by id **not** guaranteed global —
+/// equal-score regions may be pruned; callers needing full tie sets use the
+/// cursor's cell machinery).
+pub fn md_top1(
+    server: &dyn SearchInterface,
+    st: &mut SharedState,
+    view: &NormView,
+    sel: &Query,
+    b0: &NormBox,
+    opts: MdOptions,
+) -> Option<(Arc<Tuple>, f64)> {
+    let mut best: Best = history_best(st, view, b0, sel);
+    let mut queue: VecDeque<NormBox> = VecDeque::new();
+    queue.push_back(b0.clone());
+
+    while let Some(b) = queue.pop_front() {
+        if b.is_empty() {
+            continue;
+        }
+        // Shrink by the ℓ(Ai) caps of the current threshold; may prove the
+        // whole box prunable.
+        let b = match shrink(view, &b, best.as_ref().map(|(_, s)| *s)) {
+            None => continue,
+            Some(x) => x,
+        };
+        if opts.dense_index && b.rel_volume(view.bounds()) < st.params.dense_rel_volume() {
+            if let Some((t, s)) = md_oracle(server, st, view, &b, sel) {
+                consider(&mut best, &t, s);
+            }
+            continue;
+        }
+        let q = view.to_query(&b, sel);
+        if q.is_unsatisfiable() {
+            continue;
+        }
+        if st.complete.covers(&q) {
+            if let Some((t, s)) = history_best(st, view, &b, sel) {
+                consider(&mut best, &t, s);
+            }
+            continue;
+        }
+        let resp = server.query(&q);
+        st.absorb(&q, &resp);
+        match resp.outcome {
+            qrs_types::QueryOutcome::Underflow => continue,
+            qrs_types::QueryOutcome::Valid => {
+                for t in &resp.tuples {
+                    consider(&mut best, t, view.score(t));
+                }
+                continue;
+            }
+            qrs_types::QueryOutcome::Overflow => {
+                // Witness: best returned tuple (all returned lie in b ∧ sel).
+                let w = resp
+                    .tuples
+                    .iter()
+                    .min_by(|a, c| {
+                        qrs_types::value::cmp_f64(view.score(a), view.score(c))
+                            .then(a.id.cmp(&c.id))
+                    })
+                    .expect("overflow responses are non-empty")
+                    .clone();
+                consider(&mut best, &w, view.score(&w));
+                let target = best.as_ref().map(|(_, s)| *s).expect("best set by witness");
+                let lo = b.lo_corner(view.bounds());
+                let hi = b.hi_corner(view.bounds());
+                let wc = view.norm_coords(&w);
+
+                let pivot = if opts.virtual_tuples {
+                    view.rank().contour_point(&lo, &hi, target)
+                } else {
+                    None
+                };
+                match pivot {
+                    Some(p) => {
+                        if opts.domination {
+                            probe_dominated(server, st, view, &b, &p, sel, &mut best);
+                        }
+                        let target = best.as_ref().map(|(_, s)| *s).unwrap();
+                        queue.extend(split_excluding(view, &b, &p, &wc, target));
+                    }
+                    None => {
+                        if view.rank().score_norm(&lo) >= target {
+                            continue; // whole box at/above the threshold
+                        }
+                        // MD-BASELINE path: corner split around the witness.
+                        let corner = view.rank().corner(&wc, target, &lo);
+                        queue.extend(prefix_split(&b, &corner));
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// §4.3.2 direct domination detection: one query on the box `{u ⪯ p} ∩ b`.
+fn probe_dominated(
+    server: &dyn SearchInterface,
+    st: &mut SharedState,
+    view: &NormView,
+    b: &NormBox,
+    p: &[f64],
+    sel: &Query,
+    best: &mut Best,
+) {
+    let mut probe = b.clone();
+    for (j, &pj) in p.iter().enumerate() {
+        probe.dims[j] = probe.dims[j].intersect(&Interval::at_most(pj));
+    }
+    if probe.is_empty() {
+        return;
+    }
+    let q = view.to_query(&probe, sel);
+    if q.is_unsatisfiable() {
+        return;
+    }
+    if st.complete.covers(&q) {
+        if let Some((t, s)) = history_best(st, view, &probe, sel) {
+            consider(best, &t, s);
+        }
+        return;
+    }
+    let resp = server.query(&q);
+    st.absorb(&q, &resp);
+    for t in &resp.tuples {
+        consider(best, t, view.score(t));
+    }
+}
+
+/// Best known tuple inside a box from history alone.
+pub(crate) fn history_best(
+    st: &SharedState,
+    view: &NormView,
+    b: &NormBox,
+    sel: &Query,
+) -> Best {
+    let attr0 = view.rank().attrs()[0];
+    let raw_iv = match view.rank().directions()[0] {
+        qrs_types::Direction::Asc => b.dims[0],
+        qrs_types::Direction::Desc => b.dims[0].negate(),
+    };
+    let mut best: Best = None;
+    for t in st.history.in_range(attr0, raw_iv) {
+        if sel.matches(t) && b.contains(&view.norm_coords(t)) {
+            let s = view.score(t);
+            consider(&mut best, t, s);
+        }
+    }
+    best
+}
+
+/// Cap each axis at its `ℓ(Ai)` intercept for the threshold; `None` when the
+/// whole box is provably at/above the threshold.
+fn shrink(view: &NormView, b: &NormBox, threshold: Option<f64>) -> Option<NormBox> {
+    let Some(target) = threshold else {
+        return Some(b.clone());
+    };
+    let lo = b.lo_corner(view.bounds());
+    if view.rank().score_norm(&lo) >= target {
+        return None;
+    }
+    let hi = b.hi_corner(view.bounds());
+    let mut out = b.clone();
+    for (j, &hj) in hi.iter().enumerate() {
+        if let Some(e) = view.rank().ell(j, target, &lo, hj) {
+            out.dims[j] = out.dims[j].intersect(&Interval::less_than(e));
+        }
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::RerankParams;
+    use qrs_datagen::synthetic::{correlated, uniform};
+    use qrs_ranking::{LinearRank, RankFn};
+    use qrs_server::{SimServer, SystemRank};
+    use qrs_types::value::cmp_f64;
+    use qrs_types::AttrId;
+
+    fn opts_all() -> [(&'static str, MdOptions); 3] {
+        [
+            ("baseline", MdOptions::baseline()),
+            ("binary", MdOptions::binary()),
+            ("rerank", MdOptions::rerank()),
+        ]
+    }
+
+    fn check_top1(
+        data: qrs_types::Dataset,
+        sys: SystemRank,
+        k: usize,
+        rank: LinearRank,
+        sel: Query,
+    ) {
+        let truth = data
+            .tuples()
+            .iter()
+            .filter(|t| sel.matches(t))
+            .map(|t| rank.score(t))
+            .min_by(|a, b| cmp_f64(*a, *b));
+        let n = data.len();
+        for (name, opts) in opts_all() {
+            let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(n, k));
+            let server = SimServer::new(data.clone(), sys.clone(), k);
+            let view = NormView::new(Arc::new(rank.clone()), server.schema());
+            let b0 = view.initial_box(&sel);
+            let got = md_top1(&server, &mut st, &view, &sel, &b0, opts);
+            assert_eq!(got.map(|(_, s)| s), truth, "algo {name}");
+        }
+    }
+
+    #[test]
+    fn finds_top1_uniform_2d() {
+        let data = uniform(300, 2, 1, 101);
+        check_top1(
+            data,
+            SystemRank::pseudo_random(5),
+            5,
+            LinearRank::asc(vec![(AttrId(0), 0.7), (AttrId(1), 0.3)]),
+            Query::all(),
+        );
+    }
+
+    #[test]
+    fn finds_top1_anticorrelated_adversarial_system() {
+        let data = correlated(300, -0.9, 103);
+        // System ranks by descending sum — worst case for an ascending user.
+        let sys = SystemRank::linear("anti", vec![(AttrId(0), -1.0), (AttrId(1), -1.0)]);
+        check_top1(
+            data,
+            sys,
+            5,
+            LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)]),
+            Query::all(),
+        );
+    }
+
+    #[test]
+    fn finds_top1_3d_with_selection() {
+        let data = uniform(400, 3, 1, 107);
+        let sel = Query::all().and_cat(qrs_types::CatPredicate::eq(qrs_types::CatId(0), 1));
+        check_top1(
+            data,
+            SystemRank::linear("sys", vec![(AttrId(2), -1.0)]),
+            4,
+            LinearRank::asc(vec![
+                (AttrId(0), 0.5),
+                (AttrId(1), 0.9),
+                (AttrId(2), 0.2),
+            ]),
+            sel,
+        );
+    }
+
+    #[test]
+    fn mixed_directions() {
+        let data = uniform(300, 2, 1, 109);
+        let rank = LinearRank::new(vec![
+            (AttrId(0), qrs_types::Direction::Asc, 1.0),
+            (AttrId(1), qrs_types::Direction::Desc, 2.0),
+        ]);
+        check_top1(
+            data,
+            SystemRank::by_attr_asc(AttrId(1)),
+            5,
+            rank,
+            Query::all(),
+        );
+    }
+
+    #[test]
+    fn empty_selection_yields_none() {
+        let data = uniform(200, 2, 1, 113);
+        let sel = Query::all().and_range(AttrId(0), Interval::closed(5.0, 6.0));
+        let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(200, 5));
+        let server = SimServer::new(data, SystemRank::pseudo_random(1), 5);
+        let rank = LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)]);
+        let view = NormView::new(Arc::new(rank), server.schema());
+        let b0 = view.initial_box(&sel);
+        assert!(md_top1(&server, &mut st, &view, &sel, &b0, MdOptions::binary()).is_none());
+    }
+
+    #[test]
+    fn rerank_uses_dense_oracle_on_tiny_boxes() {
+        let data = uniform(300, 2, 1, 117);
+        // Absurdly generous dense threshold: every box goes to the oracle.
+        let mut st = SharedState::new(data.schema(), RerankParams::with_sc(300, 300.0, 0.5));
+        let server = SimServer::new(data.clone(), SystemRank::pseudo_random(2), 5);
+        let rank = LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)]);
+        let view = NormView::new(Arc::new(rank.clone()), server.schema());
+        let b0 = view.initial_box(&Query::all());
+        let got = md_top1(
+            &server,
+            &mut st,
+            &view,
+            &Query::all(),
+            &b0,
+            MdOptions::rerank(),
+        );
+        let truth = data
+            .tuples()
+            .iter()
+            .map(|t| rank.score(t))
+            .min_by(|a, b| cmp_f64(*a, *b));
+        assert_eq!(got.map(|(_, s)| s), truth);
+        assert!(st.densemd.num_boxes() > 0, "oracle never engaged");
+    }
+}

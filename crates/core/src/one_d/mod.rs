@@ -1,0 +1,48 @@
+//! The 1D query reranking algorithms (§3).
+//!
+//! Given a user query `q`, a ranking attribute `Ai` and a preference
+//! direction, find tuples of `R(q)` in `Ai`-order while issuing as few
+//! server queries as possible:
+//!
+//! * [`OneDStrategy::Baseline`] — Algorithm 1 (1D-BASELINE): shrink the
+//!   search interval to the best returned value, repeat until underflow,
+//! * [`OneDStrategy::Binary`] — Algorithm 2 (1D-BINARY): bisect the search
+//!   interval instead,
+//! * [`OneDStrategy::Rerank`] — Algorithm 3 (1D-RERANK): bisect until the
+//!   interval is narrower than the dense-region threshold, then hand off to
+//!   the on-the-fly index oracle (Algorithm 4, [`crate::index::dense1d`]).
+//!
+//! [`OneDCursor`] wraps the primitives into the paper's *Get-Next* interface
+//! and removes the general-positioning assumption (§5): equal-value *slabs*
+//! are collected exactly before moving past their value, and point-only
+//! attributes are enumerated value by value.
+
+pub mod cursor;
+pub mod primitives;
+
+pub use cursor::{OneDCursor, TiePolicy};
+pub use primitives::{next_above, NarrowResult, OneDSpec};
+
+/// Which §3 algorithm drives the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OneDStrategy {
+    Baseline,
+    Binary,
+    Rerank,
+}
+
+impl OneDStrategy {
+    pub const ALL: [OneDStrategy; 3] = [
+        OneDStrategy::Baseline,
+        OneDStrategy::Binary,
+        OneDStrategy::Rerank,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            OneDStrategy::Baseline => "1D-BASELINE",
+            OneDStrategy::Binary => "1D-BINARY",
+            OneDStrategy::Rerank => "1D-RERANK",
+        }
+    }
+}

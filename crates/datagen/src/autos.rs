@@ -1,0 +1,151 @@
+//! Synthetic stand-in for the Yahoo! Autos listings (§6.1).
+//!
+//! The paper: 13,169 used cars within 30 miles of New York City; ranking
+//! attributes Price ∈ [$0, $50,000], Mileage ∈ [0, 300,000] and Year ∈
+//! [1993, 2016]; filter attributes BodyStyle, DriveType, Transmission, Name,
+//! Model. The default system ranking ("distance from a predefined location")
+//! is non-monotonic — reproduced by a pseudo-random system rank in the
+//! experiments. The key statistical feature the MD experiments hinge on is
+//! the *anti-correlation* between price and mileage (old, high-mileage cars
+//! are cheap), which makes TA-style per-attribute access expensive.
+
+use crate::dist::{truncated_normal, zipf_code};
+use qrs_types::{CatAttr, Dataset, OrdinalAttr, Schema, Tuple, TupleId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Ranking attribute indices.
+pub mod attr {
+    use qrs_types::AttrId;
+    pub const PRICE: AttrId = AttrId(0);
+    pub const MILEAGE: AttrId = AttrId(1);
+    pub const YEAR: AttrId = AttrId(2);
+}
+
+/// Filter attribute indices.
+pub mod cat {
+    use qrs_types::CatId;
+    pub const BODY_STYLE: CatId = CatId(0);
+    pub const DRIVE_TYPE: CatId = CatId(1);
+    pub const TRANSMISSION: CatId = CatId(2);
+    pub const NAME: CatId = CatId(3);
+    pub const MODEL: CatId = CatId(4);
+}
+
+/// Listing count at the time of the paper's live experiment.
+pub const FULL_SIZE: usize = 13_169;
+
+fn schema() -> Schema {
+    Schema::new(
+        vec![
+            OrdinalAttr::new("price", 0.0, 50_000.0),
+            OrdinalAttr::new("mileage", 0.0, 300_000.0),
+            OrdinalAttr::new("year", 1993.0, 2016.0),
+        ],
+        vec![
+            CatAttr::new("body_style", 6),
+            CatAttr::new("drive_type", 3),
+            CatAttr::new("transmission", 2),
+            CatAttr::new("name", 20),
+            CatAttr::new("model", 40),
+        ],
+    )
+}
+
+/// Generate `n` synthetic listings (pass [`FULL_SIZE`] for paper scale).
+pub fn autos(n: usize, seed: u64) -> Dataset {
+    let schema = schema();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tuples = (0..n)
+        .map(|i| gen_car(&mut rng, i as u32))
+        .collect();
+    Dataset::new_unchecked(schema, tuples)
+}
+
+fn gen_car(rng: &mut StdRng, id: u32) -> Tuple {
+    // Age drives everything: uniform-ish with more recent listings.
+    let age = (23.0 * rng.random::<f64>().powf(1.4)).floor(); // 0..23 years
+    let year = 2016.0 - age;
+    // Mileage grows with age: ~12k/year with spread, capped at the domain.
+    let mileage =
+        truncated_normal(rng, 12_000.0 * (age + 0.5), 9_000.0 + 2_500.0 * age, 0.0, 300_000.0);
+    // Price decays with age and mileage: anti-correlated by construction.
+    let base = truncated_normal(rng, 34_000.0, 9_000.0, 4_000.0, 50_000.0);
+    let decay = (-0.16 * age - mileage / 320_000.0).exp();
+    let price = (base * decay + truncated_normal(rng, 0.0, 900.0, -2_500.0, 2_500.0))
+        .clamp(0.0, 50_000.0);
+
+    let ord = vec![
+        (price / 50.0).round() * 50.0, // listings priced to $50 granularity
+        (mileage / 100.0).round() * 100.0,
+        year,
+    ];
+    let model_per_make = 2; // model codes loosely tied to make
+    let make = zipf_code(rng, 20, 0.6);
+    let model = (make * model_per_make + rng.random_range(0..model_per_make)).min(39);
+    let cats = vec![
+        zipf_code(rng, 6, 0.7),
+        rng.random_range(0..3),
+        if rng.random::<f64>() < 0.85 { 0 } else { 1 },
+        make,
+        model,
+    ];
+    Tuple::new(TupleId(id), ord, cats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_respected() {
+        let d = autos(3000, 11);
+        for t in d.tuples() {
+            assert!((0.0..=50_000.0).contains(&t.ord(attr::PRICE)));
+            assert!((0.0..=300_000.0).contains(&t.ord(attr::MILEAGE)));
+            assert!((1993.0..=2016.0).contains(&t.ord(attr::YEAR)));
+        }
+    }
+
+    #[test]
+    fn price_mileage_anticorrelated() {
+        let d = autos(5000, 12);
+        let xs: Vec<f64> = d.tuples().iter().map(|t| t.ord(attr::PRICE)).collect();
+        let ys: Vec<f64> = d.tuples().iter().map(|t| t.ord(attr::MILEAGE)).collect();
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+        let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+        let r = cov / (vx.sqrt() * vy.sqrt());
+        assert!(r < -0.5, "correlation {r} not strongly negative");
+    }
+
+    #[test]
+    fn newer_cars_cost_more() {
+        let d = autos(5000, 13);
+        let new_avg = avg(&d, |t| t.ord(attr::YEAR) >= 2014.0);
+        let old_avg = avg(&d, |t| t.ord(attr::YEAR) <= 2000.0);
+        assert!(new_avg > 2.0 * old_avg, "new {new_avg} old {old_avg}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            autos(50, 1).tuples()[9].ords(),
+            autos(50, 1).tuples()[9].ords()
+        );
+    }
+
+    fn avg(d: &Dataset, pred: impl Fn(&Tuple) -> bool) -> f64 {
+        let v: Vec<f64> = d
+            .tuples()
+            .iter()
+            .filter(|t| pred(t))
+            .map(|t| t.ord(attr::PRICE))
+            .collect();
+        assert!(!v.is_empty());
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}

@@ -1,0 +1,171 @@
+//! Synthetic stand-in for the Blue Nile diamond catalog (§6.1).
+//!
+//! The paper: 117,641 diamonds; ranking attributes Carat, Depth,
+//! LengthWidthRatio, Price, Table with domains [0.23, 22.74], [0.45, 0.86],
+//! [0.49, 0.89], [$220, $4,506,938], [0.75, 2.75]; filter attributes
+//! Clarity, Color, Cut, Fluorescence, Polish, Shape, Symmetry. The system
+//! ranking is *descending price per carat*. We reproduce the row count, the
+//! published domains, and the power-law carat distribution with
+//! super-linear price↔carat correlation that gives the catalog its
+//! dense-cheap/sparse-expensive shape.
+
+use crate::dist::{bounded_power_law, to_grid, truncated_normal, zipf_code};
+use qrs_types::{CatAttr, Dataset, OrdinalAttr, Schema, Tuple, TupleId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Ranking attribute indices.
+pub mod attr {
+    use qrs_types::AttrId;
+    pub const CARAT: AttrId = AttrId(0);
+    pub const DEPTH: AttrId = AttrId(1);
+    pub const LENGTH_WIDTH_RATIO: AttrId = AttrId(2);
+    pub const PRICE: AttrId = AttrId(3);
+    pub const TABLE: AttrId = AttrId(4);
+}
+
+/// Filter attribute indices.
+pub mod cat {
+    use qrs_types::CatId;
+    pub const CLARITY: CatId = CatId(0);
+    pub const COLOR: CatId = CatId(1);
+    pub const CUT: CatId = CatId(2);
+    pub const FLUORESCENCE: CatId = CatId(3);
+    pub const POLISH: CatId = CatId(4);
+    pub const SHAPE: CatId = CatId(5);
+    pub const SYMMETRY: CatId = CatId(6);
+}
+
+/// Catalog size at the time of the paper's live experiment.
+pub const FULL_SIZE: usize = 117_641;
+
+fn schema() -> Schema {
+    Schema::new(
+        vec![
+            OrdinalAttr::new("carat", 0.23, 22.74),
+            OrdinalAttr::new("depth", 0.45, 0.86),
+            OrdinalAttr::new("length_width_ratio", 0.49, 0.89),
+            OrdinalAttr::new("price", 220.0, 4_506_938.0),
+            OrdinalAttr::new("table", 0.75, 2.75),
+        ],
+        vec![
+            CatAttr::new("clarity", 8),
+            CatAttr::new("color", 10),
+            CatAttr::new("cut", 4),
+            CatAttr::new("fluorescence", 5),
+            CatAttr::new("polish", 4),
+            CatAttr::new("shape", 10),
+            CatAttr::new("symmetry", 4),
+        ],
+    )
+}
+
+/// Generate `n` synthetic diamonds (pass [`FULL_SIZE`] for paper scale).
+pub fn diamonds(n: usize, seed: u64) -> Dataset {
+    let schema = schema();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tuples = (0..n)
+        .map(|i| gen_diamond(&mut rng, i as u32, &schema))
+        .collect();
+    Dataset::new_unchecked(schema, tuples)
+}
+
+fn gen_diamond(rng: &mut StdRng, id: u32, schema: &Schema) -> Tuple {
+    let dom = |a: qrs_types::AttrId| {
+        let o = schema.ordinal(a);
+        (o.min, o.max)
+    };
+    let (clo, chi) = dom(attr::CARAT);
+    // Power-law carats: the catalog is dominated by sub-1ct stones.
+    let carat = bounded_power_law(rng, clo, chi, 1.6);
+    let (plo, phi) = dom(attr::PRICE);
+    // Price ≈ base · carat^1.9, log-normal-ish multiplicative noise (quality
+    // spread), clamped to the published domain.
+    let quality = (0.35 * crate::dist::std_normal(rng)).exp();
+    let price = (3600.0 * carat.powf(1.9) * quality).clamp(plo, phi);
+    let (dlo, dhi) = dom(attr::DEPTH);
+    let depth = truncated_normal(rng, 0.62, 0.04, dlo, dhi);
+    let (llo, lhi) = dom(attr::LENGTH_WIDTH_RATIO);
+    let lwr = truncated_normal(rng, 0.71, 0.06, llo, lhi);
+    let (tlo, thi) = dom(attr::TABLE);
+    let table = truncated_normal(rng, 1.45, 0.30, tlo, thi);
+
+    // Snap measurement-grained attributes onto realistic grids: carat to
+    // 1/100 ct, price to whole dollars, proportions to 1/1000.
+    let ord = vec![
+        (carat * 100.0).round() / 100.0,
+        to_grid(depth, dlo, dhi, 411),
+        to_grid(lwr, llo, lhi, 401),
+        price.round(),
+        to_grid(table, tlo, thi, 2001),
+    ];
+    let cats = vec![
+        zipf_code(rng, 8, 0.6),
+        zipf_code(rng, 10, 0.5),
+        zipf_code(rng, 4, 0.7),
+        zipf_code(rng, 5, 0.9),
+        zipf_code(rng, 4, 0.8),
+        zipf_code(rng, 10, 1.0),
+        zipf_code(rng, 4, 0.8),
+    ];
+    let _ = rng;
+    Tuple::new(TupleId(id), ord, cats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_published_domains() {
+        let d = diamonds(3000, 5);
+        for t in d.tuples() {
+            for a in d.schema().attr_ids() {
+                let o = d.schema().ordinal(a);
+                assert!(t.ord(a) >= o.min && t.ord(a) <= o.max, "{}", o.name);
+            }
+        }
+    }
+
+    #[test]
+    fn price_tracks_carat_superlinearly() {
+        let d = diamonds(5000, 6);
+        let small_avg = avg_price(&d, |c| c < 0.5);
+        let big_avg = avg_price(&d, |c| c > 2.0);
+        assert!(
+            big_avg > 10.0 * small_avg,
+            "big {big_avg} vs small {small_avg}"
+        );
+    }
+
+    #[test]
+    fn carats_are_heavy_tailed() {
+        let d = diamonds(5000, 7);
+        let small = d
+            .tuples()
+            .iter()
+            .filter(|t| t.ord(attr::CARAT) < 1.0)
+            .count();
+        assert!(small > 3000, "small = {small}");
+        assert!(d.tuples().iter().any(|t| t.ord(attr::CARAT) > 4.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            diamonds(100, 3).tuples()[7].ords(),
+            diamonds(100, 3).tuples()[7].ords()
+        );
+    }
+
+    fn avg_price(d: &Dataset, pred: impl Fn(f64) -> bool) -> f64 {
+        let v: Vec<f64> = d
+            .tuples()
+            .iter()
+            .filter(|t| pred(t.ord(attr::CARAT)))
+            .map(|t| t.ord(attr::PRICE))
+            .collect();
+        assert!(!v.is_empty());
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}

@@ -1,0 +1,140 @@
+//! Small distribution toolkit over `rand` primitives.
+//!
+//! Only the pre-approved `rand` crate is available (no `rand_distr`), so the
+//! couple of shapes the generators need — truncated normal, bounded power
+//! law, discrete grids — are implemented here from uniform deviates.
+
+use rand::RngExt;
+
+/// Standard normal deviate via Box–Muller (one value per call; simple and
+/// plenty fast for dataset generation).
+pub fn std_normal(rng: &mut impl RngExt) -> f64 {
+    loop {
+        let u1: f64 = rng.random::<f64>();
+        let u2: f64 = rng.random::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Normal with mean/σ, resampled (up to a bound) into `[lo, hi]`, then
+/// clamped. Produces the mild bell shapes of taxi times and elapsed-time
+/// noise.
+pub fn truncated_normal(rng: &mut impl RngExt, mean: f64, sigma: f64, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo <= hi);
+    for _ in 0..16 {
+        let v = mean + sigma * std_normal(rng);
+        if (lo..=hi).contains(&v) {
+            return v;
+        }
+    }
+    (mean + sigma * std_normal(rng)).clamp(lo, hi)
+}
+
+/// Bounded power-law (Pareto-ish) deviate on `[lo, hi]` with tail exponent
+/// `alpha > 0`: density ∝ x^-(alpha+1). Heavy-tailed — most mass near `lo`.
+/// Models flight delays, diamond carats, and the dense-region skew of
+/// Theorem 1's bad cases.
+pub fn bounded_power_law(rng: &mut impl RngExt, lo: f64, hi: f64, alpha: f64) -> f64 {
+    debug_assert!(0.0 < lo && lo < hi);
+    debug_assert!(alpha > 0.0);
+    // Inverse-CDF of the truncated Pareto.
+    let u: f64 = rng.random();
+    let la = lo.powf(-alpha);
+    let ha = hi.powf(-alpha);
+    (la - u * (la - ha)).powf(-1.0 / alpha)
+}
+
+/// Snap a continuous value onto a `size`-point uniform grid over `[lo, hi]`
+/// (inclusive endpoints). Used to reproduce the paper's *domain sizes* (e.g.
+/// Taxi-Out has 180 distinct values) so ties and discrete domains actually
+/// occur, exercising the §5 tie-handling machinery.
+pub fn to_grid(v: f64, lo: f64, hi: f64, size: usize) -> f64 {
+    debug_assert!(size >= 2);
+    let steps = (size - 1) as f64;
+    let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+    lo + (frac * steps).round() / steps * (hi - lo)
+}
+
+/// Zipf-like categorical code in `0..card`: code 0 most frequent.
+pub fn zipf_code(rng: &mut impl RngExt, card: u32, skew: f64) -> u32 {
+    debug_assert!(card >= 1);
+    // Inverse-transform on the (unnormalized) Zipf CDF, approximated through
+    // the continuous power law; adequate for filter-attribute realism.
+    let x = bounded_power_law(rng, 1.0, card as f64 + 1.0, skew);
+    (x as u32 - 1).min(card - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn std_normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| std_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = truncated_normal(&mut r, 10.0, 5.0, 0.0, 12.0);
+            assert!((0.0..=12.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn power_law_is_heavy_tailed_and_bounded() {
+        let mut r = rng();
+        let n = 10_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| bounded_power_law(&mut r, 1.0, 1000.0, 1.2))
+            .collect();
+        assert!(samples.iter().all(|&v| (1.0..=1000.0).contains(&v)));
+        let below_10 = samples.iter().filter(|&&v| v < 10.0).count();
+        // Most of the mass near the low end.
+        assert!(below_10 as f64 > 0.8 * n as f64, "below_10 = {below_10}");
+        // But the tail is populated.
+        assert!(samples.iter().any(|&v| v > 100.0));
+    }
+
+    #[test]
+    fn grid_produces_exact_domain() {
+        // 5-point grid on [0, 1]: {0, .25, .5, .75, 1}.
+        assert_eq!(to_grid(0.13, 0.0, 1.0, 5), 0.25);
+        assert_eq!(to_grid(0.99, 0.0, 1.0, 5), 1.0);
+        assert_eq!(to_grid(-3.0, 0.0, 1.0, 5), 0.0);
+        let mut r = rng();
+        let mut distinct = std::collections::BTreeSet::new();
+        for _ in 0..1000 {
+            let v = to_grid(r.random::<f64>(), 0.0, 1.0, 5);
+            distinct.insert((v * 1e9) as i64);
+        }
+        assert!(distinct.len() <= 5);
+    }
+
+    #[test]
+    fn zipf_codes_in_range_and_skewed() {
+        let mut r = rng();
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            let c = zipf_code(&mut r, 8, 1.0);
+            counts[c as usize] += 1;
+        }
+        assert!(counts[0] > counts[7]);
+        assert!(counts.iter().sum::<usize>() == 8000);
+    }
+}

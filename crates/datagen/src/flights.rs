@@ -1,0 +1,228 @@
+//! Synthetic stand-in for the DOT on-time flights dataset (§6.1).
+//!
+//! The paper: 457,013 flight records, 8 ranking attributes — Dep-Delay,
+//! Taxi-Out, Taxi-In, Arr-Delay-New, CRS-Elapsed-Time, Actual-Elapsed-Time,
+//! Air-Time, Distance — with domain sizes 1988, 180, 180, 1971, 718, 724,
+//! 676 and 5000 respectively. We reproduce the row count, the attribute set,
+//! the *domain sizes* (values snapped to grids of exactly those sizes, so
+//! the discrete-tie machinery is exercised), and the physically obvious
+//! correlations: air time tracks distance, elapsed times stack air time and
+//! taxi times, arrival delay tracks departure delay. Delays are heavy-tailed
+//! (most flights nearly on time, a long tail of big delays) — that skew is
+//! what makes dense regions appear, which is the phenomenon the paper's
+//! on-the-fly index targets.
+
+use crate::dist::{bounded_power_law, to_grid, truncated_normal, zipf_code};
+use qrs_types::{CatAttr, Dataset, OrdinalAttr, Schema, Tuple, TupleId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Ranking attribute indices, matching the paper's selection.
+pub mod attr {
+    use qrs_types::AttrId;
+    pub const DEP_DELAY: AttrId = AttrId(0);
+    pub const TAXI_OUT: AttrId = AttrId(1);
+    pub const TAXI_IN: AttrId = AttrId(2);
+    pub const ARR_DELAY: AttrId = AttrId(3);
+    pub const CRS_ELAPSED: AttrId = AttrId(4);
+    pub const ACTUAL_ELAPSED: AttrId = AttrId(5);
+    pub const AIR_TIME: AttrId = AttrId(6);
+    pub const DISTANCE: AttrId = AttrId(7);
+}
+
+/// Categorical (filter) attribute indices.
+pub mod cat {
+    use qrs_types::CatId;
+    pub const CARRIER: CatId = CatId(0);
+    pub const DAY_OF_WEEK: CatId = CatId(1);
+    pub const ORIGIN_REGION: CatId = CatId(2);
+}
+
+/// The paper's published domain sizes, in attribute order.
+pub const DOMAIN_SIZES: [usize; 8] = [1988, 180, 180, 1971, 718, 724, 676, 5000];
+
+/// Number of rows in the real dataset.
+pub const FULL_SIZE: usize = 457_013;
+
+fn schema() -> Schema {
+    Schema::new(
+        vec![
+            // DOT DepDelay includes early departures; 1988 grid values over
+            // [-60, 1927] — the extreme early flights are rare, which is
+            // what makes ranking by delay non-trivial.
+            OrdinalAttr::new("dep_delay", -60.0, 1927.0),
+            OrdinalAttr::new("taxi_out", 1.0, 180.0),
+            OrdinalAttr::new("taxi_in", 1.0, 180.0),
+            OrdinalAttr::new("arr_delay", -60.0, 1910.0),
+            OrdinalAttr::new("crs_elapsed", 15.0, 732.0),
+            OrdinalAttr::new("actual_elapsed", 15.0, 738.0),
+            OrdinalAttr::new("air_time", 8.0, 683.0),
+            OrdinalAttr::new("distance", 31.0, 5030.0),
+        ],
+        vec![
+            CatAttr::new("carrier", 14),
+            CatAttr::new("day_of_week", 7),
+            CatAttr::new("origin_region", 9),
+        ],
+    )
+}
+
+/// Generate `n` synthetic flights (pass [`FULL_SIZE`] for paper scale).
+pub fn flights(n: usize, seed: u64) -> Dataset {
+    let schema = schema();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tuples = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = gen_flight(&mut rng, i as u32, &schema);
+        tuples.push(t);
+    }
+    Dataset::new_unchecked(schema, tuples)
+}
+
+fn gen_flight(rng: &mut StdRng, id: u32, schema: &Schema) -> Tuple {
+    use attr::*;
+    let dom = |a: qrs_types::AttrId| {
+        let o = schema.ordinal(a);
+        (o.min, o.max)
+    };
+    // Distance: log-normal-ish — median ~550 mi, a long upper tail, and a
+    // *thin* lower tail (very short routes are rare, as in the real data).
+    let (dlo, dhi) = dom(DISTANCE);
+    let distance = (545.0 * (0.75 * crate::dist::std_normal(rng)).exp()).clamp(dlo, dhi);
+    // Air time ≈ distance / 7.5 mi-per-min plus overhead noise.
+    let (alo, ahi) = dom(AIR_TIME);
+    let air_time = truncated_normal(rng, distance / 7.5 + 18.0, 12.0, alo, ahi);
+    // Taxi times: mild bells with occasional congestion tails.
+    let (tlo, thi) = dom(TAXI_OUT);
+    let taxi_out = if rng.random::<f64>() < 0.05 {
+        bounded_power_law(rng, 25.0, thi, 1.5)
+    } else {
+        truncated_normal(rng, 16.0, 6.0, tlo, thi)
+    };
+    let taxi_in = if rng.random::<f64>() < 0.03 {
+        bounded_power_law(rng, 15.0, thi, 1.5)
+    } else {
+        truncated_normal(rng, 7.0, 3.5, tlo, thi)
+    };
+    // Elapsed = air + taxi (+ schedule padding for CRS).
+    let (elo, ehi) = dom(ACTUAL_ELAPSED);
+    let actual_elapsed = (air_time + taxi_out + taxi_in).clamp(elo, ehi);
+    let (clo, chi) = dom(CRS_ELAPSED);
+    let crs_elapsed = truncated_normal(rng, actual_elapsed + 4.0, 9.0, clo, chi);
+    // Delays: most flights depart within ±10 minutes of schedule (early
+    // departures possible, extreme earliness rare), with a heavy late tail.
+    let (ddlo, ddhi) = dom(DEP_DELAY);
+    let dep_delay = if rng.random::<f64>() < 0.65 {
+        truncated_normal(rng, -2.0, 7.0, ddlo, 20.0)
+    } else {
+        bounded_power_law(rng, 5.0, ddhi, 1.05)
+    };
+    let (adlo, adhi) = dom(ARR_DELAY);
+    let arr_delay =
+        truncated_normal(rng, dep_delay * 0.9 - 3.0, 11.0, adlo, adhi).clamp(adlo, adhi);
+
+    let raw = [
+        dep_delay,
+        taxi_out,
+        taxi_in,
+        arr_delay,
+        crs_elapsed,
+        actual_elapsed,
+        air_time,
+        distance,
+    ];
+    let ord: Vec<f64> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let a = qrs_types::AttrId(i);
+            let o = schema.ordinal(a);
+            to_grid(v, o.min, o.max, DOMAIN_SIZES[i])
+        })
+        .collect();
+    let cats = vec![
+        zipf_code(rng, 14, 0.8),
+        rng.random_range(0..7),
+        zipf_code(rng, 9, 0.7),
+    ];
+    Tuple::new(TupleId(id), ord, cats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrs_types::AttrId;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = flights(500, 9);
+        let b = flights(500, 9);
+        assert_eq!(a.tuples()[42].ords(), b.tuples()[42].ords());
+        let c = flights(500, 10);
+        assert_ne!(a.tuples()[42].ords(), c.tuples()[42].ords());
+    }
+
+    #[test]
+    fn respects_declared_domains() {
+        let d = flights(2000, 1);
+        for t in d.tuples() {
+            for a in d.schema().attr_ids() {
+                let o = d.schema().ordinal(a);
+                let v = t.ord(a);
+                assert!(
+                    v >= o.min && v <= o.max,
+                    "{} = {v} outside [{}, {}]",
+                    o.name,
+                    o.min,
+                    o.max
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn air_time_tracks_distance() {
+        let d = flights(5000, 2);
+        // Pearson correlation between air time and distance should be high.
+        let xs: Vec<f64> = d.tuples().iter().map(|t| t.ord(attr::AIR_TIME)).collect();
+        let ys: Vec<f64> = d.tuples().iter().map(|t| t.ord(attr::DISTANCE)).collect();
+        assert!(pearson(&xs, &ys) > 0.9);
+    }
+
+    #[test]
+    fn delays_are_heavy_tailed() {
+        let d = flights(5000, 3);
+        let delays: Vec<f64> = d.tuples().iter().map(|t| t.ord(attr::DEP_DELAY)).collect();
+        let small = delays.iter().filter(|&&v| v < 10.0).count();
+        let large = delays.iter().filter(|&&v| v > 120.0).count();
+        assert!(small > 2500, "small = {small}");
+        assert!(large > 10, "large = {large}");
+    }
+
+    #[test]
+    fn domain_sizes_bounded_by_paper_values() {
+        let d = flights(20_000, 4);
+        for (i, &size) in DOMAIN_SIZES.iter().enumerate() {
+            let mut distinct = std::collections::BTreeSet::new();
+            for t in d.tuples() {
+                distinct.insert(t.ord(AttrId(i)).to_bits());
+            }
+            assert!(
+                distinct.len() <= size,
+                "attr {i}: {} distinct > {size}",
+                distinct.len()
+            );
+            assert!(distinct.len() > 10, "attr {i} suspiciously coarse");
+        }
+    }
+
+    fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+        let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}

@@ -1,0 +1,263 @@
+//! User-preference query workloads (§6.2, §6.3).
+//!
+//! The paper tests queries of the form `SELECT * FROM D WHERE Sel(q) ORDER
+//! BY S`, with randomly selected filter attributes (a configured fraction
+//! carries no filter at all, like 25% of the DOT workload), a
+//! uniformly-random ranking attribute for the 1D experiments, and random
+//! attribute subsets with weights in (0,1) for the MD experiments.
+//!
+//! Filters are *anchored* at a randomly drawn tuple so every generated query
+//! is satisfiable — the paper's workloads were built against live sites
+//! where this holds by construction.
+
+use qrs_ranking::LinearRank;
+use qrs_types::{
+    AttrId, CatPredicate, Dataset, Direction, Interval, Query,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// How ranking directions are assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectionPolicy {
+    /// Always prefer small values (the DOT attributes are all
+    /// smaller-is-better: delays, taxi times, …).
+    AllAsc,
+    /// Choose uniformly per attribute (personalized-preference scenarios).
+    Random,
+}
+
+/// Workload generation knobs.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of user queries to generate.
+    pub num_queries: usize,
+    /// Fraction of queries with an empty `Sel(q)` (paper: 25% for DOT).
+    pub no_filter_fraction: f64,
+    /// Maximum number of categorical equality filters per query.
+    pub max_cat_filters: usize,
+    /// Probability of adding one range filter on a non-ranking attribute.
+    pub range_filter_prob: f64,
+    /// Number of ranking attributes per MD query (1D ignores this).
+    pub rank_attrs: std::ops::RangeInclusive<usize>,
+    pub directions: DirectionPolicy,
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            num_queries: 32,
+            no_filter_fraction: 0.25,
+            max_cat_filters: 2,
+            range_filter_prob: 0.3,
+            rank_attrs: 2..=3,
+            directions: DirectionPolicy::AllAsc,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A 1D user request: `WHERE Sel(q) ORDER BY attr [ASC|DESC]`.
+#[derive(Debug, Clone)]
+pub struct OneDUserQuery {
+    pub query: Query,
+    pub attr: AttrId,
+    pub dir: Direction,
+}
+
+/// An MD user request: `WHERE Sel(q) ORDER BY S` for a linear `S`.
+#[derive(Debug, Clone)]
+pub struct MdUserQuery {
+    pub query: Query,
+    pub rank: LinearRank,
+}
+
+/// Generate the §6.2 1D workload against a dataset.
+pub fn one_d_workload(data: &Dataset, cfg: &WorkloadConfig) -> Vec<OneDUserQuery> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let m = data.schema().num_ordinal();
+    (0..cfg.num_queries)
+        .map(|_| {
+            let attr = AttrId(rng.random_range(0..m));
+            let dir = pick_dir(&mut rng, cfg.directions);
+            let query = gen_selection(data, cfg, &mut rng, &[attr]);
+            OneDUserQuery { query, attr, dir }
+        })
+        .collect()
+}
+
+/// Generate the §6.3 MD workload against a dataset.
+pub fn md_workload(data: &Dataset, cfg: &WorkloadConfig) -> Vec<MdUserQuery> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1));
+    let m = data.schema().num_ordinal();
+    (0..cfg.num_queries)
+        .map(|_| {
+            let lo = (*cfg.rank_attrs.start()).clamp(1, m);
+            let hi = (*cfg.rank_attrs.end()).clamp(lo, m);
+            let count = rng.random_range(lo..=hi);
+            let mut attrs: Vec<usize> = (0..m).collect();
+            // Partial Fisher–Yates for a uniform subset.
+            for i in 0..count {
+                let j = rng.random_range(i..m);
+                attrs.swap(i, j);
+            }
+            attrs.truncate(count);
+            attrs.sort_unstable();
+            let terms = attrs
+                .iter()
+                .map(|&a| {
+                    (
+                        AttrId(a),
+                        pick_dir(&mut rng, cfg.directions),
+                        // Weights in (0,1) as in §6.3; avoid ~0 weights that
+                        // would make the attribute vestigial.
+                        0.05 + 0.95 * rng.random::<f64>(),
+                    )
+                })
+                .collect();
+            let rank = LinearRank::new(terms);
+            let rank_attr_ids: Vec<AttrId> = attrs.iter().map(|&a| AttrId(a)).collect();
+            let query = gen_selection(data, cfg, &mut rng, &rank_attr_ids);
+            MdUserQuery { query, rank }
+        })
+        .collect()
+}
+
+fn pick_dir(rng: &mut StdRng, policy: DirectionPolicy) -> Direction {
+    match policy {
+        DirectionPolicy::AllAsc => Direction::Asc,
+        DirectionPolicy::Random => {
+            if rng.random::<bool>() {
+                Direction::Asc
+            } else {
+                Direction::Desc
+            }
+        }
+    }
+}
+
+/// Random satisfiable selection anchored at a random tuple. Ranking
+/// attributes are excluded from range filters so the filter never collapses
+/// the ranking dimension.
+fn gen_selection(
+    data: &Dataset,
+    cfg: &WorkloadConfig,
+    rng: &mut StdRng,
+    rank_attrs: &[AttrId],
+) -> Query {
+    let mut q = Query::all();
+    if data.is_empty() || rng.random::<f64>() < cfg.no_filter_fraction {
+        return q;
+    }
+    let anchor = &data.tuples()[rng.random_range(0..data.len())];
+    let n_cats = data.schema().num_categorical();
+    if n_cats > 0 && cfg.max_cat_filters > 0 {
+        let want = rng.random_range(1..=cfg.max_cat_filters.min(n_cats));
+        let mut cats: Vec<usize> = (0..n_cats).collect();
+        for i in 0..want {
+            let j = rng.random_range(i..n_cats);
+            cats.swap(i, j);
+        }
+        for &c in cats.iter().take(want) {
+            let cid = qrs_types::CatId(c);
+            q.add_cat(CatPredicate::eq(cid, anchor.cat(cid)));
+        }
+    }
+    if rng.random::<f64>() < cfg.range_filter_prob {
+        let candidates: Vec<AttrId> = data
+            .schema()
+            .attr_ids()
+            .filter(|a| !rank_attrs.contains(a) && !data.schema().ordinal(*a).point_only)
+            .collect();
+        if let Some(&attr) = candidates.get(rng.random_range(0..candidates.len().max(1))) {
+            let o = data.schema().ordinal(attr);
+            let v = anchor.ord(attr);
+            let half_width = (o.max - o.min) * (0.05 + 0.25 * rng.random::<f64>());
+            q.add_range(
+                attr,
+                Interval::closed(
+                    (v - half_width).max(o.min),
+                    (v + half_width).min(o.max),
+                ),
+            );
+        }
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::uniform;
+
+    fn cfg() -> WorkloadConfig {
+        WorkloadConfig {
+            num_queries: 40,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn one_d_queries_are_satisfiable() {
+        let d = uniform(500, 3, 2, 1);
+        let w = one_d_workload(&d, &cfg());
+        assert_eq!(w.len(), 40);
+        for uq in &w {
+            assert!(
+                d.count_matching(&uq.query) > 0,
+                "unsatisfiable query {}",
+                uq.query
+            );
+            assert!(uq.attr.0 < 3);
+        }
+    }
+
+    #[test]
+    fn respects_no_filter_fraction() {
+        let d = uniform(500, 3, 2, 2);
+        let mut c = cfg();
+        c.no_filter_fraction = 1.0;
+        assert!(one_d_workload(&d, &c)
+            .iter()
+            .all(|uq| uq.query == Query::all()));
+        c.no_filter_fraction = 0.0;
+        let some_filtered = one_d_workload(&d, &c)
+            .iter()
+            .filter(|uq| uq.query != Query::all())
+            .count();
+        assert!(some_filtered > 30);
+    }
+
+    #[test]
+    fn md_rank_fns_use_requested_arity() {
+        let d = uniform(500, 5, 1, 3);
+        let mut c = cfg();
+        c.rank_attrs = 2..=4;
+        let w = md_workload(&d, &c);
+        for uq in &w {
+            let m = qrs_ranking::RankFn::attrs(&uq.rank).len();
+            assert!((2..=4).contains(&m), "arity {m}");
+            assert!(d.count_matching(&uq.query) > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = uniform(300, 3, 1, 4);
+        let a = one_d_workload(&d, &cfg());
+        let b = one_d_workload(&d, &cfg());
+        assert_eq!(a[7].attr, b[7].attr);
+        assert_eq!(a[7].query, b[7].query);
+    }
+
+    #[test]
+    fn random_directions_appear() {
+        let d = uniform(300, 3, 1, 5);
+        let mut c = cfg();
+        c.directions = DirectionPolicy::Random;
+        let w = one_d_workload(&d, &c);
+        assert!(w.iter().any(|u| u.dir == Direction::Asc));
+        assert!(w.iter().any(|u| u.dir == Direction::Desc));
+    }
+}

@@ -1,0 +1,48 @@
+//! # qrs-ranking
+//!
+//! User-specified monotonic ranking functions (§2.2 of *Query Reranking As A
+//! Service*) and the contour geometry the MD reranking algorithms need (§4).
+//!
+//! ## Normalized space
+//!
+//! A monotonic ranking function fixes a preference order per attribute
+//! ([`qrs_types::Direction`]). All geometry in this crate lives in
+//! **normalized space**: the value of attribute `i` is mapped through
+//! [`qrs_types::Direction::normalize`] so that *smaller is always better*,
+//! and every [`RankFn`] is monotone **non-decreasing** in each normalized
+//! coordinate. `qrs-core` translates normalized boxes back into real server
+//! predicates.
+//!
+//! ## Exactness
+//!
+//! Contour solvers ([`RankFn::ell`], [`RankFn::corner`], …) drive *pruning*
+//! decisions: a region is discarded when every point in it scores at least
+//! the current threshold. A solver that rounds the wrong way by one ULP can
+//! discard the true answer, so the default implementations use bit-level
+//! bisection ([`solvers::partition_point_f64`]) which returns the exact
+//! floating-point boundary of a monotone predicate — no epsilon tuning.
+//!
+//! ## Provided families
+//!
+//! * [`LinearRank`] — weighted sums, the paper's primary family (also covers
+//!   the "sum of depth and table percent" Blue Nile example),
+//! * [`LpRank`] — weighted p-th-power distances from an ideal point,
+//! * [`ChebyshevRank`] — weighted max (L∞),
+//! * [`RatioRank`] — quotients like *cost per mileage* or *price per carat*
+//!   (the paper's motivating unsupported ranking functions).
+
+pub mod chebyshev;
+pub mod linear;
+pub mod lp;
+pub mod rankfn;
+pub mod ratio;
+pub mod solvers;
+
+pub use chebyshev::ChebyshevRank;
+pub use linear::LinearRank;
+pub use lp::LpRank;
+pub use rankfn::{NormBounds, RankFn};
+pub use ratio::RatioRank;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,68 @@
+//! The restricted search interface (§2.1) as a trait.
+//!
+//! Everything `qrs-core` knows about the remote database goes through
+//! [`SearchInterface`]. The trait is object-safe so reranking algorithms are
+//! generic over the simulated server, the adversarial server, and any future
+//! adapter to a real HTTP endpoint.
+
+use qrs_types::{AttrId, Direction, Query, QueryResponse, Schema, Tuple};
+use std::sync::Arc;
+
+/// One page of an `ORDER BY` query (§5 extension; supported only by servers
+/// that advertise it).
+#[derive(Debug, Clone)]
+pub struct OrderedPage {
+    /// Tuples ranked `[offset, offset + k)` among `R(q)` under the public
+    /// ordering.
+    pub tuples: Vec<Arc<Tuple>>,
+    /// Whether more pages follow.
+    pub has_more: bool,
+}
+
+/// A client-server database's public top-k search interface.
+///
+/// Every call to [`SearchInterface::query`], [`SearchInterface::query_page`]
+/// or [`SearchInterface::query_ordered`] costs one unit of the paper's query
+/// budget and increments [`SearchInterface::queries_issued`].
+pub trait SearchInterface: Send + Sync {
+    /// Schema of the underlying database (public on real sites via the
+    /// search form).
+    fn schema(&self) -> &Arc<Schema>;
+
+    /// The interface's `k`: maximum number of tuples per response.
+    fn k(&self) -> usize;
+
+    /// Issue a conjunctive query; the response holds at most `k` tuples
+    /// selected by the proprietary system ranking function.
+    fn query(&self, q: &Query) -> QueryResponse;
+
+    /// Total number of queries issued so far — the cost metric of §2.2.
+    fn queries_issued(&self) -> u64;
+
+    /// Whether the interface supports page turns on the system ranking.
+    fn supports_paging(&self) -> bool {
+        false
+    }
+
+    /// Page `page` (0-based) of the system-ranked answer to `q`.
+    ///
+    /// Default: unsupported (panics); call only if
+    /// [`SearchInterface::supports_paging`].
+    fn query_page(&self, _q: &Query, _page: usize) -> QueryResponse {
+        unimplemented!("this interface does not support page turns")
+    }
+
+    /// Which attributes the interface can publicly `ORDER BY` (§5); empty by
+    /// default.
+    fn order_by_attrs(&self) -> Vec<AttrId> {
+        Vec::new()
+    }
+
+    /// Page `page` of `R(q)` ordered publicly by `attr` in direction `dir`.
+    ///
+    /// Default: unsupported (panics); check [`SearchInterface::order_by_attrs`]
+    /// first.
+    fn query_ordered(&self, _q: &Query, _attr: AttrId, _dir: Direction, _page: usize) -> OrderedPage {
+        unimplemented!("this interface does not support ORDER BY")
+    }
+}

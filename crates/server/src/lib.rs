@@ -1,0 +1,30 @@
+//! # qrs-server
+//!
+//! The substrate the paper's middleware runs against: an in-process
+//! **client-server (hidden) database** exposing only the restricted search
+//! interface of §2.1 — conjunctive range queries answered with at most `k`
+//! tuples chosen by a *proprietary system ranking function* the reranker
+//! knows nothing about.
+//!
+//! This replaces the paper's offline "Top-k web search interface constructed
+//! over the DOT dataset" (§6.1) and the live Blue Nile / Yahoo! Autos
+//! endpoints. It exactly preserves what matters to the algorithms:
+//!
+//! * the *underflow / valid / overflow* trichotomy,
+//! * the opaque, possibly adversarial, system ranking,
+//! * the **query counter** — the paper's one and only efficiency metric,
+//! * optional extras real sites have: page turns and public `ORDER BY`
+//!   ranking options (§5 "Multiple/Known System Ranking Functions").
+//!
+//! [`adversary::AdversaryServer`] implements the query-answering mechanism
+//! from the proof of Theorem 1, so the `n/k` lower bound is executable.
+
+pub mod adversary;
+pub mod interface;
+pub mod sim;
+pub mod system_rank;
+
+pub use adversary::AdversaryServer;
+pub use interface::{OrderedPage, SearchInterface};
+pub use sim::SimServer;
+pub use system_rank::SystemRank;

@@ -1,0 +1,345 @@
+//! The simulated hidden web database (the paper's §6.1 offline setup).
+//!
+//! [`SimServer`] owns a [`Dataset`], a proprietary [`SystemRank`] and the
+//! interface constant `k`. A query is answered by walking the tuples in
+//! system-rank order and returning the first `k` matches — exactly how a
+//! ranked-retrieval backend behaves — and the response is flagged *overflow*
+//! iff a `(k+1)`-th match exists. Every query bumps an atomic counter; the
+//! counter is the experiment metric.
+
+use crate::interface::{OrderedPage, SearchInterface};
+use crate::system_rank::SystemRank;
+use parking_lot::Mutex;
+use qrs_types::value::cmp_f64;
+use qrs_types::{AttrId, Dataset, Direction, Endpoint, Query, QueryResponse, Schema, Tuple};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Builder-configured simulated server.
+#[derive(Debug)]
+pub struct SimServer {
+    dataset: Dataset,
+    /// Tuple indices sorted by ascending system score (ties by id).
+    system_order: Vec<u32>,
+    /// Per-ordinal-attribute index sorted ascending by value (for ORDER BY).
+    attr_order: Vec<Vec<u32>>,
+    k: usize,
+    counter: AtomicU64,
+    paging: bool,
+    order_by: Vec<AttrId>,
+    system_rank: SystemRank,
+    /// Log of issued queries (enabled in tests/debug experiments only).
+    log: Option<Mutex<Vec<Query>>>,
+}
+
+impl SimServer {
+    /// A server answering with at most `k` tuples ranked by `system_rank`.
+    pub fn new(dataset: Dataset, system_rank: SystemRank, k: usize) -> Self {
+        assert!(k >= 1, "the interface k must be at least 1");
+        let mut system_order: Vec<u32> = (0..dataset.len() as u32).collect();
+        system_order.sort_by(|&a, &b| {
+            let (ta, tb) = (
+                &dataset.tuples()[a as usize],
+                &dataset.tuples()[b as usize],
+            );
+            cmp_f64(system_rank.score(ta), system_rank.score(tb)).then(ta.id.cmp(&tb.id))
+        });
+        let attr_order = dataset
+            .schema()
+            .attr_ids()
+            .map(|attr| {
+                let mut idx: Vec<u32> = (0..dataset.len() as u32).collect();
+                idx.sort_by(|&a, &b| {
+                    let (ta, tb) = (
+                        &dataset.tuples()[a as usize],
+                        &dataset.tuples()[b as usize],
+                    );
+                    cmp_f64(ta.ord(attr), tb.ord(attr)).then(ta.id.cmp(&tb.id))
+                });
+                idx
+            })
+            .collect();
+        SimServer {
+            dataset,
+            system_order,
+            attr_order,
+            k,
+            counter: AtomicU64::new(0),
+            paging: false,
+            order_by: Vec::new(),
+            system_rank,
+            log: None,
+        }
+    }
+
+    /// Enable page turns on the system ranking (real sites' "next page").
+    pub fn with_paging(mut self) -> Self {
+        self.paging = true;
+        self
+    }
+
+    /// Advertise public `ORDER BY` support on the given attributes (§5).
+    pub fn with_order_by(mut self, attrs: Vec<AttrId>) -> Self {
+        self.order_by = attrs;
+        self
+    }
+
+    /// Record every issued query (for tests asserting query shapes).
+    pub fn with_query_log(mut self) -> Self {
+        self.log = Some(Mutex::new(Vec::new()));
+        self
+    }
+
+    /// The backing dataset (test/experiment ground truth — a real hidden
+    /// database would not expose this).
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The proprietary ranking (exposed for experiment labeling only).
+    pub fn system_rank(&self) -> &SystemRank {
+        &self.system_rank
+    }
+
+    /// Reset the query counter (between experiment runs).
+    pub fn reset_counter(&self) {
+        self.counter.store(0, Ordering::Relaxed);
+    }
+
+    /// Drain the query log (requires [`SimServer::with_query_log`]).
+    pub fn take_log(&self) -> Vec<Query> {
+        self.log
+            .as_ref()
+            .map(|l| std::mem::take(&mut *l.lock()))
+            .unwrap_or_default()
+    }
+
+    fn charge(&self, q: &Query) {
+        self.counter.fetch_add(1, Ordering::Relaxed);
+        if let Some(log) = &self.log {
+            log.lock().push(q.clone());
+        }
+        self.validate_point_only(q);
+    }
+
+    /// Enforce the §5 point-predicate contract: a `point_only` attribute may
+    /// only carry point or unbounded predicates.
+    fn validate_point_only(&self, q: &Query) {
+        for p in q.ranges() {
+            if self.dataset.schema().ordinal(p.attr).point_only {
+                let iv = p.interval;
+                let is_point = match (iv.lo, iv.hi) {
+                    (Endpoint::Closed(a), Endpoint::Closed(b)) => a == b,
+                    (Endpoint::Unbounded, Endpoint::Unbounded) => true,
+                    _ => false,
+                };
+                assert!(
+                    is_point,
+                    "attribute {} only supports point predicates, got {}",
+                    p.attr, iv
+                );
+            }
+        }
+    }
+
+    /// Matching tuples in system-rank order, lazily.
+    fn matches_in_system_order<'a>(
+        &'a self,
+        q: &'a Query,
+    ) -> impl Iterator<Item = &'a Arc<Tuple>> + 'a {
+        self.system_order
+            .iter()
+            .map(move |&i| &self.dataset.tuples()[i as usize])
+            .filter(move |t| q.matches(t))
+    }
+}
+
+impl SearchInterface for SimServer {
+    fn schema(&self) -> &Arc<Schema> {
+        self.dataset.schema()
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn query(&self, q: &Query) -> QueryResponse {
+        self.charge(q);
+        let mut out = Vec::with_capacity(self.k.min(16));
+        for t in self.matches_in_system_order(q) {
+            if out.len() == self.k {
+                return QueryResponse::new(out, true);
+            }
+            out.push(Arc::clone(t));
+        }
+        QueryResponse::new(out, false)
+    }
+
+    fn queries_issued(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+
+    fn supports_paging(&self) -> bool {
+        self.paging
+    }
+
+    fn query_page(&self, q: &Query, page: usize) -> QueryResponse {
+        assert!(self.paging, "paging not enabled on this server");
+        self.charge(q);
+        let skip = page * self.k;
+        let mut out = Vec::with_capacity(self.k.min(16));
+        for (i, t) in self.matches_in_system_order(q).enumerate() {
+            if i < skip {
+                continue;
+            }
+            if out.len() == self.k {
+                return QueryResponse::new(out, true);
+            }
+            out.push(Arc::clone(t));
+        }
+        QueryResponse::new(out, false)
+    }
+
+    fn order_by_attrs(&self) -> Vec<AttrId> {
+        self.order_by.clone()
+    }
+
+    fn query_ordered(&self, q: &Query, attr: AttrId, dir: Direction, page: usize) -> OrderedPage {
+        assert!(
+            self.order_by.contains(&attr),
+            "ORDER BY {attr} not offered by this server"
+        );
+        self.charge(q);
+        let idx = &self.attr_order[attr.0];
+        let skip = page * self.k;
+        let mut out = Vec::with_capacity(self.k.min(16));
+        let mut seen = 0usize;
+        let mut has_more = false;
+        let iter: Box<dyn Iterator<Item = &u32>> = match dir {
+            Direction::Asc => Box::new(idx.iter()),
+            Direction::Desc => Box::new(idx.iter().rev()),
+        };
+        for &i in iter {
+            let t = &self.dataset.tuples()[i as usize];
+            if !q.matches(t) {
+                continue;
+            }
+            if seen >= skip {
+                if out.len() == self.k {
+                    has_more = true;
+                    break;
+                }
+                out.push(Arc::clone(t));
+            }
+            seen += 1;
+        }
+        OrderedPage {
+            tuples: out,
+            has_more,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrs_types::{Interval, OrdinalAttr, QueryOutcome, TupleId};
+
+    fn server(k: usize) -> SimServer {
+        // 10 tuples with x = 0..9; system rank = descending x (adversarial
+        // for an ascending user preference).
+        let schema = Schema::new(vec![OrdinalAttr::new("x", 0.0, 9.0)], vec![]);
+        let tuples = (0..10)
+            .map(|i| Tuple::new(TupleId(i), vec![f64::from(i)], vec![]))
+            .collect();
+        let ds = Dataset::new(schema, tuples).unwrap();
+        SimServer::new(ds, SystemRank::by_attr_desc(AttrId(0)), k)
+    }
+
+    #[test]
+    fn overflow_valid_underflow() {
+        let s = server(3);
+        let all = s.query(&Query::all());
+        assert_eq!(all.outcome, QueryOutcome::Overflow);
+        assert_eq!(all.tuples.len(), 3);
+        // System rank descending: returns x = 9, 8, 7.
+        let xs: Vec<f64> = all.tuples.iter().map(|t| t.ord(AttrId(0))).collect();
+        assert_eq!(xs, vec![9.0, 8.0, 7.0]);
+
+        let narrow = Query::all().and_range(AttrId(0), Interval::open(3.5, 6.5));
+        let r = s.query(&narrow);
+        assert_eq!(r.outcome, QueryOutcome::Valid);
+        assert_eq!(r.tuples.len(), 3);
+
+        let empty = Query::all().and_range(AttrId(0), Interval::open(100.0, 200.0));
+        assert_eq!(s.query(&empty).outcome, QueryOutcome::Underflow);
+        assert_eq!(s.queries_issued(), 3);
+    }
+
+    #[test]
+    fn exactly_k_matches_is_valid_not_overflow() {
+        let s = server(3);
+        let q = Query::all().and_range(AttrId(0), Interval::closed(0.0, 2.0));
+        let r = s.query(&q);
+        assert_eq!(r.outcome, QueryOutcome::Valid);
+        assert_eq!(r.tuples.len(), 3);
+    }
+
+    #[test]
+    fn paging_walks_system_order() {
+        let s = server(3).with_paging();
+        let p0 = s.query_page(&Query::all(), 0);
+        let p1 = s.query_page(&Query::all(), 1);
+        let p3 = s.query_page(&Query::all(), 3);
+        assert!(p0.is_overflow());
+        let x1: Vec<f64> = p1.tuples.iter().map(|t| t.ord(AttrId(0))).collect();
+        assert_eq!(x1, vec![6.0, 5.0, 4.0]);
+        // Last page: only one tuple left, not an overflow.
+        assert_eq!(p3.tuples.len(), 1);
+        assert!(p3.is_valid());
+        assert_eq!(s.queries_issued(), 3);
+    }
+
+    #[test]
+    fn order_by_pages_both_directions() {
+        let s = server(4).with_order_by(vec![AttrId(0)]);
+        let asc = s.query_ordered(&Query::all(), AttrId(0), Direction::Asc, 0);
+        let xs: Vec<f64> = asc.tuples.iter().map(|t| t.ord(AttrId(0))).collect();
+        assert_eq!(xs, vec![0.0, 1.0, 2.0, 3.0]);
+        assert!(asc.has_more);
+        let desc = s.query_ordered(&Query::all(), AttrId(0), Direction::Desc, 2);
+        let xs: Vec<f64> = desc.tuples.iter().map(|t| t.ord(AttrId(0))).collect();
+        assert_eq!(xs, vec![1.0, 0.0]);
+        assert!(!desc.has_more);
+    }
+
+    #[test]
+    #[should_panic(expected = "point predicates")]
+    fn point_only_contract_enforced() {
+        let schema = Schema::new(
+            vec![{
+                let mut a = OrdinalAttr::new("grade", 0.0, 5.0);
+                a.point_only = true;
+                a
+            }],
+            vec![],
+        );
+        let ds = Dataset::new(
+            schema,
+            vec![Tuple::new(TupleId(0), vec![1.0], vec![])],
+        )
+        .unwrap();
+        let s = SimServer::new(ds, SystemRank::pseudo_random(1), 2);
+        s.query(&Query::all().and_range(AttrId(0), Interval::open(0.0, 3.0)));
+    }
+
+    #[test]
+    fn query_log_captures_queries() {
+        let s = server(2).with_query_log();
+        s.query(&Query::all());
+        s.query(&Query::all().and_range(AttrId(0), Interval::open(1.0, 2.0)));
+        let log = s.take_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0], Query::all());
+    }
+}

@@ -1,0 +1,133 @@
+//! Proprietary system ranking functions for the simulated server.
+//!
+//! §2.1: "the database selects the k returned tuples from R(q) according to
+//! a proprietary system ranking function unbeknown to the query reranking
+//! service" — so unlike user ranking functions, system rankings need *not*
+//! be monotone. This module provides the ones the paper evaluates with:
+//!
+//! * linear combinations with arbitrary signs — SR1 `0.3·AIR_TIME + TAXI_IN`
+//!   and SR2 `-0.1·DISTANCE - DEP_DELAY` (§6.1),
+//! * single-attribute rankings (Blue Nile's price-per-carat is a derived
+//!   attribute handled via [`SystemRank::by_fn`]),
+//! * a pseudo-random ranking standing in for Yahoo! Autos' non-monotonic
+//!   "distance from a predefined location".
+
+use qrs_types::{AttrId, Tuple};
+use std::sync::Arc;
+
+type ScoreFn = dyn Fn(&Tuple) -> f64 + Send + Sync;
+
+/// An opaque tuple-scoring function; lower score = returned earlier.
+#[derive(Clone)]
+pub struct SystemRank {
+    score: Arc<ScoreFn>,
+    label: String,
+}
+
+impl std::fmt::Debug for SystemRank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemRank")
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+impl SystemRank {
+    /// Arbitrary closure.
+    pub fn by_fn(label: impl Into<String>, f: impl Fn(&Tuple) -> f64 + Send + Sync + 'static) -> Self {
+        SystemRank {
+            score: Arc::new(f),
+            label: label.into(),
+        }
+    }
+
+    /// Linear combination `Σ cᵢ·t[Aᵢ]` with arbitrary-sign coefficients.
+    pub fn linear(label: impl Into<String>, terms: Vec<(AttrId, f64)>) -> Self {
+        SystemRank::by_fn(label, move |t| {
+            terms.iter().map(|&(a, c)| c * t.ord(a)).sum()
+        })
+    }
+
+    /// Rank ascending by one attribute.
+    pub fn by_attr_asc(attr: AttrId) -> Self {
+        SystemRank::by_fn(format!("asc {attr}"), move |t| t.ord(attr))
+    }
+
+    /// Rank descending by one attribute.
+    pub fn by_attr_desc(attr: AttrId) -> Self {
+        SystemRank::by_fn(format!("desc {attr}"), move |t| -t.ord(attr))
+    }
+
+    /// Ratio `num/den` descending — Blue Nile's default "price per carat,
+    /// descending" (§6.1).
+    pub fn ratio_desc(num: AttrId, den: AttrId) -> Self {
+        SystemRank::by_fn(format!("desc {num}/{den}"), move |t| {
+            let d = t.ord(den);
+            if d == 0.0 {
+                f64::INFINITY
+            } else {
+                -(t.ord(num) / d)
+            }
+        })
+    }
+
+    /// Deterministic pseudo-random ranking keyed by tuple id — the stand-in
+    /// for Yahoo! Autos' non-monotonic "distance from a predefined location".
+    pub fn pseudo_random(seed: u64) -> Self {
+        SystemRank::by_fn(format!("pseudo-random({seed})"), move |t| {
+            // SplitMix64 of (seed ^ id): uniform, stable, uncorrelated with
+            // any attribute.
+            let mut z = seed ^ (u64::from(t.id.0)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        })
+    }
+
+    /// Score a tuple; lower comes back first.
+    #[inline]
+    pub fn score(&self, t: &Tuple) -> f64 {
+        (self.score)(t)
+    }
+
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrs_types::TupleId;
+
+    fn t(id: u32, ord: Vec<f64>) -> Tuple {
+        Tuple::new(TupleId(id), ord, vec![])
+    }
+
+    #[test]
+    fn linear_signs() {
+        // SR2-style: -0.1·A0 - A1.
+        let sr2 = SystemRank::linear("SR2", vec![(AttrId(0), -0.1), (AttrId(1), -1.0)]);
+        assert_eq!(sr2.score(&t(0, vec![100.0, 5.0])), -15.0);
+    }
+
+    #[test]
+    fn ratio_desc_prefers_large_ratio() {
+        let r = SystemRank::ratio_desc(AttrId(0), AttrId(1));
+        let expensive = t(0, vec![1000.0, 1.0]);
+        let cheap = t(1, vec![100.0, 1.0]);
+        assert!(r.score(&expensive) < r.score(&cheap));
+        assert_eq!(r.score(&t(2, vec![5.0, 0.0])), f64::INFINITY);
+    }
+
+    #[test]
+    fn pseudo_random_is_deterministic_and_spread() {
+        let r = SystemRank::pseudo_random(42);
+        let a = r.score(&t(1, vec![]));
+        let b = r.score(&t(2, vec![]));
+        assert_eq!(a, r.score(&t(1, vec![])));
+        assert_ne!(a, b);
+        assert!((0.0..1.0).contains(&a));
+    }
+}

@@ -1,0 +1,115 @@
+//! Query-budget accounting.
+//!
+//! §1: "many real-world [databases] enforce stringent rate limits on queries
+//! from the same IP address or API user (e.g., Google Flight Search API
+//! allows only 50 free queries per user per day)". The service tracks its
+//! spend against such a cap and refuses to start work it cannot finish
+//! observably, surfacing [`BudgetError`] instead of silently wrong answers.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Error returned when the query budget is exhausted mid-session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetError {
+    pub spent: u64,
+    pub limit: u64,
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "query budget exhausted: {} of {} queries spent",
+            self.spent, self.limit
+        )
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// A (possibly unlimited) cap on queries issued to the hidden database.
+#[derive(Debug)]
+pub struct QueryBudget {
+    limit: Option<u64>,
+    /// Server counter value when this budget started.
+    baseline: AtomicU64,
+}
+
+impl QueryBudget {
+    /// No cap.
+    pub fn unlimited() -> Self {
+        QueryBudget {
+            limit: None,
+            baseline: AtomicU64::new(0),
+        }
+    }
+
+    /// Cap at `limit` queries (counted from `current_counter`).
+    pub fn limited(limit: u64, current_counter: u64) -> Self {
+        QueryBudget {
+            limit: Some(limit),
+            baseline: AtomicU64::new(current_counter),
+        }
+    }
+
+    /// Queries spent since the budget began.
+    pub fn spent(&self, current_counter: u64) -> u64 {
+        current_counter.saturating_sub(self.baseline.load(Ordering::Relaxed))
+    }
+
+    /// Check the budget; `Err` once the cap is hit.
+    pub fn check(&self, current_counter: u64) -> Result<(), BudgetError> {
+        match self.limit {
+            None => Ok(()),
+            Some(limit) => {
+                let spent = self.spent(current_counter);
+                if spent >= limit {
+                    Err(BudgetError { spent, limit })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Restart the accounting window (e.g. a new day).
+    pub fn reset(&self, current_counter: u64) {
+        self.baseline.store(current_counter, Ordering::Relaxed);
+    }
+
+    pub fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_errs() {
+        let b = QueryBudget::unlimited();
+        assert!(b.check(u64::MAX).is_ok());
+        assert_eq!(b.limit(), None);
+    }
+
+    #[test]
+    fn limited_counts_from_baseline() {
+        let b = QueryBudget::limited(10, 100);
+        assert!(b.check(100).is_ok());
+        assert!(b.check(109).is_ok());
+        let e = b.check(110).unwrap_err();
+        assert_eq!(e, BudgetError { spent: 10, limit: 10 });
+        assert_eq!(b.spent(105), 5);
+    }
+
+    #[test]
+    fn reset_opens_a_new_window() {
+        let b = QueryBudget::limited(5, 0);
+        assert!(b.check(5).is_err());
+        b.reset(5);
+        assert!(b.check(9).is_ok());
+        assert!(b.check(10).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! # qrs-service
+//!
+//! The "as a service" layer (§1, §2.2): a thread-safe facade that fronts one
+//! client-server database and serves many users' reranked queries, sharing
+//! the query history and the on-the-fly dense indexes across all of them —
+//! the amortization that makes the middleware economical.
+//!
+//! * [`RerankService`] — owns the shared state behind a [`parking_lot`]
+//!   mutex and hands out [`session::Session`]s,
+//! * [`session::Session`] — one user query + ranking function, consumed
+//!   incrementally Get-Next-style,
+//! * [`budget::QueryBudget`] — rate-limit accounting mirroring real sites'
+//!   per-user daily query caps (the paper's motivating constraint),
+//! * [`profiles`] — named, reusable ranking preferences,
+//! * [`federation`] — one preference over *multiple* hidden databases with
+//!   exact score-merged results: the paper's "personalized ranking across
+//!   multiple web databases" application, end to end.
+
+pub mod budget;
+pub mod federation;
+pub mod profiles;
+pub mod service;
+pub mod session;
+pub mod stats;
+
+pub use budget::{BudgetError, QueryBudget};
+pub use federation::{FederatedHit, FederatedSession};
+pub use profiles::ProfileStore;
+pub use service::{Algorithm, RerankService};
+pub use session::Session;
+pub use stats::ServiceStats;

@@ -1,0 +1,86 @@
+//! Named ranking profiles.
+//!
+//! §1's motivating application: "a personalized ranking application …
+//! offering users the ability to remember their preferences across multiple
+//! web databases and apply the same personalized ranking over all of them".
+//! A [`ProfileStore`] keeps named [`RankFn`]s; the same profile can open
+//! sessions against any number of [`crate::RerankService`]s whose schemas
+//! carry the profile's attributes.
+
+use parking_lot::RwLock;
+use qrs_ranking::RankFn;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Thread-safe registry of named ranking preferences.
+#[derive(Default)]
+pub struct ProfileStore {
+    profiles: RwLock<HashMap<String, Arc<dyn RankFn>>>,
+}
+
+impl ProfileStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a profile.
+    pub fn register(&self, name: impl Into<String>, rank: Arc<dyn RankFn>) {
+        self.profiles.write().insert(name.into(), rank);
+    }
+
+    /// Fetch a profile by name.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn RankFn>> {
+        self.profiles.read().get(name).cloned()
+    }
+
+    /// Remove a profile; returns whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.profiles.write().remove(name).is_some()
+    }
+
+    /// Sorted profile names.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.profiles.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl std::fmt::Debug for ProfileStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProfileStore")
+            .field("profiles", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrs_ranking::LinearRank;
+    use qrs_types::AttrId;
+
+    #[test]
+    fn register_get_remove() {
+        let store = ProfileStore::new();
+        store.register(
+            "cheap-first",
+            Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0)])),
+        );
+        assert!(store.get("cheap-first").is_some());
+        assert_eq!(store.names(), vec!["cheap-first".to_string()]);
+        assert!(store.remove("cheap-first"));
+        assert!(!store.remove("cheap-first"));
+        assert!(store.get("cheap-first").is_none());
+    }
+
+    #[test]
+    fn replace_overwrites() {
+        let store = ProfileStore::new();
+        store.register("p", Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0)])));
+        store.register("p", Arc::new(LinearRank::asc(vec![(AttrId(1), 1.0)])));
+        let got = store.get("p").unwrap();
+        assert_eq!(got.attrs(), &[AttrId(1)]);
+        assert_eq!(store.names().len(), 1);
+    }
+}

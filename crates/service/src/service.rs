@@ -1,0 +1,137 @@
+//! The reranking service facade.
+
+use crate::budget::QueryBudget;
+use crate::session::Session;
+use crate::stats::ServiceStats;
+use parking_lot::Mutex;
+use qrs_core::md::ta::SortedAccess;
+use qrs_core::{MdOptions, OneDStrategy, RerankParams, SharedState, TiePolicy};
+use qrs_ranking::RankFn;
+use qrs_server::SearchInterface;
+use qrs_types::Query;
+use std::sync::Arc;
+
+/// Which reranking algorithm a session runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Choose automatically: 1D-RERANK for single-attribute ranking
+    /// functions, MD-RERANK otherwise.
+    Auto,
+    /// A §3 algorithm (ranking function must be single-attribute).
+    OneD(OneDStrategy),
+    /// A §4 box-partitioning algorithm (baseline/binary/rerank via options).
+    Md(MdOptions),
+    /// TA over per-attribute sorted access (§4.1 / §5).
+    Ta(SortedAccess),
+}
+
+/// A third-party reranking service fronting one client-server database.
+///
+/// The shared state (history, complete regions, dense indexes) lives behind
+/// a mutex and is reused by every session — concurrent sessions interleave
+/// at Get-Next granularity.
+pub struct RerankService {
+    server: Arc<dyn SearchInterface>,
+    state: Mutex<SharedState>,
+    stats: ServiceStats,
+    budget: QueryBudget,
+}
+
+impl RerankService {
+    /// Service with the paper's default dense-index parameters, sized by
+    /// `n_estimate` (a third party estimates the database size out of band).
+    pub fn new(server: Arc<dyn SearchInterface>, n_estimate: usize) -> Self {
+        let params = RerankParams::paper_defaults(n_estimate, server.k());
+        Self::with_params(server, params)
+    }
+
+    /// Service with explicit dense-index parameters.
+    pub fn with_params(server: Arc<dyn SearchInterface>, params: RerankParams) -> Self {
+        let state = SharedState::new(server.schema(), params);
+        RerankService {
+            server,
+            state: Mutex::new(state),
+            stats: ServiceStats::default(),
+            budget: QueryBudget::unlimited(),
+        }
+    }
+
+    /// Enforce a query cap (e.g. the API's daily limit).
+    pub fn with_budget(mut self, limit: u64) -> Self {
+        self.budget = QueryBudget::limited(limit, self.server.queries_issued());
+        self
+    }
+
+    /// Open a Get-Next session for `sel` ranked by `rank`.
+    ///
+    /// # Panics
+    /// If `Algorithm::OneD` is requested for a multi-attribute ranking
+    /// function.
+    pub fn session(&self, sel: Query, rank: Arc<dyn RankFn>, algo: Algorithm) -> Session<'_> {
+        self.stats.on_session();
+        let algo = match algo {
+            Algorithm::Auto => {
+                if rank.dims() == 1 {
+                    Algorithm::OneD(OneDStrategy::Rerank)
+                } else {
+                    Algorithm::Md(MdOptions::rerank())
+                }
+            }
+            other => other,
+        };
+        if let Algorithm::OneD(_) = algo {
+            assert_eq!(
+                rank.dims(),
+                1,
+                "1D algorithms require a single-attribute ranking function"
+            );
+        }
+        Session::new(self, sel, rank, algo, TiePolicy::Exact)
+    }
+
+    /// The underlying search interface.
+    pub fn server(&self) -> &Arc<dyn SearchInterface> {
+        &self.server
+    }
+
+    /// Total queries the service has issued to the database.
+    pub fn queries_issued(&self) -> u64 {
+        self.server.queries_issued()
+    }
+
+    pub fn stats(&self) -> crate::stats::StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    pub(crate) fn stats_ref(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    pub(crate) fn budget(&self) -> &QueryBudget {
+        &self.budget
+    }
+
+    pub(crate) fn state(&self) -> &Mutex<SharedState> {
+        &self.state
+    }
+
+    /// Size of the shared knowledge accumulated so far: (history tuples,
+    /// 1D dense intervals, MD dense boxes).
+    pub fn knowledge(&self) -> (usize, usize, usize) {
+        let st = self.state.lock();
+        (
+            st.history.len(),
+            st.dense1d.num_intervals(),
+            st.densemd.num_boxes(),
+        )
+    }
+}
+
+impl std::fmt::Debug for RerankService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RerankService")
+            .field("queries_issued", &self.queries_issued())
+            .field("stats", &self.stats.snapshot())
+            .finish()
+    }
+}

@@ -1,0 +1,226 @@
+//! Incremental Get-Next sessions (§2.2's problem interface).
+//!
+//! A session binds one user query + ranking function to a cursor; each
+//! [`Session::next`] returns the next-ranked tuple, charging only the
+//! incremental query cost ("progressively return top answers while paying
+//! only the incremental cost"). The shared service state is locked per call,
+//! so concurrent sessions interleave cleanly.
+
+use crate::budget::BudgetError;
+use crate::service::{Algorithm, RerankService};
+use qrs_core::md::ta::TaCursor;
+use qrs_core::{MdCursor, OneDCursor, OneDSpec, TiePolicy};
+use qrs_ranking::RankFn;
+use qrs_types::{Query, Tuple};
+use std::sync::Arc;
+
+/// One emitted answer: global rank (1-based), user score, tuple.
+#[derive(Debug, Clone)]
+pub struct RankedTuple {
+    pub rank: usize,
+    pub score: f64,
+    pub tuple: Arc<Tuple>,
+}
+
+enum Cursor {
+    OneD(OneDCursor),
+    Md(MdCursor),
+    Ta(TaCursor),
+}
+
+/// A user's incremental reranked query.
+pub struct Session<'a> {
+    svc: &'a RerankService,
+    rank: Arc<dyn RankFn>,
+    cursor: Cursor,
+    emitted: usize,
+    start_counter: u64,
+}
+
+impl<'a> Session<'a> {
+    pub(crate) fn new(
+        svc: &'a RerankService,
+        sel: Query,
+        rank: Arc<dyn RankFn>,
+        algo: Algorithm,
+        tie: TiePolicy,
+    ) -> Self {
+        let schema = svc.server().schema();
+        let cursor = match algo {
+            Algorithm::OneD(strategy) => Cursor::OneD(OneDCursor::new(
+                OneDSpec::new(rank.attrs()[0], rank.directions()[0], sel),
+                strategy,
+                tie,
+            )),
+            Algorithm::Md(opts) => {
+                Cursor::Md(MdCursor::new(Arc::clone(&rank), sel, opts, schema))
+            }
+            Algorithm::Ta(access) => Cursor::Ta(TaCursor::with_server_caps(
+                Arc::clone(&rank),
+                sel,
+                access,
+                schema,
+                &svc.server().order_by_attrs(),
+            )),
+            Algorithm::Auto => unreachable!("resolved by RerankService::session"),
+        };
+        let start_counter = svc.server().queries_issued();
+        Session {
+            svc,
+            rank,
+            cursor,
+            emitted: 0,
+            start_counter,
+        }
+    }
+
+    /// The next tuple under the user ranking, or `Ok(None)` when exhausted.
+    ///
+    /// Not an `Iterator`: each step can fail on the query budget, and
+    /// callers need that error, not a silent stop.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<RankedTuple>, BudgetError> {
+        self.svc
+            .budget()
+            .check(self.svc.server().queries_issued())?;
+        let server = Arc::clone(self.svc.server());
+        let mut st = self.svc.state().lock();
+        let t = match &mut self.cursor {
+            Cursor::OneD(c) => c.next(server.as_ref(), &mut st),
+            Cursor::Md(c) => c.next(server.as_ref(), &mut st),
+            Cursor::Ta(c) => c.next(server.as_ref(), &mut st),
+        };
+        drop(st);
+        Ok(t.map(|tuple| {
+            self.emitted += 1;
+            self.svc.stats_ref().on_emit();
+            RankedTuple {
+                rank: self.emitted,
+                score: self.rank.score(&tuple),
+                tuple,
+            }
+        }))
+    }
+
+    /// Fetch the next `h` tuples (shorter if exhausted).
+    pub fn top(&mut self, h: usize) -> Result<Vec<RankedTuple>, BudgetError> {
+        let mut out = Vec::with_capacity(h);
+        for _ in 0..h {
+            match self.next()? {
+                Some(r) => out.push(r),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Tuples emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Queries this session has (so far) caused against the database.
+    ///
+    /// Under concurrency this attributes interleaved queries to whichever
+    /// session observes them; exact per-session attribution would need
+    /// per-call counters.
+    pub fn queries_spent(&self) -> u64 {
+        self.svc.server().queries_issued() - self.start_counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrs_datagen::synthetic::uniform;
+    use qrs_ranking::LinearRank;
+    use qrs_server::{SimServer, SystemRank};
+    use qrs_types::AttrId;
+
+    fn service(n: usize, k: usize) -> RerankService {
+        let data = uniform(n, 2, 1, 501);
+        let server = SimServer::new(data, SystemRank::pseudo_random(7), k);
+        RerankService::new(Arc::new(server), n)
+    }
+
+    #[test]
+    fn session_streams_ranked_results() {
+        let svc = service(200, 5);
+        let rank = Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)]));
+        let mut s = svc.session(Query::all(), rank, Algorithm::Auto);
+        let top = s.top(5).unwrap();
+        assert_eq!(top.len(), 5);
+        assert!(top.windows(2).all(|w| w[0].score <= w[1].score));
+        assert_eq!(top[0].rank, 1);
+        assert_eq!(top[4].rank, 5);
+        assert_eq!(s.emitted(), 5);
+        assert!(s.queries_spent() > 0);
+    }
+
+    #[test]
+    fn one_d_auto_for_single_attribute() {
+        let svc = service(200, 5);
+        let rank = Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0)]));
+        let mut s = svc.session(Query::all(), rank, Algorithm::Auto);
+        let top = s.top(3).unwrap();
+        let vals: Vec<f64> = top.iter().map(|r| r.tuple.ord(AttrId(0))).collect();
+        assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn budget_stops_the_session() {
+        let data = uniform(500, 2, 1, 503);
+        // Adversarial system ranking to force real query spend.
+        let server = SimServer::new(
+            data,
+            SystemRank::linear("anti", vec![(AttrId(0), -1.0), (AttrId(1), -1.0)]),
+            3,
+        );
+        let svc = RerankService::new(Arc::new(server), 500).with_budget(2);
+        let rank = Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)]));
+        let mut s = svc.session(Query::all(), rank, Algorithm::Auto);
+        let mut hit_budget = false;
+        for _ in 0..100 {
+            match s.next() {
+                Err(e) => {
+                    assert!(e.spent >= 2);
+                    hit_budget = true;
+                    break;
+                }
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+            }
+        }
+        assert!(hit_budget, "budget of 2 queries never tripped");
+    }
+
+    #[test]
+    #[should_panic(expected = "single-attribute")]
+    fn one_d_rejects_multi_attribute_rank() {
+        let svc = service(50, 5);
+        let rank = Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)]));
+        let _ = svc.session(
+            Query::all(),
+            rank,
+            Algorithm::OneD(qrs_core::OneDStrategy::Rerank),
+        );
+    }
+
+    #[test]
+    fn knowledge_accumulates_across_sessions() {
+        let svc = service(300, 5);
+        let rank = Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)]));
+        let mut s1 = svc.session(Query::all(), Arc::clone(&rank) as _, Algorithm::Auto);
+        s1.top(3).unwrap();
+        drop(s1);
+        let (h1, _, _) = svc.knowledge();
+        assert!(h1 > 0);
+        let cost_before = svc.queries_issued();
+        // Same request again: shared knowledge should make it cheaper.
+        let mut s2 = svc.session(Query::all(), rank, Algorithm::Auto);
+        s2.top(3).unwrap();
+        let second_cost = svc.queries_issued() - cost_before;
+        assert!(second_cost <= cost_before, "no amortization: {second_cost} vs {cost_before}");
+        assert_eq!(svc.stats().sessions_started, 2);
+    }
+}

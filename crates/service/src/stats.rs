@@ -1,0 +1,51 @@
+//! Service-level counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing service activity. All methods are lock-free
+/// and safe to call from concurrent sessions.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    sessions_started: AtomicU64,
+    tuples_emitted: AtomicU64,
+}
+
+/// Point-in-time snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub sessions_started: u64,
+    pub tuples_emitted: u64,
+}
+
+impl ServiceStats {
+    pub(crate) fn on_session(&self) {
+        self.sessions_started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_emit(&self) {
+        self.tuples_emitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            sessions_started: self.sessions_started.load(Ordering::Relaxed),
+            tuples_emitted: self.tuples_emitted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = ServiceStats::default();
+        s.on_session();
+        s.on_emit();
+        s.on_emit();
+        let snap = s.snapshot();
+        assert_eq!(snap.sessions_started, 1);
+        assert_eq!(snap.tuples_emitted, 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors raised while assembling datasets/queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A tuple's ordinal arity does not match the schema.
+    OrdinalArityMismatch { expected: usize, got: usize },
+    /// A tuple's categorical arity does not match the schema.
+    CategoricalArityMismatch { expected: usize, got: usize },
+    /// A categorical code is out of the attribute's declared cardinality.
+    CategoricalCodeOutOfRange { attr: usize, code: u32, cardinality: u32 },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::OrdinalArityMismatch { expected, got } => {
+                write!(f, "tuple has {got} ordinal values, schema expects {expected}")
+            }
+            TypeError::CategoricalArityMismatch { expected, got } => {
+                write!(f, "tuple has {got} categorical values, schema expects {expected}")
+            }
+            TypeError::CategoricalCodeOutOfRange { attr, code, cardinality } => {
+                write!(f, "categorical code {code} out of range for B{attr} (cardinality {cardinality})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}

@@ -1,0 +1,45 @@
+//! # qrs-types
+//!
+//! Shared data model for the *Query Reranking As A Service* reproduction
+//! (Asudeh, Zhang, Das — VLDB 2016).
+//!
+//! The paper's setting is a client-server database `D` with `n` tuples over
+//! `m` ordinal attributes `A1..Am` (plus categorical attributes `B1..Bm'`
+//! usable only for filtering), exposed through a restricted *top-k* search
+//! interface that accepts conjunctive range queries. This crate defines that
+//! vocabulary:
+//!
+//! * [`Schema`], [`Tuple`], [`Dataset`] — the database contents,
+//! * [`Interval`], [`Endpoint`] — open/closed/half-open ranges (§2.1 of the
+//!   paper discusses why open ranges are the primitive),
+//! * [`Query`] — conjunctions of range predicates on ordinal attributes and
+//!   membership predicates on categorical attributes,
+//! * [`QueryOutcome`], [`QueryResponse`] — the trichotomy *underflow / valid /
+//!   overflow* that every reranking algorithm branches on.
+//!
+//! Everything downstream (`qrs-server`, `qrs-core`, …) is written against
+//! these types.
+
+pub mod dataset;
+pub mod direction;
+pub mod error;
+pub mod interval;
+pub mod predicate;
+pub mod query;
+pub mod response;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use dataset::Dataset;
+pub use direction::Direction;
+pub use error::TypeError;
+pub use interval::{Endpoint, Interval};
+pub use predicate::{CatPredicate, RangePredicate};
+pub use query::Query;
+pub use response::{QueryOutcome, QueryResponse};
+pub use schema::{AttrId, CatAttr, CatId, OrdinalAttr, Schema};
+pub use tuple::{Tuple, TupleId};
+
+#[cfg(test)]
+mod proptests;

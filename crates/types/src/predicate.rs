@@ -1,0 +1,116 @@
+//! Atomic predicates: range conditions on ordinal attributes and membership
+//! conditions on categorical attributes.
+
+use crate::interval::Interval;
+use crate::schema::{AttrId, CatId};
+use crate::tuple::Tuple;
+use serde::{Deserialize, Serialize};
+
+/// `Ai ∈ I` for an ordinal attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RangePredicate {
+    pub attr: AttrId,
+    pub interval: Interval,
+}
+
+impl RangePredicate {
+    pub fn new(attr: AttrId, interval: Interval) -> Self {
+        RangePredicate { attr, interval }
+    }
+
+    #[inline]
+    pub fn matches(&self, t: &Tuple) -> bool {
+        self.interval.contains(t.ord(self.attr))
+    }
+}
+
+/// `Bj ∈ {codes…}` for a categorical attribute (equality when a single code).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CatPredicate {
+    pub attr: CatId,
+    /// Accepted codes, kept sorted and deduplicated.
+    codes: Vec<u32>,
+}
+
+impl CatPredicate {
+    /// Equality predicate `Bj = code`.
+    pub fn eq(attr: CatId, code: u32) -> Self {
+        CatPredicate {
+            attr,
+            codes: vec![code],
+        }
+    }
+
+    /// Membership predicate `Bj ∈ codes`.
+    pub fn one_of(attr: CatId, mut codes: Vec<u32>) -> Self {
+        codes.sort_unstable();
+        codes.dedup();
+        CatPredicate { attr, codes }
+    }
+
+    #[inline]
+    pub fn matches(&self, t: &Tuple) -> bool {
+        self.codes.binary_search(&t.cat(self.attr)).is_ok()
+    }
+
+    #[inline]
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Intersection of accepted code sets; empty result means unsatisfiable.
+    pub fn intersect(&self, other: &CatPredicate) -> CatPredicate {
+        debug_assert_eq!(self.attr, other.attr);
+        let codes = self
+            .codes
+            .iter()
+            .copied()
+            .filter(|c| other.codes.binary_search(c).is_ok())
+            .collect();
+        CatPredicate {
+            attr: self.attr,
+            codes,
+        }
+    }
+
+    #[inline]
+    pub fn is_unsatisfiable(&self) -> bool {
+        self.codes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::TupleId;
+
+    fn t(ord: Vec<f64>, cat: Vec<u32>) -> Tuple {
+        Tuple::new(TupleId(0), ord, cat)
+    }
+
+    #[test]
+    fn range_predicate_matches() {
+        let p = RangePredicate::new(AttrId(0), Interval::open(1.0, 3.0));
+        assert!(p.matches(&t(vec![2.0], vec![])));
+        assert!(!p.matches(&t(vec![1.0], vec![])));
+        assert!(!p.matches(&t(vec![3.0], vec![])));
+    }
+
+    #[test]
+    fn cat_predicate_membership() {
+        let p = CatPredicate::one_of(CatId(0), vec![4, 2, 2]);
+        assert_eq!(p.codes(), &[2, 4]);
+        assert!(p.matches(&t(vec![], vec![2])));
+        assert!(!p.matches(&t(vec![], vec![3])));
+    }
+
+    #[test]
+    fn cat_predicate_intersection() {
+        let a = CatPredicate::one_of(CatId(0), vec![1, 2, 3]);
+        let b = CatPredicate::one_of(CatId(0), vec![2, 3, 4]);
+        let c = a.intersect(&b);
+        assert_eq!(c.codes(), &[2, 3]);
+        let d = a.intersect(&CatPredicate::eq(CatId(0), 9));
+        assert!(d.is_unsatisfiable());
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the interval algebra — every reranking
+//! algorithm's pruning correctness reduces to these identities.
+
+#![cfg(test)]
+
+use crate::interval::{Endpoint, Interval};
+use crate::query::Query;
+use crate::schema::AttrId;
+use crate::tuple::{Tuple, TupleId};
+use proptest::prelude::*;
+
+fn endpoint_strategy() -> impl Strategy<Value = Endpoint> {
+    prop_oneof![
+        Just(Endpoint::Unbounded),
+        (-50i32..50).prop_map(|v| Endpoint::Open(f64::from(v) / 4.0)),
+        (-50i32..50).prop_map(|v| Endpoint::Closed(f64::from(v) / 4.0)),
+    ]
+}
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (endpoint_strategy(), endpoint_strategy()).prop_map(|(lo, hi)| Interval { lo, hi })
+}
+
+fn value_strategy() -> impl Strategy<Value = f64> {
+    (-220i32..220).prop_map(|v| f64::from(v) / 8.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn intersection_is_conjunction(a in interval_strategy(), b in interval_strategy(), v in value_strategy()) {
+        let c = a.intersect(&b);
+        prop_assert_eq!(c.contains(v), a.contains(v) && b.contains(v));
+    }
+
+    #[test]
+    fn empty_intervals_contain_nothing(a in interval_strategy(), v in value_strategy()) {
+        if a.is_empty() {
+            prop_assert!(!a.contains(v));
+        }
+    }
+
+    #[test]
+    fn subset_implies_membership(a in interval_strategy(), b in interval_strategy(), v in value_strategy()) {
+        if a.is_subset_of(&b) && a.contains(v) {
+            prop_assert!(b.contains(v), "{} ⊆ {} but {} only in the former", a, b, v);
+        }
+    }
+
+    #[test]
+    fn negate_mirrors_membership(a in interval_strategy(), v in value_strategy()) {
+        prop_assert_eq!(a.negate().contains(-v), a.contains(v));
+    }
+
+    #[test]
+    fn negate_is_involution(a in interval_strategy()) {
+        prop_assert_eq!(a.negate().negate(), a);
+    }
+
+    #[test]
+    fn intersection_subset_of_operands(a in interval_strategy(), b in interval_strategy()) {
+        let c = a.intersect(&b);
+        prop_assert!(c.is_subset_of(&a));
+        prop_assert!(c.is_subset_of(&b));
+    }
+
+    #[test]
+    fn query_subsumption_implies_match_implication(
+        ivs_inner in proptest::collection::vec(interval_strategy(), 2),
+        ivs_outer in proptest::collection::vec(interval_strategy(), 2),
+        coords in proptest::collection::vec(value_strategy(), 2),
+    ) {
+        let mut inner = Query::all();
+        let mut outer = Query::all();
+        for (i, (a, b)) in ivs_inner.iter().zip(&ivs_outer).enumerate() {
+            // inner gets both predicates (so it is at least as strict).
+            inner.add_range(AttrId(i), *a);
+            inner.add_range(AttrId(i), *b);
+            outer.add_range(AttrId(i), *b);
+        }
+        prop_assert!(inner.is_subsumed_by(&outer));
+        let t = Tuple::new(TupleId(0), coords, vec![]);
+        if inner.matches(&t) {
+            prop_assert!(outer.matches(&t));
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Conjunctive search queries — the only thing the hidden database accepts.
+//!
+//! §2.1: `SELECT * FROM D WHERE Ai1 ∈ (v,v') AND … AND` categorical
+//! predicates. A [`Query`] is a conjunction of at most one [`Interval`] per
+//! ordinal attribute (intersected on insertion) plus categorical membership
+//! predicates. The reranking algorithms build thousands of these per user
+//! request, so construction and `matches` are allocation-light.
+
+use crate::interval::Interval;
+use crate::predicate::{CatPredicate, RangePredicate};
+use crate::schema::AttrId;
+#[cfg(test)]
+use crate::schema::CatId;
+use crate::tuple::Tuple;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A conjunctive range query (the paper's `q` / `Sel(q)`).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Query {
+    ranges: Vec<RangePredicate>,
+    cats: Vec<CatPredicate>,
+}
+
+impl Query {
+    /// The unrestricted query `SELECT * FROM D`.
+    pub fn all() -> Self {
+        Query::default()
+    }
+
+    /// Add (AND) a range predicate; intersects with any existing predicate on
+    /// the same attribute.
+    pub fn and_range(mut self, attr: AttrId, interval: Interval) -> Self {
+        self.add_range(attr, interval);
+        self
+    }
+
+    /// In-place version of [`Query::and_range`].
+    pub fn add_range(&mut self, attr: AttrId, interval: Interval) {
+        if let Some(p) = self.ranges.iter_mut().find(|p| p.attr == attr) {
+            p.interval = p.interval.intersect(&interval);
+        } else {
+            self.ranges.push(RangePredicate::new(attr, interval));
+        }
+    }
+
+    /// Add (AND) a categorical predicate; intersects code sets per attribute.
+    pub fn and_cat(mut self, pred: CatPredicate) -> Self {
+        self.add_cat(pred);
+        self
+    }
+
+    /// In-place version of [`Query::and_cat`].
+    pub fn add_cat(&mut self, pred: CatPredicate) {
+        if let Some(p) = self.cats.iter_mut().find(|p| p.attr == pred.attr) {
+            *p = p.intersect(&pred);
+        } else {
+            self.cats.push(pred);
+        }
+    }
+
+    /// Conjunction of two queries.
+    pub fn and(mut self, other: &Query) -> Self {
+        for p in &other.ranges {
+            self.add_range(p.attr, p.interval);
+        }
+        for p in &other.cats {
+            self.add_cat(p.clone());
+        }
+        self
+    }
+
+    /// The interval constraining `attr` (`Interval::all()` if unconstrained).
+    pub fn interval(&self, attr: AttrId) -> Interval {
+        self.ranges
+            .iter()
+            .find(|p| p.attr == attr)
+            .map(|p| p.interval)
+            .unwrap_or_else(Interval::all)
+    }
+
+    /// All range predicates.
+    #[inline]
+    pub fn ranges(&self) -> &[RangePredicate] {
+        &self.ranges
+    }
+
+    /// All categorical predicates.
+    #[inline]
+    pub fn cats(&self) -> &[CatPredicate] {
+        &self.cats
+    }
+
+    /// Strip every range predicate, keeping categorical ones.
+    ///
+    /// The on-the-fly index deliberately crawls *without* inheriting `Sel(q)`
+    /// (§3.2.2) so the index serves future queries too; it still needs the
+    /// pure selection part sometimes, hence this helper and its dual
+    /// [`Query::only_ranges`].
+    pub fn only_cats(&self) -> Query {
+        Query {
+            ranges: Vec::new(),
+            cats: self.cats.clone(),
+        }
+    }
+
+    /// Strip categorical predicates, keeping ranges.
+    pub fn only_ranges(&self) -> Query {
+        Query {
+            ranges: self.ranges.clone(),
+            cats: Vec::new(),
+        }
+    }
+
+    /// Does the query match a tuple? (Membership in the paper's `R(q)`.)
+    pub fn matches(&self, t: &Tuple) -> bool {
+        self.ranges.iter().all(|p| p.matches(t)) && self.cats.iter().all(|p| p.matches(t))
+    }
+
+    /// Is the query certainly unsatisfiable (some predicate is empty)?
+    pub fn is_unsatisfiable(&self) -> bool {
+        self.ranges.iter().any(|p| p.interval.is_empty())
+            || self.cats.iter().any(|p| p.is_unsatisfiable())
+    }
+
+    /// Is every range predicate of `self` contained in the corresponding
+    /// predicate of `outer`, and are the categorical predicates at least as
+    /// strict? If so every tuple matching `self` matches `outer`.
+    pub fn is_subsumed_by(&self, outer: &Query) -> bool {
+        for p in &outer.ranges {
+            if !self.interval(p.attr).is_subset_of(&p.interval) {
+                return false;
+            }
+        }
+        for p in &outer.cats {
+            let Some(mine) = self.cats.iter().find(|c| c.attr == p.attr) else {
+                return false;
+            };
+            if !mine
+                .codes()
+                .iter()
+                .all(|c| p.codes().binary_search(c).is_ok())
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Number of predicates (for workload statistics).
+    pub fn num_predicates(&self) -> usize {
+        self.ranges.len() + self.cats.len()
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ranges.is_empty() && self.cats.is_empty() {
+            return write!(f, "TRUE");
+        }
+        let mut first = true;
+        for p in &self.ranges {
+            if !first {
+                write!(f, " AND ")?;
+            }
+            write!(f, "{} in {}", p.attr, p.interval)?;
+            first = false;
+        }
+        for p in &self.cats {
+            if !first {
+                write!(f, " AND ")?;
+            }
+            write!(f, "{} in {:?}", p.attr, p.codes())?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::TupleId;
+
+    fn t(ord: Vec<f64>, cat: Vec<u32>) -> Tuple {
+        Tuple::new(TupleId(0), ord, cat)
+    }
+
+    #[test]
+    fn conjunction_intersects_same_attribute() {
+        let q = Query::all()
+            .and_range(AttrId(0), Interval::open(0.0, 10.0))
+            .and_range(AttrId(0), Interval::closed(5.0, 20.0));
+        assert_eq!(q.ranges().len(), 1);
+        assert_eq!(q.interval(AttrId(0)), Interval::closed_open(5.0, 10.0));
+    }
+
+    #[test]
+    fn matches_conjunction() {
+        let q = Query::all()
+            .and_range(AttrId(0), Interval::open(0.0, 10.0))
+            .and_cat(CatPredicate::eq(CatId(0), 2));
+        assert!(q.matches(&t(vec![5.0], vec![2])));
+        assert!(!q.matches(&t(vec![5.0], vec![3])));
+        assert!(!q.matches(&t(vec![10.0], vec![2])));
+    }
+
+    #[test]
+    fn unsatisfiable_detection() {
+        let q = Query::all()
+            .and_range(AttrId(0), Interval::open(0.0, 5.0))
+            .and_range(AttrId(0), Interval::open(5.0, 10.0));
+        assert!(q.is_unsatisfiable());
+
+        let q2 = Query::all()
+            .and_cat(CatPredicate::eq(CatId(0), 1))
+            .and_cat(CatPredicate::eq(CatId(0), 2));
+        assert!(q2.is_unsatisfiable());
+    }
+
+    #[test]
+    fn subsumption() {
+        let outer = Query::all().and_range(AttrId(0), Interval::open(0.0, 10.0));
+        let inner = Query::all().and_range(AttrId(0), Interval::closed(2.0, 8.0));
+        assert!(inner.is_subsumed_by(&outer));
+        assert!(!outer.is_subsumed_by(&inner));
+        // Everything is subsumed by TRUE.
+        assert!(outer.is_subsumed_by(&Query::all()));
+    }
+
+    #[test]
+    fn cat_subsumption_requires_predicate() {
+        let outer = Query::all().and_cat(CatPredicate::one_of(CatId(0), vec![1, 2]));
+        let inner = Query::all().and_cat(CatPredicate::eq(CatId(0), 1));
+        assert!(inner.is_subsumed_by(&outer));
+        // An unconstrained query is not subsumed by a constrained one.
+        assert!(!Query::all().is_subsumed_by(&outer));
+    }
+
+    #[test]
+    fn strip_helpers() {
+        let q = Query::all()
+            .and_range(AttrId(0), Interval::open(0.0, 1.0))
+            .and_cat(CatPredicate::eq(CatId(0), 7));
+        assert!(q.only_cats().ranges().is_empty());
+        assert_eq!(q.only_cats().cats().len(), 1);
+        assert!(q.only_ranges().cats().is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Top-k interface responses.
+//!
+//! §2.1 fixes the trichotomy every algorithm in the paper branches on:
+//! *underflow* (`|R(q)| = 0`), *valid* (`1 ≤ |R(q)| ≤ k`, every matching tuple
+//! returned) and *overflow* (`|R(q)| > k`, only the system's top-k returned).
+
+use crate::tuple::Tuple;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which of the three cases a query landed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryOutcome {
+    /// No tuple matches.
+    Underflow,
+    /// All matching tuples were returned.
+    Valid,
+    /// More than `k` tuples match; only the system's top `k` were returned.
+    Overflow,
+}
+
+/// What the server hands back for one query.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// Returned tuples, in the *system* ranking order (which the reranker
+    /// must treat as arbitrary).
+    pub tuples: Vec<Arc<Tuple>>,
+    pub outcome: QueryOutcome,
+}
+
+impl QueryResponse {
+    pub fn underflow() -> Self {
+        QueryResponse {
+            tuples: Vec::new(),
+            outcome: QueryOutcome::Underflow,
+        }
+    }
+
+    pub fn new(tuples: Vec<Arc<Tuple>>, overflow: bool) -> Self {
+        let outcome = if tuples.is_empty() {
+            QueryOutcome::Underflow
+        } else if overflow {
+            QueryOutcome::Overflow
+        } else {
+            QueryOutcome::Valid
+        };
+        QueryResponse { tuples, outcome }
+    }
+
+    #[inline]
+    pub fn is_underflow(&self) -> bool {
+        self.outcome == QueryOutcome::Underflow
+    }
+
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.outcome == QueryOutcome::Valid
+    }
+
+    #[inline]
+    pub fn is_overflow(&self) -> bool {
+        self.outcome == QueryOutcome::Overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::TupleId;
+
+    fn some_tuple() -> Arc<Tuple> {
+        Arc::new(Tuple::new(TupleId(0), vec![1.0], vec![]))
+    }
+
+    #[test]
+    fn outcome_classification() {
+        assert!(QueryResponse::underflow().is_underflow());
+        assert!(QueryResponse::new(vec![some_tuple()], false).is_valid());
+        assert!(QueryResponse::new(vec![some_tuple()], true).is_overflow());
+        // Empty + overflow flag is nonsensical; classified as underflow.
+        assert!(QueryResponse::new(vec![], true).is_underflow());
+    }
+}

@@ -1,0 +1,21 @@
+//! # query-reranking
+//!
+//! Umbrella crate for the *Query Reranking As A Service* reproduction
+//! (Asudeh, Zhang, Das — VLDB 2016). Re-exports every subsystem crate so
+//! examples and downstream users need a single dependency:
+//!
+//! * [`types`] — tuples, schemas, intervals, conjunctive queries,
+//! * [`ranking`] — monotonic user ranking functions and contour solvers,
+//! * [`server`] — the simulated hidden-database top-k search interface,
+//! * [`datagen`] — synthetic datasets and query workloads,
+//! * [`core`] — the reranking algorithms (1D/MD baseline, binary, RERANK),
+//! * [`service`] — the thread-safe "as a service" facade.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use qrs_core as core;
+pub use qrs_datagen as datagen;
+pub use qrs_ranking as ranking;
+pub use qrs_server as server;
+pub use qrs_service as service;
+pub use qrs_types as types;

@@ -1,0 +1,203 @@
+//! Property-based exactness: random datasets × random monotonic ranking
+//! functions × random filters — every algorithm must agree with brute force.
+//! This is the paper's core claim ("the output query answer must precisely
+//! follow the user-specified ranking function") under fuzzing.
+
+use proptest::prelude::*;
+use query_reranking::core::md::ta::{SortedAccess, TaCursor};
+use query_reranking::core::{
+    MdCursor, MdOptions, OneDCursor, OneDStrategy, RerankParams, SharedState,
+};
+use query_reranking::ranking::{LinearRank, RankFn};
+use query_reranking::server::{SearchInterface, SimServer, SystemRank};
+use query_reranking::types::value::cmp_f64;
+use query_reranking::types::{
+    AttrId, CatAttr, Dataset, Direction, Interval, OrdinalAttr, Query, Schema, Tuple, TupleId,
+};
+use std::sync::Arc;
+
+/// A small random dataset: n tuples over m ordinal attrs, values on a coarse
+/// grid (ties guaranteed), one categorical attribute.
+fn dataset_strategy(m: usize) -> impl Strategy<Value = Dataset> {
+    let tuple = proptest::collection::vec(0..=9u8, m).prop_flat_map(|ords| {
+        (Just(ords), 0..3u32)
+    });
+    proptest::collection::vec(tuple, 5..60).prop_map(move |rows| {
+        let schema = Schema::new(
+            (0..m)
+                .map(|i| OrdinalAttr::new(format!("a{i}"), 0.0, 9.0))
+                .collect(),
+            vec![CatAttr::new("c", 3)],
+        );
+        let tuples = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, (ords, cat))| {
+                Tuple::new(
+                    TupleId(i as u32),
+                    ords.into_iter().map(f64::from).collect(),
+                    vec![cat],
+                )
+            })
+            .collect();
+        Dataset::new(schema, tuples).unwrap()
+    })
+}
+
+fn rank_strategy(m: usize) -> impl Strategy<Value = LinearRank> {
+    proptest::collection::vec((0.1f64..2.0, prop::bool::ANY), m).prop_map(|terms| {
+        LinearRank::new(
+            terms
+                .into_iter()
+                .enumerate()
+                .map(|(i, (w, desc))| {
+                    (
+                        AttrId(i),
+                        if desc { Direction::Desc } else { Direction::Asc },
+                        w,
+                    )
+                })
+                .collect(),
+        )
+    })
+}
+
+fn sel_strategy() -> impl Strategy<Value = Query> {
+    // Optionally constrain attr 0 to a sub-range.
+    prop_oneof![
+        Just(Query::all()),
+        (0.0f64..5.0, 5.0f64..9.0).prop_map(|(lo, hi)| Query::all()
+            .and_range(AttrId(0), Interval::closed(lo, hi))),
+    ]
+}
+
+/// Tuples matching `sel`, with groups identical on *every* ordinal and
+/// categorical attribute clamped to `k` members: such clones are provably
+/// indistinguishable through a top-k interface (the crawler reports the
+/// truncation), so only `k` of each group is reachable by any algorithm.
+fn reachable(data: &Dataset, sel: &Query, k: usize) -> Vec<Arc<Tuple>> {
+    use std::collections::HashMap;
+    let mut groups: HashMap<(Vec<u64>, Vec<u32>), usize> = HashMap::new();
+    let mut out = Vec::new();
+    for t in data.tuples() {
+        if !sel.matches(t) {
+            continue;
+        }
+        let key = (
+            t.ords().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            t.cats().to_vec(),
+        );
+        let seen = groups.entry(key).or_default();
+        if *seen < k {
+            *seen += 1;
+            out.push(Arc::clone(t));
+        }
+    }
+    out
+}
+
+fn ground_truth(data: &Dataset, rank: &dyn RankFn, sel: &Query, k: usize) -> Vec<f64> {
+    let mut v: Vec<f64> = reachable(data, sel, k)
+        .iter()
+        .map(|t| rank.score(t))
+        .collect();
+    v.sort_by(|a, b| cmp_f64(*a, *b));
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn one_d_streams_match_bruteforce(
+        data in dataset_strategy(2),
+        dir in prop::bool::ANY,
+        sel in sel_strategy(),
+        k in 1usize..6,
+        sys_seed in 0u64..1000,
+    ) {
+        let dir = if dir { Direction::Desc } else { Direction::Asc };
+        let want: Vec<f64> = {
+            let mut v: Vec<f64> = reachable(&data, &sel, k)
+                .iter()
+                .map(|t| dir.normalize(t.ord(AttrId(0))))
+                .collect();
+            v.sort_by(|a, b| cmp_f64(*a, *b));
+            v
+        };
+        for strategy in OneDStrategy::ALL {
+            let server = SimServer::new(data.clone(), SystemRank::pseudo_random(sys_seed), k);
+            let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(data.len(), k));
+            let mut cur = OneDCursor::over(AttrId(0), dir, sel.clone(), strategy);
+            let mut got = Vec::new();
+            while let Some(t) = cur.next(&server, &mut st) {
+                got.push(dir.normalize(t.ord(AttrId(0))));
+                prop_assert!(got.len() <= want.len() + 1, "stream longer than relation");
+            }
+            prop_assert_eq!(&got, &want, "{}", strategy.label());
+        }
+    }
+
+    #[test]
+    fn md_cursors_match_bruteforce(
+        data in dataset_strategy(2),
+        rank in rank_strategy(2),
+        sel in sel_strategy(),
+        k in 1usize..6,
+        sys_seed in 0u64..1000,
+    ) {
+        let rank: Arc<dyn RankFn> = Arc::new(rank);
+        let want = ground_truth(&data, rank.as_ref(), &sel, k);
+        for opts in [MdOptions::baseline(), MdOptions::binary(), MdOptions::rerank()] {
+            let server = SimServer::new(data.clone(), SystemRank::pseudo_random(sys_seed), k);
+            let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(data.len(), k));
+            let mut cur = MdCursor::new(Arc::clone(&rank), sel.clone(), opts, server.schema());
+            let mut got = Vec::new();
+            while let Some(t) = cur.next(&server, &mut st) {
+                got.push(rank.score(&t));
+                prop_assert!(got.len() <= want.len(), "stream longer than relation");
+            }
+            prop_assert_eq!(&got, &want);
+        }
+    }
+
+    #[test]
+    fn ta_matches_bruteforce(
+        data in dataset_strategy(3),
+        rank in rank_strategy(3),
+        k in 1usize..6,
+        sys_seed in 0u64..1000,
+    ) {
+        let rank: Arc<dyn RankFn> = Arc::new(rank);
+        let want = ground_truth(&data, rank.as_ref(), &Query::all(), k);
+        let server = SimServer::new(data.clone(), SystemRank::pseudo_random(sys_seed), k);
+        let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(data.len(), k));
+        let mut ta = TaCursor::new(
+            Arc::clone(&rank),
+            Query::all(),
+            SortedAccess::OneD(OneDStrategy::Rerank),
+            server.schema(),
+        );
+        let mut got = Vec::new();
+        while let Some(t) = ta.next(&server, &mut st) {
+            got.push(rank.score(&t));
+            prop_assert!(got.len() <= want.len(), "stream longer than relation");
+        }
+        prop_assert_eq!(&got, &want);
+    }
+
+    #[test]
+    fn md_3d_top1_matches_bruteforce(
+        data in dataset_strategy(3),
+        rank in rank_strategy(3),
+        sys_seed in 0u64..1000,
+    ) {
+        let rank: Arc<dyn RankFn> = Arc::new(rank);
+        let want = ground_truth(&data, rank.as_ref(), &Query::all(), 4);
+        let server = SimServer::new(data.clone(), SystemRank::pseudo_random(sys_seed), 4);
+        let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(data.len(), 4));
+        let mut cur = MdCursor::new(Arc::clone(&rank), Query::all(), MdOptions::rerank(), server.schema());
+        let got = cur.next(&server, &mut st).map(|t| rank.score(&t));
+        prop_assert_eq!(got, want.first().copied());
+    }
+}

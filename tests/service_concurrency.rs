@@ -1,0 +1,125 @@
+//! The "as a service" layer under concurrent use: multiple user sessions on
+//! shared state must stay exact, budgets must bind, and knowledge must
+//! accumulate.
+
+use query_reranking::core::MdOptions;
+use query_reranking::datagen::synthetic::uniform;
+use query_reranking::ranking::{LinearRank, RankFn};
+use query_reranking::server::{SimServer, SystemRank};
+use query_reranking::service::{Algorithm, ProfileStore, RerankService};
+use query_reranking::types::value::cmp_f64;
+use query_reranking::types::{AttrId, CatId, CatPredicate, Dataset, Query};
+use std::sync::Arc;
+
+fn service(data: &Dataset, k: usize) -> RerankService {
+    let server = SimServer::new(data.clone(), SystemRank::pseudo_random(77), k);
+    RerankService::new(Arc::new(server), data.len())
+}
+
+#[test]
+fn concurrent_sessions_stay_exact() {
+    let data = uniform(400, 2, 1, 3001);
+    let svc = Arc::new(service(&data, 5));
+    let data = Arc::new(data);
+    crossbeam::scope(|scope| {
+        for code in 0..4u32 {
+            let svc = Arc::clone(&svc);
+            let data = Arc::clone(&data);
+            scope.spawn(move |_| {
+                let sel = Query::all().and_cat(CatPredicate::eq(CatId(0), code));
+                let rank = LinearRank::asc(vec![
+                    (AttrId(0), 1.0 + f64::from(code)),
+                    (AttrId(1), 1.0),
+                ]);
+                let want: Vec<f64> = {
+                    let mut v: Vec<f64> = data
+                        .tuples()
+                        .iter()
+                        .filter(|t| sel.matches(t))
+                        .map(|t| rank.score(t))
+                        .collect();
+                    v.sort_by(|a, b| cmp_f64(*a, *b));
+                    v.truncate(8);
+                    v
+                };
+                let mut s = svc.session(sel, Arc::new(rank), Algorithm::Md(MdOptions::rerank()));
+                let got: Vec<f64> = s.top(8).unwrap().iter().map(|r| r.score).collect();
+                assert_eq!(got, want, "user {code}");
+            });
+        }
+    })
+    .unwrap();
+    assert_eq!(svc.stats().sessions_started, 4);
+    assert!(svc.stats().tuples_emitted >= 16);
+}
+
+#[test]
+fn profiles_apply_across_services() {
+    let store = ProfileStore::new();
+    store.register(
+        "balanced",
+        Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)])) as Arc<dyn RankFn>,
+    );
+    let rank = store.get("balanced").unwrap();
+    for seed in [3003u64, 3005] {
+        let data = uniform(200, 2, 1, seed);
+        let svc = service(&data, 5);
+        let mut s = svc.session(Query::all(), Arc::clone(&rank), Algorithm::Auto);
+        let got: Vec<f64> = s.top(5).unwrap().iter().map(|r| r.score).collect();
+        let mut want: Vec<f64> = data.tuples().iter().map(|t| rank.score(t)).collect();
+        want.sort_by(|a, b| cmp_f64(*a, *b));
+        want.truncate(5);
+        assert_eq!(got, want, "seed {seed}");
+    }
+}
+
+#[test]
+fn budget_error_is_recoverable_state() {
+    let data = uniform(600, 2, 1, 3007);
+    let server = SimServer::new(
+        data.clone(),
+        SystemRank::linear("anti", vec![(AttrId(0), -1.0), (AttrId(1), -1.0)]),
+        3,
+    );
+    let svc = RerankService::new(Arc::new(server), 600).with_budget(4);
+    let rank: Arc<dyn RankFn> =
+        Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)]));
+    let mut s = svc.session(Query::all(), Arc::clone(&rank), Algorithm::Auto);
+    let mut saw_budget_error = false;
+    for _ in 0..50 {
+        match s.next() {
+            Err(e) => {
+                saw_budget_error = true;
+                assert_eq!(e.limit, 4);
+                break;
+            }
+            Ok(Some(_)) => {}
+            Ok(None) => break,
+        }
+    }
+    assert!(saw_budget_error);
+    // The service object is still usable for inspection after the error.
+    assert!(svc.queries_issued() >= 4);
+    let (hist, _, _) = svc.knowledge();
+    assert!(hist > 0);
+}
+
+#[test]
+fn warm_service_answers_repeat_queries_free() {
+    let data = uniform(300, 2, 1, 3009);
+    let svc = service(&data, 5);
+    let rank: Arc<dyn RankFn> =
+        Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)]));
+    let mut s1 = svc.session(Query::all(), Arc::clone(&rank), Algorithm::Auto);
+    let first: Vec<f64> = s1.top(5).unwrap().iter().map(|r| r.score).collect();
+    drop(s1);
+    let before = svc.queries_issued();
+    let mut s2 = svc.session(Query::all(), rank, Algorithm::Auto);
+    let second: Vec<f64> = s2.top(5).unwrap().iter().map(|r| r.score).collect();
+    assert_eq!(first, second);
+    let spent = svc.queries_issued() - before;
+    assert!(
+        spent <= before / 2,
+        "warm repeat cost {spent} not clearly amortized vs cold {before}"
+    );
+}
