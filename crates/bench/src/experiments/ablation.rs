@@ -51,10 +51,7 @@ fn md_flags(scale: Scale) {
                 dense_index: true,
             },
         ),
-        (
-            "no dense index",
-            MdOptions::binary(),
-        ),
+        ("no dense index", MdOptions::binary()),
         ("MD-BASELINE (all off)", MdOptions::baseline()),
     ];
     let mut series = Vec::new();
@@ -69,7 +66,9 @@ fn md_flags(scale: Scale) {
         );
         let mut s = Series::new(label);
         for h in 1..=10usize {
-            let t = cur.next(&server, &mut st);
+            let t = cur
+                .next(&server, &mut st)
+                .expect("offline sim server does not fail");
             s.push(h as f64, server.queries_issued() as f64);
             if t.is_none() {
                 break;
@@ -119,10 +118,13 @@ fn dense_index(scale: Scale) {
                 AttrId(1),
                 qrs_types::Interval::closed(0.25 * frac, 0.5 + 0.5 * frac),
             );
-            let mut cur =
-                OneDCursor::over(AttrId(0), qrs_types::Direction::Asc, sel, strategy);
+            let mut cur = OneDCursor::over(AttrId(0), qrs_types::Direction::Asc, sel, strategy);
             for _ in 0..5 {
-                if cur.next(&server, &mut st).is_none() {
+                if cur
+                    .next(&server, &mut st)
+                    .expect("offline sim server does not fail")
+                    .is_none()
+                {
                     break;
                 }
             }
@@ -132,7 +134,9 @@ fn dense_index(scale: Scale) {
         series.push(s);
     }
     print_figure(
-        &format!("Ablation 2 - dense index on clustered data, cumulative cost over 20 requests (n={n})"),
+        &format!(
+            "Ablation 2 - dense index on clustered data, cumulative cost over 20 requests (n={n})"
+        ),
         "request #",
         &series,
     );
@@ -166,7 +170,11 @@ fn amortization(scale: Scale) {
             server.schema(),
         );
         for _ in 0..5 {
-            if cur.next(&server, &mut st).is_none() {
+            if cur
+                .next(&server, &mut st)
+                .expect("offline sim server does not fail")
+                .is_none()
+            {
                 break;
             }
         }
@@ -209,7 +217,10 @@ fn baselines(scale: Scale) {
     );
     let mut got = Vec::new();
     for _ in 0..10 {
-        match cur.next(&server, &mut st) {
+        match cur
+            .next(&server, &mut st)
+            .expect("offline sim server does not fail")
+        {
             Some(t) => got.push(t),
             None => break,
         }
@@ -217,12 +228,16 @@ fn baselines(scale: Scale) {
     let md_cost = server.queries_issued();
     println!("\n# Ablation 4 - baselines vs MD-RERANK (n={n}, top-10, anti-correlated system)");
     println!("method, queries, recall@10, exact");
-    println!("MD-RERANK, {md_cost}, {:.2}, true", recall_at_h(&got, &truth, 10));
+    println!(
+        "MD-RERANK, {md_cost}, {:.2}, true",
+        recall_at_h(&got, &truth, 10)
+    );
 
     // Crawl-then-rank.
     let server2 = SimServer::new(data.clone(), sys.clone(), 10);
     let mut st2 = SharedState::new(data.schema(), RerankParams::paper_defaults(n, 10));
-    let r = crawl_then_rank(&server2, &mut st2, &Query::all(), |t| rank.score(t));
+    let r = crawl_then_rank(&server2, &mut st2, &Query::all(), |t| rank.score(t))
+        .expect("offline sim server does not fail");
     println!(
         "crawl-then-rank, {}, {:.2}, {}",
         server2.queries_issued(),
@@ -234,7 +249,8 @@ fn baselines(scale: Scale) {
     for pages in [1usize, 5, 20, 100] {
         let server3 = SimServer::new(data.clone(), sys.clone(), 10).with_paging();
         let mut st3 = SharedState::new(data.schema(), RerankParams::paper_defaults(n, 10));
-        let p = page_down_rerank(&server3, &mut st3, &Query::all(), |t| rank.score(t), pages);
+        let p = page_down_rerank(&server3, &mut st3, &Query::all(), |t| rank.score(t), pages)
+            .expect("offline sim server does not fail");
         println!(
             "page-down({pages} pages), {}, {:.2}, {}",
             server3.queries_issued(),

@@ -30,10 +30,11 @@ fn n_sweep(scale: Scale, sys: &dyn Fn() -> SystemRank) -> Vec<Series> {
             let workload = md_workload(&data, &workload_cfg(scale, 200 + sample as u64));
             for (ai, &algo) in MdAlgo::ALL.iter().enumerate() {
                 let server = SimServer::new(data.clone(), sys(), k);
-                let mut st =
-                    SharedState::new(data.schema(), RerankParams::paper_defaults(n, k));
+                let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(n, k));
                 for uq in &workload {
-                    sums[ai] += md_top_h_cost(&server, &mut st, uq, algo, 1) as f64;
+                    sums[ai] += md_top_h_cost(&server, &mut st, uq, algo, 1)
+                        .expect("offline sim server does not fail")
+                        as f64;
                     counts[ai] += 1;
                 }
             }
@@ -70,7 +71,8 @@ pub fn fig15(scale: Scale) -> Vec<Series> {
         let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(n, k));
         let mut acc = [0.0f64; 10];
         for uq in &workload {
-            let curve = md_cost_curve(&server, &mut st, uq, MdAlgo::Rerank, 10);
+            let curve = md_cost_curve(&server, &mut st, uq, MdAlgo::Rerank, 10)
+                .expect("offline sim server does not fail");
             for (i, a) in acc.iter_mut().enumerate() {
                 *a += curve.get(i).or(curve.last()).copied().unwrap_or(0) as f64;
             }

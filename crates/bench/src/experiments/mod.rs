@@ -11,8 +11,8 @@ use crate::Scale;
 
 /// All experiment ids, in paper order.
 pub const ALL_IDS: [&str; 14] = [
-    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-    "fig16", "fig17", "thm1", "ablation",
+    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+    "fig17", "thm1", "ablation",
 ];
 
 /// Run one experiment by id; `false` if the id is unknown.

@@ -42,10 +42,18 @@ fn n_sweep(scale: Scale, sys: &dyn Fn() -> SystemRank) -> Vec<Series> {
             let workload = one_d_workload(&data, &workload_cfg(scale, 42 + sample as u64));
             for (si, &strategy) in OneDStrategy::ALL.iter().enumerate() {
                 let server = SimServer::new(data.clone(), sys(), k);
-                let mut st =
-                    SharedState::new(data.schema(), RerankParams::paper_defaults(n, k));
+                let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(n, k));
                 for uq in &workload {
-                    sums[si] += one_d_top_h_cost(&server, &mut st, uq, strategy, TiePolicy::AssumeDistinct, 1) as f64;
+                    sums[si] += one_d_top_h_cost(
+                        &server,
+                        &mut st,
+                        uq,
+                        strategy,
+                        TiePolicy::AssumeDistinct,
+                        1,
+                    )
+                    .expect("offline sim server does not fail")
+                        as f64;
                     counts[si] += 1;
                 }
             }
@@ -82,7 +90,15 @@ pub fn fig8(scale: Scale) -> Vec<Series> {
         let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(n, k));
         let mut acc = [0.0f64; 10];
         for uq in &workload {
-            let curve = one_d_cost_curve(&server, &mut st, uq, OneDStrategy::Rerank, TiePolicy::AssumeDistinct, 10);
+            let curve = one_d_cost_curve(
+                &server,
+                &mut st,
+                uq,
+                OneDStrategy::Rerank,
+                TiePolicy::AssumeDistinct,
+                10,
+            )
+            .expect("offline sim server does not fail");
             for (i, a) in acc.iter_mut().enumerate() {
                 *a += curve.get(i).or(curve.last()).copied().unwrap_or(0) as f64;
             }
@@ -122,13 +138,24 @@ pub fn fig9(scale: Scale) -> Vec<Series> {
         let mut st = SharedState::new(data.schema(), RerankParams::with_sc(n, s, c));
         let mut total = 0.0;
         for uq in &workload {
-            total += one_d_top_h_cost(&server, &mut st, uq, OneDStrategy::Rerank, TiePolicy::AssumeDistinct, 1) as f64;
+            total += one_d_top_h_cost(
+                &server,
+                &mut st,
+                uq,
+                OneDStrategy::Rerank,
+                TiePolicy::AssumeDistinct,
+                1,
+            )
+            .expect("offline sim server does not fail") as f64;
         }
         total / workload.len() as f64
     };
     let mut vary_c = Series::new("varying c (s=n)");
     let mut vary_s = Series::new("varying s (c=k*log n)");
-    println!("\n# Fig 9 x-axis labels: {:?}", xs.iter().map(|p| p.0).collect::<Vec<_>>());
+    println!(
+        "\n# Fig 9 x-axis labels: {:?}",
+        xs.iter().map(|p| p.0).collect::<Vec<_>>()
+    );
     for (i, &(_, v)) in xs.iter().enumerate() {
         vary_c.push(i as f64, run(nf, v));
         vary_s.push(i as f64, run(v, klog));
@@ -156,8 +183,7 @@ pub fn fig10(scale: Scale) -> Vec<Series> {
             .map(|uq| (data.count_matching(&uq.query), uq.clone()))
             .collect();
         by_sel.sort_by_key(|(c, _)| *c);
-        let special_first: Vec<OneDUserQuery> =
-            by_sel.iter().map(|(_, q)| q.clone()).collect();
+        let special_first: Vec<OneDUserQuery> = by_sel.iter().map(|(_, q)| q.clone()).collect();
         let general_first: Vec<OneDUserQuery> =
             by_sel.iter().rev().map(|(_, q)| q.clone()).collect();
         let runs: [&[OneDUserQuery]; 3] = [&general_first, &base, &special_first];
@@ -166,7 +192,15 @@ pub fn fig10(scale: Scale) -> Vec<Series> {
             let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(n, k));
             let mut total = 0.0;
             for uq in workload.iter() {
-                total += one_d_top_h_cost(&server, &mut st, uq, OneDStrategy::Rerank, TiePolicy::AssumeDistinct, 1) as f64;
+                total += one_d_top_h_cost(
+                    &server,
+                    &mut st,
+                    uq,
+                    OneDStrategy::Rerank,
+                    TiePolicy::AssumeDistinct,
+                    1,
+                )
+                .expect("offline sim server does not fail") as f64;
             }
             series[si].push(n as f64, total / workload.len() as f64);
         }

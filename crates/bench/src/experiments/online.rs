@@ -73,7 +73,9 @@ fn one_d_site_curves(site: &Site, scale: Scale, queries: usize, unfiltered: f64)
         );
         let mut acc = vec![0.0f64; cps.len()];
         for uq in &workload {
-            let curve = one_d_cost_curve(&server, &mut st, uq, strategy, TiePolicy::AssumeDistinct, h);
+            let curve =
+                one_d_cost_curve(&server, &mut st, uq, strategy, TiePolicy::AssumeDistinct, h)
+                    .expect("offline sim server does not fail");
             for (ci, &cp) in cps.iter().enumerate() {
                 acc[ci] += curve.get(cp - 1).or(curve.last()).copied().unwrap_or(0) as f64;
             }
@@ -110,7 +112,8 @@ fn md_site_curves(site: &Site, scale: Scale, queries: usize, unfiltered: f64) ->
         );
         let mut acc = vec![0.0f64; cps.len()];
         for uq in &workload {
-            let curve = md_cost_curve(&server, &mut st, uq, algo, h);
+            let curve = md_cost_curve(&server, &mut st, uq, algo, h)
+                .expect("offline sim server does not fail");
             for (ci, &cp) in cps.iter().enumerate() {
                 acc[ci] += curve.get(cp - 1).or(curve.last()).copied().unwrap_or(0) as f64;
             }
@@ -128,7 +131,11 @@ fn md_site_curves(site: &Site, scale: Scale, queries: usize, unfiltered: f64) ->
 pub fn fig11(scale: Scale) -> Vec<Series> {
     let site = blue_nile(scale);
     let s = one_d_site_curves(&site, scale, 20, 0.2);
-    print_figure("Fig 11 - 1D top-h query cost (Blue Nile, k=30)", "top-h", &s);
+    print_figure(
+        "Fig 11 - 1D top-h query cost (Blue Nile, k=30)",
+        "top-h",
+        &s,
+    );
     s
 }
 
@@ -148,7 +155,11 @@ pub fn fig12(scale: Scale) -> Vec<Series> {
 pub fn fig16(scale: Scale) -> Vec<Series> {
     let site = blue_nile(scale);
     let s = md_site_curves(&site, scale, 12, 0.25);
-    print_figure("Fig 16 - MD top-h query cost (Blue Nile, k=30)", "top-h", &s);
+    print_figure(
+        "Fig 16 - MD top-h query cost (Blue Nile, k=30)",
+        "top-h",
+        &s,
+    );
     s
 }
 

@@ -1,11 +1,14 @@
 //! Cost-measuring runners: execute one user query with one algorithm and
 //! report the number of server queries spent — the paper's §2.2 metric.
 
-use qrs_core::md::ta::{SortedAccess, TaCursor};
 use qrs_core::md::cursor::MdTie;
-use qrs_core::{MdAlgo, MdCursor, MdOptions, OneDCursor, OneDSpec, OneDStrategy, SharedState, TiePolicy};
+use qrs_core::md::ta::{SortedAccess, TaCursor};
+use qrs_core::{
+    MdAlgo, MdCursor, MdOptions, OneDCursor, OneDSpec, OneDStrategy, SharedState, TiePolicy,
+};
 use qrs_datagen::{MdUserQuery, OneDUserQuery};
 use qrs_server::SearchInterface;
+use qrs_types::RerankError;
 use std::sync::Arc;
 
 /// Queries spent retrieving the top `h` for a 1D user query.
@@ -16,11 +19,11 @@ pub fn one_d_top_h_cost(
     strategy: OneDStrategy,
     tie: TiePolicy,
     h: usize,
-) -> u64 {
-    one_d_cost_curve(server, st, uq, strategy, tie, h)
+) -> Result<u64, RerankError> {
+    Ok(one_d_cost_curve(server, st, uq, strategy, tie, h)?
         .last()
         .copied()
-        .unwrap_or(0)
+        .unwrap_or(0))
 }
 
 /// Cumulative queries spent after each of the first `h` Get-Nexts.
@@ -31,7 +34,7 @@ pub fn one_d_cost_curve(
     strategy: OneDStrategy,
     tie: TiePolicy,
     h: usize,
-) -> Vec<u64> {
+) -> Result<Vec<u64>, RerankError> {
     // Paper cost model: tuples and dense indexes persist across user
     // queries; emptiness proofs do not (see SharedState docs).
     st.forget_complete_regions();
@@ -43,13 +46,13 @@ pub fn one_d_cost_curve(
     );
     let mut out = Vec::with_capacity(h);
     for _ in 0..h {
-        let t = cur.next(server, st);
+        let t = cur.next(server, st)?;
         out.push(server.queries_issued() - before);
         if t.is_none() {
             break;
         }
     }
-    out
+    Ok(out)
 }
 
 /// Queries spent retrieving the top `h` for an MD user query.
@@ -59,11 +62,11 @@ pub fn md_top_h_cost(
     uq: &MdUserQuery,
     algo: MdAlgo,
     h: usize,
-) -> u64 {
-    md_cost_curve(server, st, uq, algo, h)
+) -> Result<u64, RerankError> {
+    Ok(md_cost_curve(server, st, uq, algo, h)?
         .last()
         .copied()
-        .unwrap_or(0)
+        .unwrap_or(0))
 }
 
 /// Cumulative queries spent after each of the first `h` Get-Nexts.
@@ -73,24 +76,24 @@ pub fn md_cost_curve(
     uq: &MdUserQuery,
     algo: MdAlgo,
     h: usize,
-) -> Vec<u64> {
+) -> Result<Vec<u64>, RerankError> {
     st.forget_complete_regions();
     let before = server.queries_issued();
     let rank = Arc::new(uq.rank.clone());
     let mut out = Vec::with_capacity(h);
     match algo {
         MdAlgo::TaOver1D | MdAlgo::TaPublicOrderBy => {
-            let caps = server.order_by_attrs();
+            let caps = server.capabilities();
             let access = match algo {
                 // The §5 extension: page the site's own ORDER BY.
-                MdAlgo::TaPublicOrderBy if !caps.is_empty() => SortedAccess::PublicOrderBy,
+                MdAlgo::TaPublicOrderBy if !caps.order_by.is_empty() => SortedAccess::PublicOrderBy,
                 // The paper's §4.1 comparator.
                 _ => SortedAccess::OneD(OneDStrategy::Rerank),
             };
             let mut cur =
                 TaCursor::with_server_caps(rank, uq.query.clone(), access, server.schema(), &caps);
             for _ in 0..h {
-                let t = cur.next(server, st);
+                let t = cur.next(server, st)?;
                 out.push(server.queries_issued() - before);
                 if t.is_none() {
                     break;
@@ -104,10 +107,15 @@ pub fn md_cost_curve(
                 _ => MdOptions::rerank(),
             };
             // Paper tie semantics (general positioning) for cost parity.
-            let mut cur =
-                MdCursor::with_tie(rank, uq.query.clone(), opts, server.schema(), MdTie::GeneralPositioning);
+            let mut cur = MdCursor::with_tie(
+                rank,
+                uq.query.clone(),
+                opts,
+                server.schema(),
+                MdTie::GeneralPositioning,
+            );
             for _ in 0..h {
-                let t = cur.next(server, st);
+                let t = cur.next(server, st)?;
                 out.push(server.queries_issued() - before);
                 if t.is_none() {
                     break;
@@ -115,7 +123,7 @@ pub fn md_cost_curve(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -137,11 +145,19 @@ mod tests {
         let wm = md_workload(&data, &cfg);
         let server = SimServer::new(data.clone(), SystemRank::pseudo_random(3), 5);
         let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(300, 5));
-        let c = one_d_cost_curve(&server, &mut st, &w1[0], OneDStrategy::Rerank, TiePolicy::Exact, 5);
+        let c = one_d_cost_curve(
+            &server,
+            &mut st,
+            &w1[0],
+            OneDStrategy::Rerank,
+            TiePolicy::Exact,
+            5,
+        )
+        .unwrap();
         assert_eq!(c.len(), 5);
         assert!(c.windows(2).all(|w| w[0] <= w[1]));
         for algo in MdAlgo::ALL {
-            let c = md_cost_curve(&server, &mut st, &wm[0], algo, 3);
+            let c = md_cost_curve(&server, &mut st, &wm[0], algo, 3).unwrap();
             assert!(c.windows(2).all(|w| w[0] <= w[1]), "{}", algo.label());
         }
     }

@@ -13,7 +13,7 @@
 use crate::ctx::SharedState;
 use qrs_server::SearchInterface;
 use qrs_types::value::cmp_f64;
-use qrs_types::{Query, Tuple};
+use qrs_types::{Capability, Query, RerankError, Tuple};
 use std::sync::Arc;
 
 pub use crate::crawl::{crawl_region, crawl_then_rank, CrawlResult};
@@ -30,20 +30,21 @@ pub struct PageDownResult {
 }
 
 /// Fetch up to `max_pages` pages of the system ranking for `q` and rerank
-/// locally by `score`. Requires [`SearchInterface::supports_paging`].
+/// locally by `score`. Negotiates [`Capability::Paging`] up front and
+/// returns [`RerankError::UnsupportedCapability`] when the server lacks it.
 pub fn page_down_rerank(
     server: &dyn SearchInterface,
     st: &mut SharedState,
     q: &Query,
     score: impl Fn(&Tuple) -> f64,
     max_pages: usize,
-) -> PageDownResult {
-    assert!(server.supports_paging(), "server lacks page-turn support");
+) -> Result<PageDownResult, RerankError> {
+    server.capabilities().require(Capability::Paging)?;
     let mut tuples: Vec<Arc<Tuple>> = Vec::new();
     let mut exact = false;
     let mut pages = 0;
     for page in 0..max_pages {
-        let resp = server.query_page(q, page);
+        let resp = server.query_page(q, page)?;
         st.history.record_response(&resp);
         pages += 1;
         tuples.extend(resp.tuples.iter().cloned());
@@ -54,11 +55,11 @@ pub fn page_down_rerank(
     }
     tuples.sort_by(|a, b| cmp_f64(score(a), score(b)).then(a.id.cmp(&b.id)));
     tuples.dedup_by_key(|t| t.id);
-    PageDownResult {
+    Ok(PageDownResult {
         tuples,
         exact,
         pages,
-    }
+    })
 }
 
 /// Recall of an approximate top-h list against ground truth (by tuple id).
@@ -95,7 +96,7 @@ mod tests {
         let sys = SystemRank::linear("anti", vec![(AttrId(0), -1.0), (AttrId(1), -1.0)]);
         let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(300, 10));
         let server = SimServer::new(data, sys, 10).with_paging();
-        let r = page_down_rerank(&server, &mut st, &Query::all(), score, 3);
+        let r = page_down_rerank(&server, &mut st, &Query::all(), score, 3).unwrap();
         assert!(!r.exact);
         // With anti-correlated system ranking, 3 pages of 10 should miss
         // most of the true top-10.
@@ -107,15 +108,26 @@ mod tests {
         let data = uniform(25, 2, 1, 403);
         let truth = data.rank_by(&Query::all(), score);
         let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(25, 10));
-        let server =
-            SimServer::new(data, SystemRank::pseudo_random(41), 10).with_paging();
-        let r = page_down_rerank(&server, &mut st, &Query::all(), score, 100);
+        let server = SimServer::new(data, SystemRank::pseudo_random(41), 10).with_paging();
+        let r = page_down_rerank(&server, &mut st, &Query::all(), score, 100).unwrap();
         assert!(r.exact);
         assert_eq!(r.pages, 3); // 25 tuples / k=10
         let got: Vec<u32> = r.tuples.iter().map(|t| t.id.0).collect();
         let want: Vec<u32> = truth.iter().map(|t| t.id.0).collect();
         assert_eq!(got, want);
         assert_eq!(recall_at_h(&r.tuples, &truth, 10), 1.0);
+    }
+
+    #[test]
+    fn page_down_refused_without_paging_capability() {
+        let data = uniform(30, 2, 1, 407);
+        let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(30, 10));
+        let server = SimServer::new(data, SystemRank::pseudo_random(43), 10); // no paging
+        let err = page_down_rerank(&server, &mut st, &Query::all(), score, 3).unwrap_err();
+        assert_eq!(
+            err,
+            qrs_types::RerankError::UnsupportedCapability(Capability::Paging)
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use crate::ctx::SharedState;
 use qrs_server::SearchInterface;
 use qrs_types::value::cmp_f64;
-use qrs_types::{AttrId, Interval, Query, Schema, Tuple, TupleId};
+use qrs_types::{AttrId, Interval, Query, RerankError, Schema, Tuple, TupleId};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -36,12 +36,14 @@ pub struct CrawlResult {
     pub truncated: bool,
 }
 
-/// Enumerate all tuples matching `q`.
+/// Enumerate all tuples matching `q`. Fails fast on a server error; tuples
+/// already absorbed into the shared history stay there (a retry resumes from
+/// the knowledge accumulated so far).
 pub fn crawl_region(
     server: &dyn SearchInterface,
     st: &mut SharedState,
     q: &Query,
-) -> CrawlResult {
+) -> Result<CrawlResult, RerankError> {
     let schema = Arc::clone(server.schema());
     let mut found: HashMap<TupleId, Arc<Tuple>> = HashMap::new();
     let mut truncated = false;
@@ -57,7 +59,7 @@ pub fn crawl_region(
             }
             continue;
         }
-        let resp = server.query(&cq);
+        let resp = server.query(&cq)?;
         st.absorb(&cq, &resp);
         for t in &resp.tuples {
             found.insert(t.id, Arc::clone(t));
@@ -68,7 +70,10 @@ pub fn crawl_region(
         match choose_split(&schema, &cq, &resp.tuples) {
             Some(Split::ThreeWay(attr, v)) => {
                 let iv = cq.interval(attr);
-                stack.push(cq.clone().and_range(attr, iv.intersect(&Interval::less_than(v))));
+                stack.push(
+                    cq.clone()
+                        .and_range(attr, iv.intersect(&Interval::less_than(v))),
+                );
                 stack.push(cq.clone().and_range(attr, Interval::point(v)));
                 stack.push(cq.and_range(attr, iv.intersect(&Interval::greater_than(v))));
             }
@@ -102,7 +107,7 @@ pub fn crawl_region(
     }
     let mut tuples: Vec<Arc<Tuple>> = found.into_values().collect();
     tuples.sort_by_key(|t| t.id);
-    CrawlResult { tuples, truncated }
+    Ok(CrawlResult { tuples, truncated })
 }
 
 /// How to subdivide an overflowing query.
@@ -180,11 +185,11 @@ pub fn crawl_then_rank(
     st: &mut SharedState,
     q: &Query,
     score: impl Fn(&Tuple) -> f64,
-) -> CrawlResult {
-    let mut r = crawl_region(server, st, q);
+) -> Result<CrawlResult, RerankError> {
+    let mut r = crawl_region(server, st, q)?;
     r.tuples
         .sort_by(|a, b| cmp_f64(score(a), score(b)).then(a.id.cmp(&b.id)));
-    r
+    Ok(r)
 }
 
 #[cfg(test)]
@@ -205,12 +210,12 @@ mod tests {
         let data = uniform(300, 2, 1, 42);
         let n = data.len();
         let (server, mut st) = setup(data, 5);
-        let r = crawl_region(&server, &mut st, &Query::all());
+        let r = crawl_region(&server, &mut st, &Query::all()).unwrap();
         assert!(!r.truncated);
         assert_eq!(r.tuples.len(), n);
         // The crawled region is now complete: re-crawling is free.
         let before = server.queries_issued();
-        let r2 = crawl_region(&server, &mut st, &Query::all());
+        let r2 = crawl_region(&server, &mut st, &Query::all()).unwrap();
         assert_eq!(server.queries_issued(), before);
         assert_eq!(r2.tuples.len(), n);
     }
@@ -221,7 +226,7 @@ mod tests {
         let data = discrete_grid(200, 2, 4, 7);
         let n = data.len();
         let (server, mut st) = setup(data, 10);
-        let r = crawl_region(&server, &mut st, &Query::all());
+        let r = crawl_region(&server, &mut st, &Query::all()).unwrap();
         // Cells can hold more than k=10 exact duplicates → possibly
         // truncated, but never *silently* short.
         if !r.truncated {
@@ -237,7 +242,7 @@ mod tests {
         let q = Query::all().and_range(AttrId(0), Interval::closed(0.2, 0.6));
         let expect = data.count_matching(&q);
         let (server, mut st) = setup(data, 5);
-        let r = crawl_region(&server, &mut st, &q);
+        let r = crawl_region(&server, &mut st, &q).unwrap();
         assert!(!r.truncated);
         assert_eq!(r.tuples.len(), expect);
         assert!(r.tuples.iter().all(|t| q.matches(t)));
@@ -250,7 +255,8 @@ mod tests {
         let (server, mut st) = setup(data, 5);
         let r = crawl_then_rank(&server, &mut st, &Query::all(), |t| {
             t.ord(AttrId(0)) + t.ord(AttrId(1))
-        });
+        })
+        .unwrap();
         assert!(!r.truncated);
         let got: Vec<TupleId> = r.tuples.iter().map(|t| t.id).collect();
         let want: Vec<TupleId> = truth.iter().map(|t| t.id).collect();
@@ -262,7 +268,7 @@ mod tests {
         let data = uniform(100, 2, 1, 11);
         let (server, mut st) = setup(data, 5);
         let q = Query::all().and_range(AttrId(0), Interval::open(0.5, 0.5));
-        let r = crawl_region(&server, &mut st, &q);
+        let r = crawl_region(&server, &mut st, &q).unwrap();
         assert!(r.tuples.is_empty());
         assert_eq!(server.queries_issued(), 0);
     }

@@ -12,7 +12,7 @@ use crate::ctx::SharedState;
 use crate::one_d::primitives::{baseline_next_above, OneDSpec};
 use qrs_server::SearchInterface;
 use qrs_types::value::OrdF64;
-use qrs_types::{AttrId, Direction, Query, Tuple, TupleId};
+use qrs_types::{AttrId, Direction, Query, RerankError, Tuple, TupleId};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -117,16 +117,18 @@ impl Dense1D {
 
 /// Algorithm 4: resolve "smallest matching tuple with normalized value in
 /// `[x, y)`" through the index, crawling (selection-free) as needed.
-/// Returns `None` when the range holds no matching tuple.
+/// Returns `Ok(None)` when the range holds no matching tuple. On a server
+/// failure the crawl frontier keeps everything confirmed so far, so a retry
+/// resumes rather than restarts.
 pub fn oracle(
     server: &dyn SearchInterface,
     st: &mut SharedState,
     spec: &OneDSpec,
     x: f64,
     y: f64,
-) -> Option<Arc<Tuple>> {
+) -> Result<Option<Arc<Tuple>>, RerankError> {
     if x >= y {
-        return None;
+        return Ok(None);
     }
     // Split the borrow: the crawl steps need &mut SharedState, so the entry
     // is looked up by key each round.
@@ -141,7 +143,7 @@ pub fn oracle(
             let list = st.dense1d.map.get(&key).unwrap();
             let d = list.iter().find(|d| d.x <= x && y <= d.y).unwrap();
             if let Some(t) = d.certain_min(x, y, &spec.sel, spec) {
-                return Some(t);
+                return Ok(Some(t));
             }
             let limit = if d.complete {
                 f64::INFINITY
@@ -149,7 +151,7 @@ pub fn oracle(
                 d.frontier.unwrap_or(f64::NEG_INFINITY)
             };
             if d.complete || limit >= y {
-                return None; // fully crawled, no match in [x, y)
+                return Ok(None); // fully crawled, no match in [x, y)
             }
         }
         // Phase 2: extend the frontier one slab.
@@ -164,7 +166,13 @@ pub fn oracle(
             (d.x, d.y, after)
         };
         let before = server.queries_issued();
-        let found = baseline_next_above(server, st, &generic, after, Some(dy));
+        let found = match baseline_next_above(server, st, &generic, after, Some(dy)) {
+            Ok(f) => f,
+            Err(e) => {
+                st.dense1d.build_cost += server.queries_issued() - before;
+                return Err(e);
+            }
+        };
         match found {
             None => {
                 st.dense1d.build_cost += server.queries_issued() - before;
@@ -177,7 +185,13 @@ pub fn oracle(
                 let v = spec.nval(&t);
                 // Collect the whole tie slab at v (selection-free) so the
                 // frontier invariant holds with duplicates.
-                let slab = crate::one_d::cursor::gather_slab(server, st, &generic, v);
+                let slab = match crate::one_d::cursor::gather_slab(server, st, &generic, v) {
+                    Ok(slab) => slab,
+                    Err(e) => {
+                        st.dense1d.build_cost += server.queries_issued() - before;
+                        return Err(e);
+                    }
+                };
                 st.dense1d.build_cost += server.queries_issued() - before;
                 let list = st.dense1d.map.get_mut(&key).unwrap();
                 let d = list.iter_mut().find(|d| d.x <= x && y <= d.y).unwrap();
@@ -220,11 +234,11 @@ mod tests {
                 .filter(|&v| v >= x && v < y)
                 .min_by(f64::total_cmp)
         };
-        let t = oracle(&server, &mut st, &spec, 0.0, 0.5).unwrap();
+        let t = oracle(&server, &mut st, &spec, 0.0, 0.5).unwrap().unwrap();
         assert_eq!(Some(t.ord(AttrId(0))), truth(0.0, 0.5));
         // A sub-range lookup afterwards may reuse the same interval's crawl.
         let cost = server.queries_issued();
-        let t2 = oracle(&server, &mut st, &spec, 0.0, t.ord(AttrId(0)).next_up());
+        let t2 = oracle(&server, &mut st, &spec, 0.0, t.ord(AttrId(0)).next_up()).unwrap();
         assert!(t2.is_some());
         assert_eq!(server.queries_issued(), cost, "second lookup was free");
     }
@@ -234,7 +248,7 @@ mod tests {
         let (server, mut st) = setup(5);
         let sel = Query::all().and_cat(qrs_types::CatPredicate::eq(qrs_types::CatId(0), 2));
         let spec = OneDSpec::new(AttrId(0), Direction::Asc, sel.clone());
-        let got = oracle(&server, &mut st, &spec, 0.0, 1.1);
+        let got = oracle(&server, &mut st, &spec, 0.0, 1.1).unwrap();
         let truth = server
             .dataset()
             .tuples()
@@ -249,15 +263,15 @@ mod tests {
     fn oracle_empty_range_is_none() {
         let (server, mut st) = setup(5);
         let spec = OneDSpec::new(AttrId(0), Direction::Asc, Query::all());
-        assert!(oracle(&server, &mut st, &spec, 5.0, 6.0).is_none());
-        assert!(oracle(&server, &mut st, &spec, 0.5, 0.5).is_none());
+        assert!(oracle(&server, &mut st, &spec, 5.0, 6.0).unwrap().is_none());
+        assert!(oracle(&server, &mut st, &spec, 0.5, 0.5).unwrap().is_none());
     }
 
     #[test]
     fn index_tracks_build_cost_and_sizes() {
         let (server, mut st) = setup(5);
         let spec = OneDSpec::new(AttrId(0), Direction::Asc, Query::all());
-        oracle(&server, &mut st, &spec, 0.0, 0.3);
+        oracle(&server, &mut st, &spec, 0.0, 0.3).unwrap();
         assert!(st.dense1d.num_intervals() >= 1);
         assert!(st.dense1d.num_tuples() >= 1);
         assert!(st.dense1d.build_cost > 0);

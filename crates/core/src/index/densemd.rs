@@ -18,7 +18,7 @@ use crate::ctx::SharedState;
 use crate::norm::{NormBox, NormView};
 use qrs_server::SearchInterface;
 use qrs_types::value::cmp_f64;
-use qrs_types::{AttrId, Direction, Query, Tuple};
+use qrs_types::{AttrId, Direction, Query, RerankError, Tuple};
 use std::sync::Arc;
 
 /// One fully crawled box.
@@ -62,18 +62,26 @@ impl DenseMd {
 }
 
 /// Resolve "lowest-scoring tuple matching `sel` inside box `b`" through the
-/// index, crawling `b` (selection-free) on a miss.
+/// index, crawling `b` (selection-free) on a miss. A failed crawl registers
+/// nothing: the box is re-crawled on the next call (the shared history still
+/// holds every tuple seen, so the retry is cheaper).
 pub fn md_oracle(
     server: &dyn SearchInterface,
     st: &mut SharedState,
     view: &NormView,
     b: &NormBox,
     sel: &Query,
-) -> Option<(Arc<Tuple>, f64)> {
+) -> Result<Option<(Arc<Tuple>, f64)>, RerankError> {
     if st.densemd.find(view, b).is_none() {
         let before = server.queries_issued();
         let box_query = view.to_query(b, &Query::all());
-        let r = crawl_region(server, st, &box_query);
+        let r = match crawl_region(server, st, &box_query) {
+            Ok(r) => r,
+            Err(e) => {
+                st.densemd.build_cost += server.queries_issued() - before;
+                return Err(e);
+            }
+        };
         st.densemd.build_cost += server.queries_issued() - before;
         st.densemd.boxes.push(DenseBox {
             attrs: view.rank().attrs().to_vec(),
@@ -84,11 +92,11 @@ pub fn md_oracle(
         });
     }
     let d = st.densemd.find(view, b).expect("just inserted");
-    d.tuples
+    Ok(d.tuples
         .iter()
         .filter(|t| sel.matches(t) && b.contains(&view.norm_coords(t)))
         .map(|t| (Arc::clone(t), view.score(t)))
-        .min_by(|a, b| cmp_f64(a.1, b.1).then(a.0.id.cmp(&b.0.id)))
+        .min_by(|a, b| cmp_f64(a.1, b.1).then(a.0.id.cmp(&b.0.id))))
 }
 
 #[cfg(test)]
@@ -116,7 +124,9 @@ mod tests {
         b.dims[0] = Interval::closed(0.0, 0.2);
         b.dims[1] = Interval::closed(0.0, 0.2);
         let sel = Query::all();
-        let got = md_oracle(&server, &mut st, &view, &b, &sel).unwrap();
+        let got = md_oracle(&server, &mut st, &view, &b, &sel)
+            .unwrap()
+            .unwrap();
         // Ground truth.
         let truth = server
             .dataset()
@@ -133,7 +143,7 @@ mod tests {
         let cost = server.queries_issued();
         let mut inner = b.clone();
         inner.dims[0] = Interval::closed(0.05, 0.15);
-        let _ = md_oracle(&server, &mut st, &view, &inner, &sel);
+        let _ = md_oracle(&server, &mut st, &view, &inner, &sel).unwrap();
         assert_eq!(server.queries_issued(), cost);
         assert_eq!(st.densemd.num_boxes(), 1, "no duplicate entry");
     }
@@ -144,7 +154,7 @@ mod tests {
         let mut b = NormBox::full(view.bounds());
         b.dims[0] = Interval::closed(0.0, 0.3);
         let sel = Query::all().and_cat(qrs_types::CatPredicate::eq(qrs_types::CatId(0), 1));
-        let got = md_oracle(&server, &mut st, &view, &b, &sel);
+        let got = md_oracle(&server, &mut st, &view, &b, &sel).unwrap();
         let truth = server
             .dataset()
             .tuples()
@@ -160,6 +170,8 @@ mod tests {
         let (server, mut st, view) = setup();
         let mut b = NormBox::full(view.bounds());
         b.dims[0] = Interval::closed(5.0, 6.0); // outside data
-        assert!(md_oracle(&server, &mut st, &view, &b, &Query::all()).is_none());
+        assert!(md_oracle(&server, &mut st, &view, &b, &Query::all())
+            .unwrap()
+            .is_none());
     }
 }

@@ -15,7 +15,7 @@ use crate::md::top1::{md_top1, MdOptions};
 use crate::norm::{NormBox, NormView};
 use qrs_ranking::RankFn;
 use qrs_server::SearchInterface;
-use qrs_types::{Interval, Query, Schema, Tuple, TupleId};
+use qrs_types::{Interval, Query, RerankError, Schema, Tuple, TupleId};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -88,13 +88,14 @@ impl MdCursor {
         &self.view
     }
 
-    /// The next tuple in user-ranking order (`None` once `R(q)` is
-    /// exhausted).
+    /// The next tuple in user-ranking order (`Ok(None)` once `R(q)` is
+    /// exhausted). On `Err` the already-resolved subspace tops are kept, so
+    /// a retry resumes with the work already paid for.
     pub fn next(
         &mut self,
         server: &dyn SearchInterface,
         st: &mut SharedState,
-    ) -> Option<Arc<Tuple>> {
+    ) -> Result<Option<Arc<Tuple>>, RerankError> {
         // Resolve all unknown subspace tops.
         for sub in &mut self.subs {
             if matches!(sub.top, TopState::Unknown) {
@@ -106,9 +107,9 @@ impl MdCursor {
                         &sub.bbox,
                         &self.sel,
                         &sub.cell_emitted,
-                    )
+                    )?
                 } else {
-                    match md_top1(server, st, &self.view, &self.sel, &sub.bbox, self.opts) {
+                    match md_top1(server, st, &self.view, &self.sel, &sub.bbox, self.opts)? {
                         None => TopState::Empty,
                         Some((t, s)) => TopState::Known(t, s),
                     }
@@ -116,7 +117,7 @@ impl MdCursor {
             }
         }
         // Best over subspaces (score, then id).
-        let best_idx = self
+        let Some(best_idx) = self
             .subs
             .iter()
             .enumerate()
@@ -125,7 +126,10 @@ impl MdCursor {
                 _ => None,
             })
             .min_by(|a, b| qrs_types::value::cmp_f64(a.2, b.2).then(a.1.cmp(&b.1)))
-            .map(|(i, _, _)| i)?;
+            .map(|(i, _, _)| i)
+        else {
+            return Ok(None);
+        };
 
         let TopState::Known(t, _) = self.subs[best_idx].top.clone() else {
             unreachable!()
@@ -153,8 +157,10 @@ impl MdCursor {
                             )
                         })
                         .unwrap_or(0);
-                    for side in [Interval::less_than(coords[d]), Interval::greater_than(coords[d])]
-                    {
+                    for side in [
+                        Interval::less_than(coords[d]),
+                        Interval::greater_than(coords[d]),
+                    ] {
                         let child = host.bbox.with_dim(d, side);
                         if !child.is_empty() {
                             self.subs.push(Subspace {
@@ -167,17 +173,24 @@ impl MdCursor {
                 }
             }
         }
-        Some(t)
+        Ok(Some(t))
     }
 
-    /// Pull the top `h` tuples.
+    /// Pull the top `h` tuples (shorter if `R(q)` is exhausted).
     pub fn top_h(
         &mut self,
         server: &dyn SearchInterface,
         st: &mut SharedState,
         h: usize,
-    ) -> Vec<Arc<Tuple>> {
-        (0..h).map_while(|_| self.next(server, st)).collect()
+    ) -> Result<Vec<Arc<Tuple>>, RerankError> {
+        let mut out = Vec::with_capacity(h);
+        for _ in 0..h {
+            match self.next(server, st)? {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        Ok(out)
     }
 
     /// Number of live subspaces (diagnostics).
@@ -231,28 +244,28 @@ fn cell_top(
     cell: &NormBox,
     sel: &Query,
     emitted: &HashSet<TupleId>,
-) -> TopState {
+) -> Result<TopState, RerankError> {
     let q = view.to_query(cell, sel);
     if q.is_unsatisfiable() {
-        return TopState::Empty;
+        return Ok(TopState::Empty);
     }
     if !st.complete.covers(&q) {
-        let resp = server.query(&q);
+        let resp = server.query(&q)?;
         st.absorb(&q, &resp);
         if resp.is_overflow() {
             // >k tuples at one ranking-coordinate point: crawl by the
             // remaining (non-ranking / categorical) attributes.
-            let _ = crawl_region(server, st, &q);
+            crawl_region(server, st, &q)?;
         }
     }
     let known = st.history.matching(&q);
-    match known.into_iter().find(|t| !emitted.contains(&t.id)) {
+    Ok(match known.into_iter().find(|t| !emitted.contains(&t.id)) {
         Some(t) => {
             let s = view.score(&t);
             TopState::Known(t, s)
         }
         None => TopState::Empty,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -276,7 +289,11 @@ mod tests {
     ) {
         assert!(got.len() <= full_truth.len(), "emitted more than exists");
         let gs: Vec<f64> = got.iter().map(|t| score(t)).collect();
-        let ts: Vec<f64> = full_truth.iter().take(got.len()).map(|t| score(t)).collect();
+        let ts: Vec<f64> = full_truth
+            .iter()
+            .take(got.len())
+            .map(|t| score(t))
+            .collect();
         assert_eq!(gs, ts, "score sequences differ");
         let mut i = 0;
         while i < gs.len() {
@@ -306,7 +323,14 @@ mod tests {
         }
     }
 
-    fn run_all(data: qrs_types::Dataset, rank: LinearRank, sel: Query, sys: SystemRank, k: usize, h: usize) {
+    fn run_all(
+        data: qrs_types::Dataset,
+        rank: LinearRank,
+        sel: Query,
+        sys: SystemRank,
+        k: usize,
+        h: usize,
+    ) {
         let mut truth: Vec<Arc<Tuple>> = data
             .tuples()
             .iter()
@@ -323,7 +347,7 @@ mod tests {
             let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(n, k));
             let server = SimServer::new(data.clone(), sys.clone(), k);
             let mut cur = MdCursor::new(Arc::new(rank.clone()), sel.clone(), opts, server.schema());
-            let got = cur.top_h(&server, &mut st, h);
+            let got = cur.top_h(&server, &mut st, h).unwrap();
             assert_eq!(got.len(), h.min(truth.len()), "emitted count");
             assert_stream_matches(&got, &truth, |t| rank.score(t));
             let _ = name;
@@ -392,9 +416,9 @@ mod tests {
             MdOptions::binary(),
             server.schema(),
         );
-        let got = cur.top_h(&server, &mut st, 100);
+        let got = cur.top_h(&server, &mut st, 100).unwrap();
         assert_eq!(got.len(), 40, "must emit the entire relation");
-        assert!(cur.next(&server, &mut st).is_none());
+        assert!(cur.next(&server, &mut st).unwrap().is_none());
         // Scores non-decreasing.
         let scores: Vec<f64> = got.iter().map(|t| rank.score(t)).collect();
         assert!(scores.windows(2).all(|w| w[0] <= w[1]));

@@ -18,9 +18,9 @@ use crate::ctx::SharedState;
 use crate::norm::NormView;
 use crate::one_d::{OneDCursor, OneDSpec, OneDStrategy, TiePolicy};
 use qrs_ranking::RankFn;
-use qrs_server::SearchInterface;
+use qrs_server::{Capabilities, SearchInterface};
 use qrs_types::value::OrdF64;
-use qrs_types::{Query, Schema, Tuple, TupleId};
+use qrs_types::{Capability, Query, RerankError, Schema, Tuple, TupleId};
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -49,7 +49,7 @@ impl Stream {
         &mut self,
         server: &dyn SearchInterface,
         st: &mut SharedState,
-    ) -> Option<Arc<Tuple>> {
+    ) -> Result<Option<Arc<Tuple>>, RerankError> {
         match self {
             Stream::Cursor(c) => c.next(server, st),
             Stream::Public {
@@ -57,27 +57,25 @@ impl Stream {
                 page,
                 buf,
                 done,
-            } => {
-                loop {
-                    if let Some(t) = buf.pop_front() {
-                        return Some(t);
-                    }
-                    if *done {
-                        return None;
-                    }
-                    let p = server.query_ordered(&spec.sel, spec.attr, spec.dir, *page);
-                    *page += 1;
-                    *done = !p.has_more;
-                    for t in &p.tuples {
-                        st.history.record(t);
-                    }
-                    if p.tuples.is_empty() {
-                        *done = true;
-                        return None;
-                    }
-                    buf.extend(p.tuples);
+            } => loop {
+                if let Some(t) = buf.pop_front() {
+                    return Ok(Some(t));
                 }
-            }
+                if *done {
+                    return Ok(None);
+                }
+                let p = server.query_ordered(&spec.sel, spec.attr, spec.dir, *page)?;
+                *page += 1;
+                *done = !p.has_more;
+                for t in &p.tuples {
+                    st.history.record(t);
+                }
+                if p.tuples.is_empty() {
+                    *done = true;
+                    return Ok(None);
+                }
+                buf.extend(p.tuples);
+            },
         }
     }
 }
@@ -98,17 +96,20 @@ pub struct TaCursor {
 
 impl TaCursor {
     pub fn new(rank: Arc<dyn RankFn>, sel: Query, access: SortedAccess, schema: &Schema) -> Self {
-        Self::with_server_caps(rank, sel, access, schema, &[])
+        Self::with_server_caps(rank, sel, access, schema, &Capabilities::none())
     }
 
-    /// Like [`TaCursor::new`] but aware of which attributes the server can
-    /// publicly `ORDER BY`.
+    /// Like [`TaCursor::new`] but negotiating against the server's
+    /// advertised [`Capabilities`]: attributes without public `ORDER BY`
+    /// fall back to 1D-RERANK sorted access. Callers wanting a hard error
+    /// instead of the fallback preflight with [`Capabilities::require`]
+    /// (the service layer's session builder does).
     pub fn with_server_caps(
         rank: Arc<dyn RankFn>,
         sel: Query,
         access: SortedAccess,
         schema: &Schema,
-        public_order_by: &[qrs_types::AttrId],
+        caps: &Capabilities,
     ) -> Self {
         let view = NormView::new(Arc::clone(&rank), schema);
         let streams = rank
@@ -118,7 +119,7 @@ impl TaCursor {
             .map(|(&a, &d)| {
                 let spec = OneDSpec::new(a, d, sel.clone());
                 match access {
-                    SortedAccess::PublicOrderBy if public_order_by.contains(&a) => {
+                    SortedAccess::PublicOrderBy if caps.supports(Capability::OrderBy(a)) => {
                         Stream::Public {
                             spec,
                             page: 0,
@@ -155,12 +156,13 @@ impl TaCursor {
         &self.view
     }
 
-    /// The next tuple in user-ranking order.
+    /// The next tuple in user-ranking order (`Ok(None)` once exhausted).
+    /// Candidates and frontiers survive an `Err`, so a retry resumes.
     pub fn next(
         &mut self,
         server: &dyn SearchInterface,
         st: &mut SharedState,
-    ) -> Option<Arc<Tuple>> {
+    ) -> Result<Option<Arc<Tuple>>, RerankError> {
         loop {
             let tau = if self.all_known {
                 f64::INFINITY
@@ -169,26 +171,37 @@ impl TaCursor {
             };
             if let Some((&(s, id), _)) = self.candidates.first_key_value() {
                 if s.0 <= tau {
-                    return self.candidates.remove(&(s, id));
+                    return Ok(self.candidates.remove(&(s, id)));
                 }
             } else if self.all_known {
-                return None;
+                return Ok(None);
             }
-            self.pull_one(server, st);
+            self.pull_one(server, st)?;
         }
     }
 
-    /// Pull the top `h` tuples.
+    /// Pull the top `h` tuples (shorter if `R(q)` is exhausted).
     pub fn top_h(
         &mut self,
         server: &dyn SearchInterface,
         st: &mut SharedState,
         h: usize,
-    ) -> Vec<Arc<Tuple>> {
-        (0..h).map_while(|_| self.next(server, st)).collect()
+    ) -> Result<Vec<Arc<Tuple>>, RerankError> {
+        let mut out = Vec::with_capacity(h);
+        for _ in 0..h {
+            match self.next(server, st)? {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        Ok(out)
     }
 
-    fn pull_one(&mut self, server: &dyn SearchInterface, st: &mut SharedState) {
+    fn pull_one(
+        &mut self,
+        server: &dyn SearchInterface,
+        st: &mut SharedState,
+    ) -> Result<(), RerankError> {
         let m = self.streams.len();
         for _ in 0..m {
             let i = self.rr;
@@ -196,25 +209,26 @@ impl TaCursor {
             if self.exhausted[i] {
                 continue;
             }
-            match self.streams[i].next(server, st) {
+            match self.streams[i].next(server, st)? {
                 Some(t) => {
-                    self.frontier[i] =
-                        self.view.rank().directions()[i].normalize(t.ord(self.view.rank().attrs()[i]));
+                    self.frontier[i] = self.view.rank().directions()[i]
+                        .normalize(t.ord(self.view.rank().attrs()[i]));
                     if self.seen.insert(t.id) {
                         let s = self.view.score(&t);
                         self.candidates.insert((OrdF64(s), t.id), t);
                     }
-                    return;
+                    return Ok(());
                 }
                 None => {
                     // One exhausted stream enumerated all of R(q): complete.
                     self.exhausted[i] = true;
                     self.all_known = true;
-                    return;
+                    return Ok(());
                 }
             }
         }
         self.all_known = true;
+        Ok(())
     }
 }
 
@@ -254,6 +268,7 @@ mod tests {
         );
         let got: Vec<f64> = ta
             .top_h(&server, &mut st, 15)
+            .unwrap()
             .iter()
             .map(|t| rank.score(t))
             .collect();
@@ -275,6 +290,7 @@ mod tests {
         );
         let got: Vec<f64> = ta
             .top_h(&server, &mut st, 10)
+            .unwrap()
             .iter()
             .map(|t| rank.score(t))
             .collect();
@@ -293,10 +309,11 @@ mod tests {
             Query::all(),
             SortedAccess::PublicOrderBy,
             server.schema(),
-            &server.order_by_attrs(),
+            &server.capabilities(),
         );
         let got: Vec<f64> = ta
             .top_h(&server, &mut st, 12)
+            .unwrap()
             .iter()
             .map(|t| rank.score(t))
             .collect();
@@ -315,8 +332,8 @@ mod tests {
             SortedAccess::OneD(OneDStrategy::Binary),
             server.schema(),
         );
-        let got = ta.top_h(&server, &mut st, 1000);
+        let got = ta.top_h(&server, &mut st, 1000).unwrap();
         assert_eq!(got.len(), 60);
-        assert!(ta.next(&server, &mut st).is_none());
+        assert!(ta.next(&server, &mut st).unwrap().is_none());
     }
 }

@@ -21,7 +21,7 @@ use crate::index::densemd::md_oracle;
 use crate::md::split::{prefix_split, split_excluding};
 use crate::norm::{NormBox, NormView};
 use qrs_server::SearchInterface;
-use qrs_types::{Interval, Query, Tuple};
+use qrs_types::{Interval, Query, RerankError, Tuple};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -83,7 +83,7 @@ pub fn md_top1(
     sel: &Query,
     b0: &NormBox,
     opts: MdOptions,
-) -> Option<(Arc<Tuple>, f64)> {
+) -> Result<Option<(Arc<Tuple>, f64)>, RerankError> {
     let mut best: Best = history_best(st, view, b0, sel);
     let mut queue: VecDeque<NormBox> = VecDeque::new();
     queue.push_back(b0.clone());
@@ -99,7 +99,7 @@ pub fn md_top1(
             Some(x) => x,
         };
         if opts.dense_index && b.rel_volume(view.bounds()) < st.params.dense_rel_volume() {
-            if let Some((t, s)) = md_oracle(server, st, view, &b, sel) {
+            if let Some((t, s)) = md_oracle(server, st, view, &b, sel)? {
                 consider(&mut best, &t, s);
             }
             continue;
@@ -114,7 +114,7 @@ pub fn md_top1(
             }
             continue;
         }
-        let resp = server.query(&q);
+        let resp = server.query(&q)?;
         st.absorb(&q, &resp);
         match resp.outcome {
             qrs_types::QueryOutcome::Underflow => continue,
@@ -149,7 +149,7 @@ pub fn md_top1(
                 match pivot {
                     Some(p) => {
                         if opts.domination {
-                            probe_dominated(server, st, view, &b, &p, sel, &mut best);
+                            probe_dominated(server, st, view, &b, &p, sel, &mut best)?;
                         }
                         let target = best.as_ref().map(|(_, s)| *s).unwrap();
                         queue.extend(split_excluding(view, &b, &p, &wc, target));
@@ -166,7 +166,7 @@ pub fn md_top1(
             }
         }
     }
-    best
+    Ok(best)
 }
 
 /// §4.3.2 direct domination detection: one query on the box `{u ⪯ p} ∩ b`.
@@ -178,38 +178,34 @@ fn probe_dominated(
     p: &[f64],
     sel: &Query,
     best: &mut Best,
-) {
+) -> Result<(), RerankError> {
     let mut probe = b.clone();
     for (j, &pj) in p.iter().enumerate() {
         probe.dims[j] = probe.dims[j].intersect(&Interval::at_most(pj));
     }
     if probe.is_empty() {
-        return;
+        return Ok(());
     }
     let q = view.to_query(&probe, sel);
     if q.is_unsatisfiable() {
-        return;
+        return Ok(());
     }
     if st.complete.covers(&q) {
         if let Some((t, s)) = history_best(st, view, &probe, sel) {
             consider(best, &t, s);
         }
-        return;
+        return Ok(());
     }
-    let resp = server.query(&q);
+    let resp = server.query(&q)?;
     st.absorb(&q, &resp);
     for t in &resp.tuples {
         consider(best, t, view.score(t));
     }
+    Ok(())
 }
 
 /// Best known tuple inside a box from history alone.
-pub(crate) fn history_best(
-    st: &SharedState,
-    view: &NormView,
-    b: &NormBox,
-    sel: &Query,
-) -> Best {
+pub(crate) fn history_best(st: &SharedState, view: &NormView, b: &NormBox, sel: &Query) -> Best {
     let attr0 = view.rank().attrs()[0];
     let raw_iv = match view.rank().directions()[0] {
         qrs_types::Direction::Asc => b.dims[0],
@@ -286,7 +282,7 @@ mod tests {
             let server = SimServer::new(data.clone(), sys.clone(), k);
             let view = NormView::new(Arc::new(rank.clone()), server.schema());
             let b0 = view.initial_box(&sel);
-            let got = md_top1(&server, &mut st, &view, &sel, &b0, opts);
+            let got = md_top1(&server, &mut st, &view, &sel, &b0, opts).unwrap();
             assert_eq!(got.map(|(_, s)| s), truth, "algo {name}");
         }
     }
@@ -325,11 +321,7 @@ mod tests {
             data,
             SystemRank::linear("sys", vec![(AttrId(2), -1.0)]),
             4,
-            LinearRank::asc(vec![
-                (AttrId(0), 0.5),
-                (AttrId(1), 0.9),
-                (AttrId(2), 0.2),
-            ]),
+            LinearRank::asc(vec![(AttrId(0), 0.5), (AttrId(1), 0.9), (AttrId(2), 0.2)]),
             sel,
         );
     }
@@ -359,7 +351,11 @@ mod tests {
         let rank = LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)]);
         let view = NormView::new(Arc::new(rank), server.schema());
         let b0 = view.initial_box(&sel);
-        assert!(md_top1(&server, &mut st, &view, &sel, &b0, MdOptions::binary()).is_none());
+        assert!(
+            md_top1(&server, &mut st, &view, &sel, &b0, MdOptions::binary())
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]
@@ -378,7 +374,8 @@ mod tests {
             &Query::all(),
             &b0,
             MdOptions::rerank(),
-        );
+        )
+        .unwrap();
         let truth = data
             .tuples()
             .iter()

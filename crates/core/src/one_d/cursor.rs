@@ -13,7 +13,7 @@ use crate::ctx::SharedState;
 use crate::one_d::primitives::{next_above, OneDSpec};
 use crate::one_d::OneDStrategy;
 use qrs_server::SearchInterface;
-use qrs_types::{Direction, Interval, Query, Tuple};
+use qrs_types::{Direction, Interval, Query, RerankError, Tuple};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -77,32 +77,45 @@ impl OneDCursor {
         &self.spec
     }
 
-    /// The next tuple in ranking order, or `None` when `R(q)` is exhausted.
+    /// The next tuple in ranking order, or `Ok(None)` when `R(q)` is
+    /// exhausted. A server failure surfaces as `Err`; the cursor stays
+    /// coherent and a later retry resumes where it stopped.
     pub fn next(
         &mut self,
         server: &dyn SearchInterface,
         st: &mut SharedState,
-    ) -> Option<Arc<Tuple>> {
+    ) -> Result<Option<Arc<Tuple>>, RerankError> {
         loop {
             match &mut self.state {
-                State::Done => return None,
+                State::Done => return Ok(None),
                 State::Slab { queue, nval } => {
                     if let Some(t) = queue.pop_front() {
-                        return Some(t);
+                        return Ok(Some(t));
                     }
                     let after = *nval;
-                    self.advance(server, st, after);
+                    self.advance(server, st, after)?;
                 }
                 State::PointEnum { values, queue } => {
                     if let Some(t) = queue.pop_front() {
-                        return Some(t);
+                        return Ok(Some(t));
                     }
                     match values.pop_front() {
                         None => self.state = State::Done,
                         Some(nv) => {
                             let slab = gather_slab(server, st, &self.spec, nv);
-                            if let State::PointEnum { queue, .. } = &mut self.state {
-                                queue.extend(slab);
+                            match slab {
+                                Ok(slab) => {
+                                    if let State::PointEnum { queue, .. } = &mut self.state {
+                                        queue.extend(slab);
+                                    }
+                                }
+                                Err(e) => {
+                                    // Re-queue the value so a retry replays it.
+                                    if let State::PointEnum { values, .. } = &mut self.state {
+                                        values.push_front(nv);
+                                    }
+                                    return Err(e);
+                                }
                             }
                         }
                     }
@@ -115,17 +128,15 @@ impl OneDCursor {
                             .values
                             .as_ref()
                             .expect("point-only attribute carries a value list");
-                        let mut norm: Vec<f64> = vals
-                            .iter()
-                            .map(|&v| self.spec.dir.normalize(v))
-                            .collect();
+                        let mut norm: Vec<f64> =
+                            vals.iter().map(|&v| self.spec.dir.normalize(v)).collect();
                         norm.sort_by(f64::total_cmp);
                         self.state = State::PointEnum {
                             values: norm.into_iter().collect(),
                             queue: VecDeque::new(),
                         };
                     } else {
-                        self.advance(server, st, f64::NEG_INFINITY);
+                        self.advance(server, st, f64::NEG_INFINITY)?;
                     }
                 }
             }
@@ -137,27 +148,36 @@ impl OneDCursor {
         &mut self,
         server: &dyn SearchInterface,
         st: &mut SharedState,
-    ) -> Vec<Arc<Tuple>> {
+    ) -> Result<Vec<Arc<Tuple>>, RerankError> {
         let mut out = Vec::new();
-        while let Some(t) = self.next(server, st) {
+        while let Some(t) = self.next(server, st)? {
             out.push(t);
         }
-        out
+        Ok(out)
     }
 
-    fn advance(&mut self, server: &dyn SearchInterface, st: &mut SharedState, after: f64) {
-        match next_above(server, st, &self.spec, self.strategy, after, None) {
+    fn advance(
+        &mut self,
+        server: &dyn SearchInterface,
+        st: &mut SharedState,
+        after: f64,
+    ) -> Result<(), RerankError> {
+        match next_above(server, st, &self.spec, self.strategy, after, None)? {
             None => self.state = State::Done,
             Some(t) => {
                 let nv = self.spec.nval(&t);
                 let queue: VecDeque<Arc<Tuple>> = match self.tie {
                     TiePolicy::AssumeDistinct => std::iter::once(t).collect(),
-                    TiePolicy::Exact => gather_slab(server, st, &self.spec, nv).into(),
+                    TiePolicy::Exact => gather_slab(server, st, &self.spec, nv)?.into(),
                 };
-                debug_assert!(!queue.is_empty(), "slab at a discovered value can't be empty");
+                debug_assert!(
+                    !queue.is_empty(),
+                    "slab at a discovered value can't be empty"
+                );
                 self.state = State::Slab { nval: nv, queue };
             }
         }
+        Ok(())
     }
 }
 
@@ -169,21 +189,21 @@ pub(crate) fn gather_slab(
     st: &mut SharedState,
     spec: &OneDSpec,
     nval: f64,
-) -> Vec<Arc<Tuple>> {
+) -> Result<Vec<Arc<Tuple>>, RerankError> {
     let raw = spec.dir.denormalize(nval);
     let q = spec.sel.clone().and_range(spec.attr, Interval::point(raw));
     if st.complete.covers(&q) {
-        return st.history.at_value(spec.attr, raw, &q);
+        return Ok(st.history.at_value(spec.attr, raw, &q));
     }
-    let resp = server.query(&q);
+    let resp = server.query(&q)?;
     st.absorb(&q, &resp);
     if resp.is_overflow() {
         // More than k ties at one value: crawl the slab by the other
         // attributes.
-        let r = crawl_region(server, st, &q);
-        return r.tuples;
+        let r = crawl_region(server, st, &q)?;
+        return Ok(r.tuples);
     }
-    st.history.at_value(spec.attr, raw, &q)
+    Ok(st.history.at_value(spec.attr, raw, &q))
 }
 
 #[cfg(test)]
@@ -217,10 +237,16 @@ mod tests {
             let mut cur = OneDCursor::over(AttrId(0), Direction::Asc, Query::all(), strategy);
             let got: Vec<(f64, u32)> = cur
                 .drain(&server, &mut st)
+                .unwrap()
                 .iter()
                 .map(|t| (t.ord(AttrId(0)), t.id.0))
                 .collect();
-            assert_eq!(got, truth_order(&server, cur.spec()), "{}", strategy.label());
+            assert_eq!(
+                got,
+                truth_order(&server, cur.spec()),
+                "{}",
+                strategy.label()
+            );
         }
     }
 
@@ -238,6 +264,7 @@ mod tests {
         );
         let got: Vec<(f64, u32)> = cur
             .drain(&server, &mut st)
+            .unwrap()
             .iter()
             .map(|t| (t.ord(AttrId(0)), t.id.0))
             .collect();
@@ -253,6 +280,7 @@ mod tests {
         let mut cur = OneDCursor::over(AttrId(0), Direction::Desc, sel, OneDStrategy::Binary);
         let got: Vec<(f64, u32)> = cur
             .drain(&server, &mut st)
+            .unwrap()
             .iter()
             .map(|t| (cur_nval(&cur, t), t.id.0))
             .collect();
@@ -275,14 +303,22 @@ mod tests {
                 OneDStrategy::Binary,
                 tie,
             );
-            let ids: Vec<u32> = cur.drain(&server, &mut st).iter().map(|t| t.id.0).collect();
+            let ids: Vec<u32> = cur
+                .drain(&server, &mut st)
+                .unwrap()
+                .iter()
+                .map(|t| t.id.0)
+                .collect();
             (ids, server.queries_issued())
         };
         let (exact_ids, exact_cost) = run(TiePolicy::Exact);
         let (fast_ids, fast_cost) = run(TiePolicy::AssumeDistinct);
         assert_eq!(exact_ids, fast_ids);
         // The distinct assumption saves the per-value point queries.
-        assert!(fast_cost < exact_cost, "fast {fast_cost} exact {exact_cost}");
+        assert!(
+            fast_cost < exact_cost,
+            "fast {fast_cost} exact {exact_cost}"
+        );
     }
 
     #[test]
@@ -310,10 +346,18 @@ mod tests {
             Query::all(),
             OneDStrategy::Rerank,
         );
-        let got: Vec<u32> = cur.drain(&server, &mut st).iter().map(|t| t.id.0).collect();
+        let got: Vec<u32> = cur
+            .drain(&server, &mut st)
+            .unwrap()
+            .iter()
+            .map(|t| t.id.0)
+            .collect();
         assert_eq!(got, vec![1, 3, 0, 2]);
         // Descending preference reverses the value order.
-        let mut st2 = SharedState::new(server.dataset().schema(), RerankParams::paper_defaults(4, 2));
+        let mut st2 = SharedState::new(
+            server.dataset().schema(),
+            RerankParams::paper_defaults(4, 2),
+        );
         let mut cur2 = OneDCursor::over(
             AttrId(0),
             Direction::Desc,
@@ -322,6 +366,7 @@ mod tests {
         );
         let got2: Vec<u32> = cur2
             .drain(&server, &mut st2)
+            .unwrap()
             .iter()
             .map(|t| t.id.0)
             .collect();
@@ -335,8 +380,8 @@ mod tests {
         let server = SimServer::new(data, SystemRank::pseudo_random(2), 5);
         let sel = Query::all().and_range(AttrId(1), Interval::closed(5.0, 6.0));
         let mut cur = OneDCursor::over(AttrId(0), Direction::Asc, sel, OneDStrategy::Baseline);
-        assert!(cur.next(&server, &mut st).is_none());
+        assert!(cur.next(&server, &mut st).unwrap().is_none());
         // Idempotent.
-        assert!(cur.next(&server, &mut st).is_none());
+        assert!(cur.next(&server, &mut st).unwrap().is_none());
     }
 }

@@ -9,7 +9,7 @@ use crate::ctx::SharedState;
 use crate::one_d::OneDStrategy;
 use qrs_server::SearchInterface;
 use qrs_types::value::OrdF64;
-use qrs_types::{AttrId, Direction, Endpoint, Interval, Query, Tuple};
+use qrs_types::{AttrId, Direction, Endpoint, Interval, Query, RerankError, Tuple};
 use std::sync::Arc;
 
 /// A 1D search specification: ranking attribute, direction and selection.
@@ -70,12 +70,12 @@ pub fn next_above(
     strategy: OneDStrategy,
     after: f64,
     upto: Option<f64>,
-) -> Option<Arc<Tuple>> {
+) -> Result<Option<Arc<Tuple>>, RerankError> {
     match strategy {
         OneDStrategy::Baseline => baseline(server, st, spec, after, upto),
-        OneDStrategy::Binary => match narrow(server, st, spec, after, upto, None) {
-            NarrowResult::Found(t) => Some(t),
-            NarrowResult::Exhausted(c) => c,
+        OneDStrategy::Binary => match narrow(server, st, spec, after, upto, None)? {
+            NarrowResult::Found(t) => Ok(Some(t)),
+            NarrowResult::Exhausted(c) => Ok(c),
             NarrowResult::Narrowed { .. } => unreachable!("no stop width given"),
         },
         OneDStrategy::Rerank => {
@@ -84,18 +84,18 @@ pub fn next_above(
                 o.domain_width()
             };
             let threshold = st.params.dense_width(domain);
-            match narrow(server, st, spec, after, upto, Some(threshold)) {
-                NarrowResult::Found(t) => Some(t),
-                NarrowResult::Exhausted(c) => c,
+            match narrow(server, st, spec, after, upto, Some(threshold))? {
+                NarrowResult::Found(t) => Ok(Some(t)),
+                NarrowResult::Exhausted(c) => Ok(c),
                 NarrowResult::Narrowed { lo, cur } => {
                     let cv = spec.nval(&cur);
                     // The unknown region is [lo, cv) when probes have raised
                     // lo past `after`, and (after, cv) otherwise — the
                     // closed oracle bound must never re-include `after`.
                     let x = if lo > after { lo } else { after.next_up() };
-                    match crate::index::dense1d::oracle(server, st, spec, x, cv) {
-                        Some(t) => Some(t),
-                        None => Some(cur),
+                    match crate::index::dense1d::oracle(server, st, spec, x, cv)? {
+                        Some(t) => Ok(Some(t)),
+                        None => Ok(Some(cur)),
                     }
                 }
             }
@@ -111,7 +111,7 @@ pub(crate) fn baseline(
     spec: &OneDSpec,
     after: f64,
     upto: Option<f64>,
-) -> Option<Arc<Tuple>> {
+) -> Result<Option<Arc<Tuple>>, RerankError> {
     let mut cur: Option<Arc<Tuple>> = st
         .history
         .next_norm_above(spec.attr, spec.dir, after, upto, &spec.sel)
@@ -120,19 +120,19 @@ pub(crate) fn baseline(
         let hi = effective_hi(cur.as_ref().map(|t| spec.nval(t)), upto);
         let iv = open_interval(after, hi);
         if iv.is_empty() {
-            return cur;
+            return Ok(cur);
         }
         let q = spec.query_for(iv);
         if st.complete.covers(&q) {
             // Every tuple in the interval is already known — and history had
             // none below `cur` (cur is the history minimum).
-            return cur;
+            return Ok(cur);
         }
-        let resp = server.query(&q);
+        let resp = server.query(&q)?;
         st.absorb(&q, &resp);
         match resp.outcome {
-            qrs_types::QueryOutcome::Underflow => return cur,
-            qrs_types::QueryOutcome::Valid => return spec.min_tuple(&resp.tuples).cloned(),
+            qrs_types::QueryOutcome::Underflow => return Ok(cur),
+            qrs_types::QueryOutcome::Valid => return Ok(spec.min_tuple(&resp.tuples).cloned()),
             qrs_types::QueryOutcome::Overflow => {
                 cur = spec.min_tuple(&resp.tuples).cloned();
                 debug_assert!(cur.is_some());
@@ -153,7 +153,7 @@ pub fn narrow(
     after: f64,
     upto: Option<f64>,
     stop_width: Option<f64>,
-) -> NarrowResult {
+) -> Result<NarrowResult, RerankError> {
     let mut cur: Option<Arc<Tuple>> = st
         .history
         .next_norm_above(spec.attr, spec.dir, after, upto, &spec.sel)
@@ -179,18 +179,20 @@ pub fn narrow(
                 half_open(lo, upto.unwrap_or(f64::INFINITY))
             };
             if iv.is_empty() {
-                return NarrowResult::Exhausted(None);
+                return Ok(NarrowResult::Exhausted(None));
             }
             let q = spec.query_for(iv);
             if st.complete.covers(&q) {
-                return NarrowResult::Exhausted(None);
+                return Ok(NarrowResult::Exhausted(None));
             }
-            let resp = server.query(&q);
+            let resp = server.query(&q)?;
             st.absorb(&q, &resp);
             match resp.outcome {
-                qrs_types::QueryOutcome::Underflow => return NarrowResult::Exhausted(None),
+                qrs_types::QueryOutcome::Underflow => return Ok(NarrowResult::Exhausted(None)),
                 qrs_types::QueryOutcome::Valid => {
-                    return NarrowResult::Found(spec.min_tuple(&resp.tuples).cloned().unwrap())
+                    return Ok(NarrowResult::Found(
+                        spec.min_tuple(&resp.tuples).cloned().unwrap(),
+                    ))
                 }
                 qrs_types::QueryOutcome::Overflow => {
                     cur = spec.min_tuple(&resp.tuples).cloned();
@@ -200,19 +202,19 @@ pub fn narrow(
         };
         let cv = spec.nval(&c);
         if lo >= cv {
-            return NarrowResult::Exhausted(cur);
+            return Ok(NarrowResult::Exhausted(cur));
         }
         if let Some(w) = stop_width {
             if cv - lo < w {
-                return NarrowResult::Narrowed { lo, cur: c };
+                return Ok(NarrowResult::Narrowed { lo, cur: c });
             }
         }
         let mid = lo + (cv - lo) / 2.0;
         if !(mid > lo && mid < cv) {
             // Floating-point degeneracy: confirm the sliver directly.
-            match probe(server, st, spec, region_iv(after, lo, cv)) {
-                Probe::Empty => return NarrowResult::Exhausted(cur),
-                Probe::All(t) => return NarrowResult::Found(t),
+            match probe(server, st, spec, region_iv(after, lo, cv))? {
+                Probe::Empty => return Ok(NarrowResult::Exhausted(cur)),
+                Probe::All(t) => return Ok(NarrowResult::Found(t)),
                 Probe::Partial(t) => {
                     cur = Some(t);
                     continue;
@@ -222,8 +224,8 @@ pub fn narrow(
         // Probe the lower half [lo, mid) — open at `after` before any
         // half-interval has been proven empty, so the predecessor tuple at
         // exactly `after` is never re-returned.
-        match probe(server, st, spec, region_iv(after, lo, mid)) {
-            Probe::All(t) => return NarrowResult::Found(t),
+        match probe(server, st, spec, region_iv(after, lo, mid))? {
+            Probe::All(t) => return Ok(NarrowResult::Found(t)),
             Probe::Partial(t) => {
                 cur = Some(t);
             }
@@ -231,9 +233,9 @@ pub fn narrow(
                 // Lower half empty — probe the entire upper half [mid, cv)
                 // (Algorithm 2's second query).
                 lo = mid;
-                match probe(server, st, spec, half_open(mid, cv)) {
-                    Probe::Empty => return NarrowResult::Exhausted(cur),
-                    Probe::All(t) => return NarrowResult::Found(t),
+                match probe(server, st, spec, half_open(mid, cv))? {
+                    Probe::Empty => return Ok(NarrowResult::Exhausted(cur)),
+                    Probe::All(t) => return Ok(NarrowResult::Found(t)),
                     Probe::Partial(t) => {
                         cur = Some(t);
                     }
@@ -257,25 +259,27 @@ fn probe(
     st: &mut SharedState,
     spec: &OneDSpec,
     iv: Interval,
-) -> Probe {
+) -> Result<Probe, RerankError> {
     if iv.is_empty() {
-        return Probe::Empty;
+        return Ok(Probe::Empty);
     }
     let q = spec.query_for(iv);
     if st.complete.covers(&q) {
-        return match st
-            .history
-            .matching(&q)
-            .into_iter()
-            .min_by_key(|t| (OrdF64(spec.nval(t)), t.id))
-        {
-            Some(t) => Probe::All(t),
-            None => Probe::Empty,
-        };
+        return Ok(
+            match st
+                .history
+                .matching(&q)
+                .into_iter()
+                .min_by_key(|t| (OrdF64(spec.nval(t)), t.id))
+            {
+                Some(t) => Probe::All(t),
+                None => Probe::Empty,
+            },
+        );
     }
-    let resp = server.query(&q);
+    let resp = server.query(&q)?;
     st.absorb(&q, &resp);
-    match resp.outcome {
+    Ok(match resp.outcome {
         qrs_types::QueryOutcome::Underflow => Probe::Empty,
         qrs_types::QueryOutcome::Valid => {
             Probe::All(spec.min_tuple(&resp.tuples).cloned().unwrap())
@@ -283,7 +287,7 @@ fn probe(
         qrs_types::QueryOutcome::Overflow => {
             Probe::Partial(spec.min_tuple(&resp.tuples).cloned().unwrap())
         }
-    }
+    })
 }
 
 fn effective_hi(cur: Option<f64>, upto: Option<f64>) -> f64 {
@@ -375,6 +379,7 @@ mod tests {
                 let (server, mut st) = setup(400, 5, 17, friendly);
                 let spec = OneDSpec::new(AttrId(0), Direction::Asc, Query::all());
                 let t = next_above(&server, &mut st, &spec, strategy, f64::NEG_INFINITY, None)
+                    .unwrap()
                     .expect("non-empty dataset has a minimum");
                 assert_eq!(
                     Some(spec.nval(&t)),
@@ -398,6 +403,7 @@ mod tests {
             f64::NEG_INFINITY,
             None,
         )
+        .unwrap()
         .unwrap();
         let max = server
             .dataset()
@@ -412,9 +418,16 @@ mod tests {
     fn after_excludes_previous_and_returns_successor() {
         let (server, mut st) = setup(300, 4, 29, false);
         let spec = OneDSpec::new(AttrId(0), Direction::Asc, Query::all());
-        let first =
-            next_above(&server, &mut st, &spec, OneDStrategy::Rerank, f64::NEG_INFINITY, None)
-                .unwrap();
+        let first = next_above(
+            &server,
+            &mut st,
+            &spec,
+            OneDStrategy::Rerank,
+            f64::NEG_INFINITY,
+            None,
+        )
+        .unwrap()
+        .unwrap();
         let second = next_above(
             &server,
             &mut st,
@@ -423,8 +436,12 @@ mod tests {
             spec.nval(&first),
             None,
         )
+        .unwrap()
         .unwrap();
-        assert_eq!(Some(spec.nval(&second)), truth_min(&server, &spec, spec.nval(&first)));
+        assert_eq!(
+            Some(spec.nval(&second)),
+            truth_min(&server, &spec, spec.nval(&first))
+        );
         assert!(spec.nval(&second) > spec.nval(&first));
     }
 
@@ -441,7 +458,8 @@ mod tests {
             OneDStrategy::Binary,
             f64::NEG_INFINITY,
             Some(m),
-        );
+        )
+        .unwrap();
         assert!(none.is_none());
     }
 
@@ -452,9 +470,13 @@ mod tests {
         let spec = OneDSpec::new(AttrId(0), Direction::Asc, sel);
         for strategy in OneDStrategy::ALL {
             let t = next_above(&server, &mut st, &spec, strategy, f64::NEG_INFINITY, None)
+                .unwrap()
                 .unwrap();
             assert!(spec.sel.matches(&t));
-            assert_eq!(Some(spec.nval(&t)), truth_min(&server, &spec, f64::NEG_INFINITY));
+            assert_eq!(
+                Some(spec.nval(&t)),
+                truth_min(&server, &spec, f64::NEG_INFINITY)
+            );
         }
     }
 
@@ -464,8 +486,11 @@ mod tests {
         let sel = Query::all().and_range(AttrId(1), Interval::closed(2.0, 3.0)); // outside [0,1]
         let spec = OneDSpec::new(AttrId(0), Direction::Asc, sel);
         for strategy in OneDStrategy::ALL {
-            assert!(next_above(&server, &mut st, &spec, strategy, f64::NEG_INFINITY, None)
-                .is_none());
+            assert!(
+                next_above(&server, &mut st, &spec, strategy, f64::NEG_INFINITY, None)
+                    .unwrap()
+                    .is_none()
+            );
         }
     }
 
@@ -474,15 +499,27 @@ mod tests {
         let (server, mut st) = setup(400, 5, 43, false);
         let spec = OneDSpec::new(AttrId(0), Direction::Asc, Query::all());
         let t1 = next_above(
-            &server, &mut st, &spec, OneDStrategy::Baseline, f64::NEG_INFINITY, None,
+            &server,
+            &mut st,
+            &spec,
+            OneDStrategy::Baseline,
+            f64::NEG_INFINITY,
+            None,
         )
+        .unwrap()
         .unwrap();
         let cost_first = server.queries_issued();
         // Second identical search: the confirming region is registered
         // complete, so it costs zero queries.
         let t2 = next_above(
-            &server, &mut st, &spec, OneDStrategy::Baseline, f64::NEG_INFINITY, None,
+            &server,
+            &mut st,
+            &spec,
+            OneDStrategy::Baseline,
+            f64::NEG_INFINITY,
+            None,
         )
+        .unwrap()
         .unwrap();
         assert_eq!(t1.id, t2.id);
         assert_eq!(server.queries_issued(), cost_first);

@@ -56,9 +56,7 @@ fn schema() -> Schema {
 pub fn autos(n: usize, seed: u64) -> Dataset {
     let schema = schema();
     let mut rng = StdRng::seed_from_u64(seed);
-    let tuples = (0..n)
-        .map(|i| gen_car(&mut rng, i as u32))
-        .collect();
+    let tuples = (0..n).map(|i| gen_car(&mut rng, i as u32)).collect();
     Dataset::new_unchecked(schema, tuples)
 }
 
@@ -67,13 +65,18 @@ fn gen_car(rng: &mut StdRng, id: u32) -> Tuple {
     let age = (23.0 * rng.random::<f64>().powf(1.4)).floor(); // 0..23 years
     let year = 2016.0 - age;
     // Mileage grows with age: ~12k/year with spread, capped at the domain.
-    let mileage =
-        truncated_normal(rng, 12_000.0 * (age + 0.5), 9_000.0 + 2_500.0 * age, 0.0, 300_000.0);
+    let mileage = truncated_normal(
+        rng,
+        12_000.0 * (age + 0.5),
+        9_000.0 + 2_500.0 * age,
+        0.0,
+        300_000.0,
+    );
     // Price decays with age and mileage: anti-correlated by construction.
     let base = truncated_normal(rng, 34_000.0, 9_000.0, 4_000.0, 50_000.0);
     let decay = (-0.16 * age - mileage / 320_000.0).exp();
-    let price = (base * decay + truncated_normal(rng, 0.0, 900.0, -2_500.0, 2_500.0))
-        .clamp(0.0, 50_000.0);
+    let price =
+        (base * decay + truncated_normal(rng, 0.0, 900.0, -2_500.0, 2_500.0)).clamp(0.0, 50_000.0);
 
     let ord = vec![
         (price / 50.0).round() * 50.0, // listings priced to $50 granularity

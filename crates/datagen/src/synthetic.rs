@@ -189,7 +189,10 @@ mod tests {
             let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
             let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
             let r = cov / (vx.sqrt() * vy.sqrt());
-            assert!(r.signum() == rho.signum() && r.abs() > 0.6, "rho {rho} r {r}");
+            assert!(
+                r.signum() == rho.signum() && r.abs() > 0.6,
+                "rho {rho} r {r}"
+            );
         }
     }
 

@@ -11,9 +11,7 @@
 //! where this holds by construction.
 
 use qrs_ranking::LinearRank;
-use qrs_types::{
-    AttrId, CatPredicate, Dataset, Direction, Interval, Query,
-};
+use qrs_types::{AttrId, CatPredicate, Dataset, Direction, Interval, Query};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -176,10 +174,7 @@ fn gen_selection(
             let half_width = (o.max - o.min) * (0.05 + 0.25 * rng.random::<f64>());
             q.add_range(
                 attr,
-                Interval::closed(
-                    (v - half_width).max(o.min),
-                    (v + half_width).min(o.max),
-                ),
+                Interval::closed((v - half_width).max(o.min), (v + half_width).min(o.max)),
             );
         }
     }

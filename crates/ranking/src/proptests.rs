@@ -1,46 +1,53 @@
-//! Property-based tests for the contour solvers: the safety conditions the
-//! MD pruning proofs rely on, fuzzed over random linear and Lp functions.
+//! Randomized property tests for the contour solvers: the safety conditions
+//! the MD pruning proofs rely on, fuzzed over random linear and Lp functions.
+//!
+//! Written against the local `rand` stand-in (no registry access for
+//! `proptest`): each property runs a deterministic seeded sweep.
 
 #![cfg(test)]
 
 use crate::{LinearRank, LpRank, RankFn};
-use proptest::prelude::*;
 use qrs_types::{AttrId, Direction};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
-fn linear_strategy(m: usize) -> impl Strategy<Value = LinearRank> {
-    proptest::collection::vec(1u32..100, m).prop_map(|ws| {
-        LinearRank::new(
-            ws.into_iter()
-                .enumerate()
-                .map(|(i, w)| (AttrId(i), Direction::Asc, f64::from(w) / 10.0))
-                .collect(),
-        )
-    })
+const CASES: usize = 256;
+
+fn linear(rng: &mut StdRng, m: usize) -> LinearRank {
+    LinearRank::new(
+        (0..m)
+            .map(|i| {
+                (
+                    AttrId(i),
+                    Direction::Asc,
+                    f64::from(rng.random_range(1..100u32)) / 10.0,
+                )
+            })
+            .collect(),
+    )
 }
 
-fn box_strategy(m: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
-    proptest::collection::vec((0u32..50, 1u32..50), m).prop_map(|pairs| {
-        let lo: Vec<f64> = pairs.iter().map(|(a, _)| f64::from(*a) / 10.0).collect();
-        let hi: Vec<f64> = pairs
-            .iter()
-            .map(|(a, b)| f64::from(a + b) / 10.0)
-            .collect();
-        (lo, hi)
-    })
+fn boxed(rng: &mut StdRng, m: usize) -> (Vec<f64>, Vec<f64>) {
+    let lo: Vec<f64> = (0..m)
+        .map(|_| f64::from(rng.random_range(0..50u32)) / 10.0)
+        .collect();
+    let hi: Vec<f64> = lo
+        .iter()
+        .map(|&l| l + f64::from(rng.random_range(1..50u32)) / 10.0)
+        .collect();
+    (lo, hi)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// ℓ safety: any point with `u_dim ≥ ell` scores at least the target.
-    #[test]
-    fn ell_prunes_safely(
-        f in linear_strategy(3),
-        (lo, hi) in box_strategy(3),
-        dim in 0usize..3,
-        tfrac in 0.0f64..1.0,
-        probe in 0.0f64..1.0,
-    ) {
+/// ℓ safety: any point with `u_dim ≥ ell` scores at least the target.
+#[test]
+fn ell_prunes_safely() {
+    let mut rng = StdRng::seed_from_u64(0x111);
+    for _ in 0..CASES {
+        let f = linear(&mut rng, 3);
+        let (lo, hi) = boxed(&mut rng, 3);
+        let dim = rng.random_range(0..3usize);
+        let tfrac: f64 = rng.random();
+        let probe: f64 = rng.random();
         let smin = f.score_norm(&lo);
         let smax = f.score_norm(&hi);
         let target = smin + tfrac * (smax - smin);
@@ -49,79 +56,98 @@ proptest! {
             // anywhere higher) scores >= target.
             let mut p = lo.clone();
             p[dim] = e + probe * (hi[dim] - e).max(0.0);
-            prop_assert!(f.score_norm(&p) >= target);
+            assert!(
+                f.score_norm(&p) >= target,
+                "ell cap unsafe: {f:?} dim {dim}"
+            );
         } else {
             // No cap means even the box edge stays under target.
             let mut p = lo.clone();
             p[dim] = hi[dim];
-            prop_assert!(f.score_norm(&p) < target);
+            assert!(
+                f.score_norm(&p) < target,
+                "missing ell cap: {f:?} dim {dim}"
+            );
         }
     }
+}
 
-    /// Corner safety: `lo ≤ corner ≤ witness` and `S(corner) ≥ target`.
-    #[test]
-    fn corner_is_safe_and_dominated(
-        f in linear_strategy(4),
-        (lo, hi) in box_strategy(4),
-        wfrac in proptest::collection::vec(0.0f64..=1.0, 4),
-        tfrac in 0.0f64..1.0,
-    ) {
-        let w: Vec<f64> = lo.iter().zip(&hi).zip(&wfrac)
-            .map(|((&l, &h), &fr)| l + fr * (h - l))
+/// Corner safety: `lo ≤ corner ≤ witness` and `S(corner) ≥ target`.
+#[test]
+fn corner_is_safe_and_dominated() {
+    let mut rng = StdRng::seed_from_u64(0x222);
+    for _ in 0..CASES {
+        let f = linear(&mut rng, 4);
+        let (lo, hi) = boxed(&mut rng, 4);
+        let w: Vec<f64> = lo
+            .iter()
+            .zip(&hi)
+            .map(|(&l, &h)| l + rng.random::<f64>() * (h - l))
             .collect();
         let sw = f.score_norm(&w);
         let smin = f.score_norm(&lo);
-        let target = smin + tfrac * (sw - smin);
+        let target = smin + rng.random::<f64>() * (sw - smin);
         let b = f.corner(&w, target, &lo);
-        prop_assert!(f.score_norm(&b) >= target);
+        assert!(f.score_norm(&b) >= target, "corner under target: {f:?}");
         for j in 0..4 {
-            prop_assert!(b[j] <= w[j] + 1e-12);
-            prop_assert!(b[j] >= lo[j] - 1e-12);
+            assert!(b[j] <= w[j] + 1e-12, "corner above witness on dim {j}");
+            assert!(b[j] >= lo[j] - 1e-12, "corner below floor on dim {j}");
         }
     }
+}
 
-    /// Virtual tuple: inside the box, scoring ≥ target; and the dominated
-    /// probe corner {u ⪯ v'} only contains points scoring ≤ S(v').
-    #[test]
-    fn contour_point_is_on_target_side(
-        f in linear_strategy(3),
-        (lo, hi) in box_strategy(3),
-        tfrac in 0.01f64..0.99,
-    ) {
+/// Virtual tuple: inside the box, scoring ≥ target; and the box floor stays
+/// strictly below the target.
+#[test]
+fn contour_point_is_on_target_side() {
+    let mut rng = StdRng::seed_from_u64(0x333);
+    for _ in 0..CASES {
+        let f = linear(&mut rng, 3);
+        let (lo, hi) = boxed(&mut rng, 3);
+        let tfrac = 0.01 + 0.98 * rng.random::<f64>();
         let smin = f.score_norm(&lo);
         let smax = f.score_norm(&hi);
-        prop_assume!(smax > smin);
+        if smax <= smin {
+            continue;
+        }
         let target = smin + tfrac * (smax - smin);
         if let Some(v) = f.contour_point(&lo, &hi, target) {
-            prop_assert!(f.score_norm(&v) >= target);
+            assert!(f.score_norm(&v) >= target, "contour point under target");
             for j in 0..3 {
-                prop_assert!(v[j] >= lo[j] - 1e-12 && v[j] <= hi[j] + 1e-12);
+                assert!(
+                    v[j] >= lo[j] - 1e-12 && v[j] <= hi[j] + 1e-12,
+                    "contour point outside box on dim {j}"
+                );
             }
             // One ULP-ish back along the diagonal toward lo scores < target
             // is NOT guaranteed for the waterfilled point, but lo itself is.
-            prop_assert!(f.score_norm(&lo) < target);
+            assert!(f.score_norm(&lo) < target);
         }
     }
+}
 
-    /// The generic solvers hold for non-linear monotone functions too.
-    #[test]
-    fn lp_solvers_safe(
-        (lo, hi) in box_strategy(2),
-        tfrac in 0.01f64..0.99,
-        dim in 0usize..2,
-    ) {
+/// The generic solvers hold for non-linear monotone functions too.
+#[test]
+fn lp_solvers_safe() {
+    let mut rng = StdRng::seed_from_u64(0x444);
+    for _ in 0..CASES {
+        let (lo, hi) = boxed(&mut rng, 2);
+        let tfrac = 0.01 + 0.98 * rng.random::<f64>();
+        let dim = rng.random_range(0..2usize);
         let f = LpRank::l2(vec![AttrId(0), AttrId(1)], lo.clone());
         let smin = f.score_norm(&lo);
         let smax = f.score_norm(&hi);
-        prop_assume!(smax > smin);
+        if smax <= smin {
+            continue;
+        }
         let target = smin + tfrac * (smax - smin);
         if let Some(e) = f.ell(dim, target, &lo, hi[dim]) {
             let mut p = lo.clone();
             p[dim] = e;
-            prop_assert!(f.score_norm(&p) >= target);
+            assert!(f.score_norm(&p) >= target, "Lp ell cap unsafe on dim {dim}");
         }
         if let Some(v) = f.contour_point(&lo, &hi, target) {
-            prop_assert!(f.score_norm(&v) >= target);
+            assert!(f.score_norm(&v) >= target, "Lp contour point under target");
         }
     }
 }

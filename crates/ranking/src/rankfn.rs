@@ -175,12 +175,8 @@ pub(crate) fn snap_to_contour(
     p: &[f64],
     target: f64,
 ) -> Option<Vec<f64>> {
-    let point_at = |lam: f64| -> Vec<f64> {
-        lo.iter()
-            .zip(p)
-            .map(|(&l, &x)| l + lam * (x - l))
-            .collect()
-    };
+    let point_at =
+        |lam: f64| -> Vec<f64> { lo.iter().zip(p).map(|(&l, &x)| l + lam * (x - l)).collect() };
     if f.score_norm(p) >= target {
         let lam = partition_point_f64(0.0, 1.0, |lam| f.score_norm(&point_at(lam)) >= target)?;
         Some(point_at(lam))

@@ -15,9 +15,7 @@
 use crate::interface::SearchInterface;
 use parking_lot::Mutex;
 use qrs_types::value::cmp_f64;
-use qrs_types::{
-    Endpoint, OrdinalAttr, Query, QueryResponse, Schema, Tuple, TupleId,
-};
+use qrs_types::{Endpoint, OrdinalAttr, Query, QueryResponse, Schema, ServerError, Tuple, TupleId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -110,7 +108,7 @@ impl SearchInterface for AdversaryServer {
         self.k
     }
 
-    fn query(&self, q: &Query) -> QueryResponse {
+    fn query(&self, q: &Query) -> Result<QueryResponse, ServerError> {
         self.counter.fetch_add(1, Ordering::Relaxed);
         let attr = qrs_types::AttrId(0);
         let iv = q.interval(attr);
@@ -132,7 +130,7 @@ impl SearchInterface for AdversaryServer {
             matches.sort_by(|a, b| cmp_f64(a.ord(attr), b.ord(attr)));
             let overflow = matches.len() > self.k;
             matches.truncate(self.k);
-            return QueryResponse::new(matches, overflow);
+            return Ok(QueryResponse::new(matches, overflow));
         }
 
         // The probe reaches the domain minimum: serve known matches and pad
@@ -180,7 +178,7 @@ impl SearchInterface for AdversaryServer {
         } else {
             true
         };
-        QueryResponse::new(out, overflow)
+        Ok(QueryResponse::new(out, overflow))
     }
 
     fn queries_issued(&self) -> u64 {
@@ -196,7 +194,7 @@ mod tests {
     #[test]
     fn keeps_materializing_below_previous_answers() {
         let adv = AdversaryServer::new(0.0, 1.0, 20, 2);
-        let r1 = adv.query(&Query::all());
+        let r1 = adv.query(&Query::all()).unwrap();
         assert!(r1.is_overflow());
         let min1 = r1
             .tuples
@@ -204,7 +202,9 @@ mod tests {
             .map(|t| t.ord(AttrId(0)))
             .fold(f64::INFINITY, f64::min);
         // Probe below the smallest seen value — fresh, smaller tuples appear.
-        let r2 = adv.query(&Query::all().and_range(AttrId(0), Interval::open(0.0, min1)));
+        let r2 = adv
+            .query(&Query::all().and_range(AttrId(0), Interval::open(0.0, min1)))
+            .unwrap();
         assert!(r2.is_overflow());
         let min2 = r2
             .tuples
@@ -217,10 +217,12 @@ mod tests {
     #[test]
     fn probes_above_domain_min_reveal_nothing_new() {
         let adv = AdversaryServer::new(0.0, 1.0, 20, 2);
-        let r1 = adv.query(&Query::all());
+        let r1 = adv.query(&Query::all()).unwrap();
         let count_before = adv.materialized().len();
         // A probe with a positive lower bound only replays history.
-        let r2 = adv.query(&Query::all().and_range(AttrId(0), Interval::open(0.5, 1.0)));
+        let r2 = adv
+            .query(&Query::all().and_range(AttrId(0), Interval::open(0.5, 1.0)))
+            .unwrap();
         assert_eq!(adv.materialized().len(), count_before);
         for t in &r2.tuples {
             assert!(r1.tuples.iter().any(|u| u.id == t.id));
@@ -235,7 +237,8 @@ mod tests {
         while !adv.is_frozen() {
             // The strongest possible probe: straight to the domain minimum.
             let hi = adv.current_min().unwrap_or(1.0);
-            adv.query(&Query::all().and_range(AttrId(0), Interval::open(0.0, hi)));
+            adv.query(&Query::all().and_range(AttrId(0), Interval::open(0.0, hi)))
+                .unwrap();
             probes += 1;
             assert!(probes <= n, "adversary failed to freeze");
         }
@@ -248,13 +251,16 @@ mod tests {
         let adv = AdversaryServer::new(0.0, 1.0, n, k);
         while !adv.is_frozen() {
             let hi = adv.current_min().unwrap_or(1.0);
-            adv.query(&Query::all().and_range(AttrId(0), Interval::open(0.0, hi)));
+            adv.query(&Query::all().and_range(AttrId(0), Interval::open(0.0, hi)))
+                .unwrap();
         }
         let all = adv.materialized();
         assert_eq!(all.len(), n);
         // A query below the true minimum underflows now.
         let true_min = adv.current_min().unwrap();
-        let r = adv.query(&Query::all().and_range(AttrId(0), Interval::open(0.0, true_min)));
+        let r = adv
+            .query(&Query::all().and_range(AttrId(0), Interval::open(0.0, true_min)))
+            .unwrap();
         assert!(r.is_underflow());
     }
 }

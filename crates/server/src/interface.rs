@@ -3,13 +3,20 @@
 //! Everything `qrs-core` knows about the remote database goes through
 //! [`SearchInterface`]. The trait is object-safe so reranking algorithms are
 //! generic over the simulated server, the adversarial server, and any future
-//! adapter to a real HTTP endpoint.
+//! adapter to a real HTTP endpoint — which is why every query method returns
+//! `Result`: a real adapter surfaces rate limits (429s) and transient
+//! failures as [`ServerError`] instead of panicking inside the middleware.
+//!
+//! Optional features — page turns, public `ORDER BY` — are *negotiated*
+//! through [`SearchInterface::capabilities`]: callers preflight
+//! [`Capabilities::require`] and get a typed [`ServerError::Unsupported`]
+//! (never a panic) when a server lacks the feature.
 
-use qrs_types::{AttrId, Direction, Query, QueryResponse, Schema, Tuple};
+use qrs_types::{AttrId, Capability, Direction, Query, QueryResponse, Schema, ServerError, Tuple};
 use std::sync::Arc;
 
 /// One page of an `ORDER BY` query (§5 extension; supported only by servers
-/// that advertise it).
+/// whose [`Capabilities`] advertise it).
 #[derive(Debug, Clone)]
 pub struct OrderedPage {
     /// Tuples ranked `[offset, offset + k)` among `R(q)` under the public
@@ -19,11 +26,64 @@ pub struct OrderedPage {
     pub has_more: bool,
 }
 
+/// The optional features a search interface offers beyond one-shot top-k
+/// queries. Returned by [`SearchInterface::capabilities`]; the single source
+/// of truth for capability negotiation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Capabilities {
+    /// The interface supports page turns on the system ranking.
+    pub paging: bool,
+    /// Attributes the interface can publicly `ORDER BY` (§5).
+    pub order_by: Vec<AttrId>,
+}
+
+impl Capabilities {
+    /// A bare top-k interface: no paging, no public `ORDER BY` — the
+    /// paper's baseline assumption and the trait default.
+    pub fn none() -> Self {
+        Capabilities::default()
+    }
+
+    /// Builder: advertise page-turn support.
+    pub fn with_paging(mut self) -> Self {
+        self.paging = true;
+        self
+    }
+
+    /// Builder: advertise public `ORDER BY` on `attrs`.
+    pub fn with_order_by(mut self, attrs: Vec<AttrId>) -> Self {
+        self.order_by = attrs;
+        self
+    }
+
+    /// Does this interface offer `cap`?
+    pub fn supports(&self, cap: Capability) -> bool {
+        match cap {
+            Capability::Paging => self.paging,
+            Capability::OrderBy(a) => self.order_by.contains(&a),
+        }
+    }
+
+    /// Preflight check: `Ok(())` or the typed refusal.
+    pub fn require(&self, cap: Capability) -> Result<(), ServerError> {
+        if self.supports(cap) {
+            Ok(())
+        } else {
+            Err(ServerError::Unsupported(cap))
+        }
+    }
+}
+
 /// A client-server database's public top-k search interface.
 ///
-/// Every call to [`SearchInterface::query`], [`SearchInterface::query_page`]
-/// or [`SearchInterface::query_ordered`] costs one unit of the paper's query
-/// budget and increments [`SearchInterface::queries_issued`].
+/// Every *successful* call to [`SearchInterface::query`],
+/// [`SearchInterface::query_page`] or [`SearchInterface::query_ordered`]
+/// costs one unit of the paper's query budget and increments
+/// [`SearchInterface::queries_issued`]. Failed calls may or may not be
+/// charged, at the adapter's discretion — the in-tree simulators do *not*
+/// charge refused requests (the backend rejected them before doing any
+/// work), while a real HTTP adapter may, since some sites count rejected
+/// requests against quotas too.
 pub trait SearchInterface: Send + Sync {
     /// Schema of the underlying database (public on real sites via the
     /// search form).
@@ -32,37 +92,93 @@ pub trait SearchInterface: Send + Sync {
     /// The interface's `k`: maximum number of tuples per response.
     fn k(&self) -> usize;
 
+    /// The optional features this interface offers. Defaults to
+    /// [`Capabilities::none`] — a bare top-k interface.
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::none()
+    }
+
     /// Issue a conjunctive query; the response holds at most `k` tuples
     /// selected by the proprietary system ranking function.
-    fn query(&self, q: &Query) -> QueryResponse;
+    fn query(&self, q: &Query) -> Result<QueryResponse, ServerError>;
 
     /// Total number of queries issued so far — the cost metric of §2.2.
     fn queries_issued(&self) -> u64;
 
-    /// Whether the interface supports page turns on the system ranking.
-    fn supports_paging(&self) -> bool {
-        false
-    }
-
     /// Page `page` (0-based) of the system-ranked answer to `q`.
     ///
-    /// Default: unsupported (panics); call only if
-    /// [`SearchInterface::supports_paging`].
-    fn query_page(&self, _q: &Query, _page: usize) -> QueryResponse {
-        unimplemented!("this interface does not support page turns")
-    }
-
-    /// Which attributes the interface can publicly `ORDER BY` (§5); empty by
-    /// default.
-    fn order_by_attrs(&self) -> Vec<AttrId> {
-        Vec::new()
+    /// Default: `Err(ServerError::Unsupported(Capability::Paging))`;
+    /// preflight with [`SearchInterface::capabilities`].
+    fn query_page(&self, _q: &Query, _page: usize) -> Result<QueryResponse, ServerError> {
+        Err(ServerError::Unsupported(Capability::Paging))
     }
 
     /// Page `page` of `R(q)` ordered publicly by `attr` in direction `dir`.
     ///
-    /// Default: unsupported (panics); check [`SearchInterface::order_by_attrs`]
-    /// first.
-    fn query_ordered(&self, _q: &Query, _attr: AttrId, _dir: Direction, _page: usize) -> OrderedPage {
-        unimplemented!("this interface does not support ORDER BY")
+    /// Default: `Err(ServerError::Unsupported(Capability::OrderBy(attr)))`;
+    /// preflight with [`SearchInterface::capabilities`].
+    fn query_ordered(
+        &self,
+        _q: &Query,
+        attr: AttrId,
+        _dir: Direction,
+        _page: usize,
+    ) -> Result<OrderedPage, ServerError> {
+        Err(ServerError::Unsupported(Capability::OrderBy(attr)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Bare(Arc<Schema>);
+
+    impl SearchInterface for Bare {
+        fn schema(&self) -> &Arc<Schema> {
+            &self.0
+        }
+        fn k(&self) -> usize {
+            1
+        }
+        fn query(&self, _q: &Query) -> Result<QueryResponse, ServerError> {
+            Ok(QueryResponse::new(vec![], false))
+        }
+        fn queries_issued(&self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn defaults_refuse_instead_of_panicking() {
+        let s = Bare(Arc::new(Schema::new(
+            vec![qrs_types::OrdinalAttr::new("x", 0.0, 1.0)],
+            vec![],
+        )));
+        assert_eq!(s.capabilities(), Capabilities::none());
+        assert_eq!(
+            s.query_page(&Query::all(), 0).unwrap_err(),
+            ServerError::Unsupported(Capability::Paging)
+        );
+        assert_eq!(
+            s.query_ordered(&Query::all(), AttrId(0), Direction::Asc, 0)
+                .unwrap_err(),
+            ServerError::Unsupported(Capability::OrderBy(AttrId(0)))
+        );
+    }
+
+    #[test]
+    fn capabilities_negotiation() {
+        let caps = Capabilities::none()
+            .with_paging()
+            .with_order_by(vec![AttrId(1)]);
+        assert!(caps.supports(Capability::Paging));
+        assert!(caps.supports(Capability::OrderBy(AttrId(1))));
+        assert!(!caps.supports(Capability::OrderBy(AttrId(0))));
+        assert!(caps.require(Capability::Paging).is_ok());
+        assert_eq!(
+            caps.require(Capability::OrderBy(AttrId(0))).unwrap_err(),
+            ServerError::Unsupported(Capability::OrderBy(AttrId(0)))
+        );
     }
 }

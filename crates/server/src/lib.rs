@@ -13,8 +13,13 @@
 //! * the *underflow / valid / overflow* trichotomy,
 //! * the opaque, possibly adversarial, system ranking,
 //! * the **query counter** — the paper's one and only efficiency metric,
-//! * optional extras real sites have: page turns and public `ORDER BY`
-//!   ranking options (§5 "Multiple/Known System Ranking Functions").
+//! * optional extras real sites have — page turns and public `ORDER BY`
+//!   ranking options (§5 "Multiple/Known System Ranking Functions") —
+//!   advertised through [`Capabilities`] and *negotiated*, never assumed:
+//!   a server that lacks a capability refuses with a typed
+//!   [`qrs_types::ServerError`] instead of panicking,
+//! * failure realism: rate limits and transient errors surface as
+//!   `Result`s so real HTTP adapters slot in without panics.
 //!
 //! [`adversary::AdversaryServer`] implements the query-answering mechanism
 //! from the proof of Theorem 1, so the `n/k` lower bound is executable.
@@ -25,6 +30,6 @@ pub mod sim;
 pub mod system_rank;
 
 pub use adversary::AdversaryServer;
-pub use interface::{OrderedPage, SearchInterface};
+pub use interface::{Capabilities, OrderedPage, SearchInterface};
 pub use sim::SimServer;
 pub use system_rank::SystemRank;

@@ -6,12 +6,20 @@
 //! ranked-retrieval backend behaves — and the response is flagged *overflow*
 //! iff a `(k+1)`-th match exists. Every query bumps an atomic counter; the
 //! counter is the experiment metric.
+//!
+//! Failure realism: [`SimServer::with_rate_limit`] makes the server refuse
+//! queries past a hard cap with [`ServerError::RateLimited`] — the same
+//! refusal a real metered API sends — so integration tests can exercise the
+//! middleware's error paths end to end.
 
-use crate::interface::{OrderedPage, SearchInterface};
+use crate::interface::{Capabilities, OrderedPage, SearchInterface};
 use crate::system_rank::SystemRank;
 use parking_lot::Mutex;
 use qrs_types::value::cmp_f64;
-use qrs_types::{AttrId, Dataset, Direction, Endpoint, Query, QueryResponse, Schema, Tuple};
+use qrs_types::{
+    AttrId, Capability, Dataset, Direction, Endpoint, Query, QueryResponse, Schema, ServerError,
+    Tuple,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -27,6 +35,8 @@ pub struct SimServer {
     counter: AtomicU64,
     paging: bool,
     order_by: Vec<AttrId>,
+    /// Refuse queries once the counter reaches this (None = unmetered).
+    rate_limit: Option<u64>,
     system_rank: SystemRank,
     /// Log of issued queries (enabled in tests/debug experiments only).
     log: Option<Mutex<Vec<Query>>>,
@@ -38,10 +48,7 @@ impl SimServer {
         assert!(k >= 1, "the interface k must be at least 1");
         let mut system_order: Vec<u32> = (0..dataset.len() as u32).collect();
         system_order.sort_by(|&a, &b| {
-            let (ta, tb) = (
-                &dataset.tuples()[a as usize],
-                &dataset.tuples()[b as usize],
-            );
+            let (ta, tb) = (&dataset.tuples()[a as usize], &dataset.tuples()[b as usize]);
             cmp_f64(system_rank.score(ta), system_rank.score(tb)).then(ta.id.cmp(&tb.id))
         });
         let attr_order = dataset
@@ -50,10 +57,7 @@ impl SimServer {
             .map(|attr| {
                 let mut idx: Vec<u32> = (0..dataset.len() as u32).collect();
                 idx.sort_by(|&a, &b| {
-                    let (ta, tb) = (
-                        &dataset.tuples()[a as usize],
-                        &dataset.tuples()[b as usize],
-                    );
+                    let (ta, tb) = (&dataset.tuples()[a as usize], &dataset.tuples()[b as usize]);
                     cmp_f64(ta.ord(attr), tb.ord(attr)).then(ta.id.cmp(&tb.id))
                 });
                 idx
@@ -67,6 +71,7 @@ impl SimServer {
             counter: AtomicU64::new(0),
             paging: false,
             order_by: Vec::new(),
+            rate_limit: None,
             system_rank,
             log: None,
         }
@@ -81,6 +86,14 @@ impl SimServer {
     /// Advertise public `ORDER BY` support on the given attributes (§5).
     pub fn with_order_by(mut self, attrs: Vec<AttrId>) -> Self {
         self.order_by = attrs;
+        self
+    }
+
+    /// Refuse queries with [`ServerError::RateLimited`] once `limit` queries
+    /// have been answered — a hard server-side quota, as opposed to the
+    /// middleware's own soft budget.
+    pub fn with_rate_limit(mut self, limit: u64) -> Self {
+        self.rate_limit = Some(limit);
         self
     }
 
@@ -114,17 +127,35 @@ impl SimServer {
             .unwrap_or_default()
     }
 
-    fn charge(&self, q: &Query) {
-        self.counter.fetch_add(1, Ordering::Relaxed);
+    /// Admit (and charge) a query, or refuse it. Refused queries are not
+    /// charged: the backend rejected them before doing any work.
+    fn charge(&self, q: &Query) -> Result<(), ServerError> {
+        self.validate_point_only(q)?;
+        match self.rate_limit {
+            // Atomic check-and-increment so concurrent queries can never
+            // exceed the advertised hard cap.
+            Some(limit) => {
+                self.counter
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
+                        (c < limit).then_some(c + 1)
+                    })
+                    .map_err(|_| ServerError::RateLimited {
+                        retry_after_ms: None,
+                    })?;
+            }
+            None => {
+                self.counter.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         if let Some(log) = &self.log {
             log.lock().push(q.clone());
         }
-        self.validate_point_only(q);
+        Ok(())
     }
 
     /// Enforce the §5 point-predicate contract: a `point_only` attribute may
     /// only carry point or unbounded predicates.
-    fn validate_point_only(&self, q: &Query) {
+    fn validate_point_only(&self, q: &Query) -> Result<(), ServerError> {
         for p in q.ranges() {
             if self.dataset.schema().ordinal(p.attr).point_only {
                 let iv = p.interval;
@@ -133,13 +164,15 @@ impl SimServer {
                     (Endpoint::Unbounded, Endpoint::Unbounded) => true,
                     _ => false,
                 };
-                assert!(
-                    is_point,
-                    "attribute {} only supports point predicates, got {}",
-                    p.attr, iv
-                );
+                if !is_point {
+                    return Err(ServerError::invalid_query(format!(
+                        "attribute {} only supports point predicates, got {}",
+                        p.attr, iv
+                    )));
+                }
             }
         }
+        Ok(())
     }
 
     /// Matching tuples in system-rank order, lazily.
@@ -163,29 +196,34 @@ impl SearchInterface for SimServer {
         self.k
     }
 
-    fn query(&self, q: &Query) -> QueryResponse {
-        self.charge(q);
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            paging: self.paging,
+            order_by: self.order_by.clone(),
+        }
+    }
+
+    fn query(&self, q: &Query) -> Result<QueryResponse, ServerError> {
+        self.charge(q)?;
         let mut out = Vec::with_capacity(self.k.min(16));
         for t in self.matches_in_system_order(q) {
             if out.len() == self.k {
-                return QueryResponse::new(out, true);
+                return Ok(QueryResponse::new(out, true));
             }
             out.push(Arc::clone(t));
         }
-        QueryResponse::new(out, false)
+        Ok(QueryResponse::new(out, false))
     }
 
     fn queries_issued(&self) -> u64 {
         self.counter.load(Ordering::Relaxed)
     }
 
-    fn supports_paging(&self) -> bool {
-        self.paging
-    }
-
-    fn query_page(&self, q: &Query, page: usize) -> QueryResponse {
-        assert!(self.paging, "paging not enabled on this server");
-        self.charge(q);
+    fn query_page(&self, q: &Query, page: usize) -> Result<QueryResponse, ServerError> {
+        if !self.paging {
+            return Err(ServerError::Unsupported(Capability::Paging));
+        }
+        self.charge(q)?;
         let skip = page * self.k;
         let mut out = Vec::with_capacity(self.k.min(16));
         for (i, t) in self.matches_in_system_order(q).enumerate() {
@@ -193,23 +231,24 @@ impl SearchInterface for SimServer {
                 continue;
             }
             if out.len() == self.k {
-                return QueryResponse::new(out, true);
+                return Ok(QueryResponse::new(out, true));
             }
             out.push(Arc::clone(t));
         }
-        QueryResponse::new(out, false)
+        Ok(QueryResponse::new(out, false))
     }
 
-    fn order_by_attrs(&self) -> Vec<AttrId> {
-        self.order_by.clone()
-    }
-
-    fn query_ordered(&self, q: &Query, attr: AttrId, dir: Direction, page: usize) -> OrderedPage {
-        assert!(
-            self.order_by.contains(&attr),
-            "ORDER BY {attr} not offered by this server"
-        );
-        self.charge(q);
+    fn query_ordered(
+        &self,
+        q: &Query,
+        attr: AttrId,
+        dir: Direction,
+        page: usize,
+    ) -> Result<OrderedPage, ServerError> {
+        if !self.order_by.contains(&attr) {
+            return Err(ServerError::Unsupported(Capability::OrderBy(attr)));
+        }
+        self.charge(q)?;
         let idx = &self.attr_order[attr.0];
         let skip = page * self.k;
         let mut out = Vec::with_capacity(self.k.min(16));
@@ -233,10 +272,10 @@ impl SearchInterface for SimServer {
             }
             seen += 1;
         }
-        OrderedPage {
+        Ok(OrderedPage {
             tuples: out,
             has_more,
-        }
+        })
     }
 }
 
@@ -259,7 +298,7 @@ mod tests {
     #[test]
     fn overflow_valid_underflow() {
         let s = server(3);
-        let all = s.query(&Query::all());
+        let all = s.query(&Query::all()).unwrap();
         assert_eq!(all.outcome, QueryOutcome::Overflow);
         assert_eq!(all.tuples.len(), 3);
         // System rank descending: returns x = 9, 8, 7.
@@ -267,12 +306,12 @@ mod tests {
         assert_eq!(xs, vec![9.0, 8.0, 7.0]);
 
         let narrow = Query::all().and_range(AttrId(0), Interval::open(3.5, 6.5));
-        let r = s.query(&narrow);
+        let r = s.query(&narrow).unwrap();
         assert_eq!(r.outcome, QueryOutcome::Valid);
         assert_eq!(r.tuples.len(), 3);
 
         let empty = Query::all().and_range(AttrId(0), Interval::open(100.0, 200.0));
-        assert_eq!(s.query(&empty).outcome, QueryOutcome::Underflow);
+        assert_eq!(s.query(&empty).unwrap().outcome, QueryOutcome::Underflow);
         assert_eq!(s.queries_issued(), 3);
     }
 
@@ -280,7 +319,7 @@ mod tests {
     fn exactly_k_matches_is_valid_not_overflow() {
         let s = server(3);
         let q = Query::all().and_range(AttrId(0), Interval::closed(0.0, 2.0));
-        let r = s.query(&q);
+        let r = s.query(&q).unwrap();
         assert_eq!(r.outcome, QueryOutcome::Valid);
         assert_eq!(r.tuples.len(), 3);
     }
@@ -288,9 +327,10 @@ mod tests {
     #[test]
     fn paging_walks_system_order() {
         let s = server(3).with_paging();
-        let p0 = s.query_page(&Query::all(), 0);
-        let p1 = s.query_page(&Query::all(), 1);
-        let p3 = s.query_page(&Query::all(), 3);
+        assert!(s.capabilities().supports(Capability::Paging));
+        let p0 = s.query_page(&Query::all(), 0).unwrap();
+        let p1 = s.query_page(&Query::all(), 1).unwrap();
+        let p3 = s.query_page(&Query::all(), 3).unwrap();
         assert!(p0.is_overflow());
         let x1: Vec<f64> = p1.tuples.iter().map(|t| t.ord(AttrId(0))).collect();
         assert_eq!(x1, vec![6.0, 5.0, 4.0]);
@@ -301,21 +341,46 @@ mod tests {
     }
 
     #[test]
+    fn paging_refused_without_capability() {
+        let s = server(3);
+        assert_eq!(
+            s.query_page(&Query::all(), 0).unwrap_err(),
+            ServerError::Unsupported(Capability::Paging)
+        );
+        // Refused requests are not charged.
+        assert_eq!(s.queries_issued(), 0);
+    }
+
+    #[test]
     fn order_by_pages_both_directions() {
         let s = server(4).with_order_by(vec![AttrId(0)]);
-        let asc = s.query_ordered(&Query::all(), AttrId(0), Direction::Asc, 0);
+        assert!(s.capabilities().supports(Capability::OrderBy(AttrId(0))));
+        let asc = s
+            .query_ordered(&Query::all(), AttrId(0), Direction::Asc, 0)
+            .unwrap();
         let xs: Vec<f64> = asc.tuples.iter().map(|t| t.ord(AttrId(0))).collect();
         assert_eq!(xs, vec![0.0, 1.0, 2.0, 3.0]);
         assert!(asc.has_more);
-        let desc = s.query_ordered(&Query::all(), AttrId(0), Direction::Desc, 2);
+        let desc = s
+            .query_ordered(&Query::all(), AttrId(0), Direction::Desc, 2)
+            .unwrap();
         let xs: Vec<f64> = desc.tuples.iter().map(|t| t.ord(AttrId(0))).collect();
         assert_eq!(xs, vec![1.0, 0.0]);
         assert!(!desc.has_more);
     }
 
     #[test]
-    #[should_panic(expected = "point predicates")]
-    fn point_only_contract_enforced() {
+    fn order_by_refused_on_unadvertised_attribute() {
+        let s = server(4).with_order_by(vec![AttrId(0)]);
+        assert_eq!(
+            s.query_ordered(&Query::all(), AttrId(1), Direction::Asc, 0)
+                .unwrap_err(),
+            ServerError::Unsupported(Capability::OrderBy(AttrId(1)))
+        );
+    }
+
+    #[test]
+    fn point_only_contract_is_a_typed_refusal() {
         let schema = Schema::new(
             vec![{
                 let mut a = OrdinalAttr::new("grade", 0.0, 5.0);
@@ -324,20 +389,38 @@ mod tests {
             }],
             vec![],
         );
-        let ds = Dataset::new(
-            schema,
-            vec![Tuple::new(TupleId(0), vec![1.0], vec![])],
-        )
-        .unwrap();
+        let ds = Dataset::new(schema, vec![Tuple::new(TupleId(0), vec![1.0], vec![])]).unwrap();
         let s = SimServer::new(ds, SystemRank::pseudo_random(1), 2);
-        s.query(&Query::all().and_range(AttrId(0), Interval::open(0.0, 3.0)));
+        let err = s
+            .query(&Query::all().and_range(AttrId(0), Interval::open(0.0, 3.0)))
+            .unwrap_err();
+        assert!(matches!(err, ServerError::InvalidQuery { .. }));
+        assert_eq!(s.queries_issued(), 0);
+    }
+
+    #[test]
+    fn rate_limit_refuses_after_cap() {
+        let s = server(3).with_rate_limit(2);
+        assert!(s.query(&Query::all()).is_ok());
+        assert!(s.query(&Query::all()).is_ok());
+        let err = s.query(&Query::all()).unwrap_err();
+        assert_eq!(
+            err,
+            ServerError::RateLimited {
+                retry_after_ms: None
+            }
+        );
+        assert!(err.is_transient());
+        // Refusals are not charged.
+        assert_eq!(s.queries_issued(), 2);
     }
 
     #[test]
     fn query_log_captures_queries() {
         let s = server(2).with_query_log();
-        s.query(&Query::all());
-        s.query(&Query::all().and_range(AttrId(0), Interval::open(1.0, 2.0)));
+        s.query(&Query::all()).unwrap();
+        s.query(&Query::all().and_range(AttrId(0), Interval::open(1.0, 2.0)))
+            .unwrap();
         let log = s.take_log();
         assert_eq!(log.len(), 2);
         assert_eq!(log[0], Query::all());

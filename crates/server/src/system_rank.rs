@@ -34,7 +34,10 @@ impl std::fmt::Debug for SystemRank {
 
 impl SystemRank {
     /// Arbitrary closure.
-    pub fn by_fn(label: impl Into<String>, f: impl Fn(&Tuple) -> f64 + Send + Sync + 'static) -> Self {
+    pub fn by_fn(
+        label: impl Into<String>,
+        f: impl Fn(&Tuple) -> f64 + Send + Sync + 'static,
+    ) -> Self {
         SystemRank {
             score: Arc::new(f),
             label: label.into(),

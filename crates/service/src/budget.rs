@@ -4,29 +4,11 @@
 //! from the same IP address or API user (e.g., Google Flight Search API
 //! allows only 50 free queries per user per day)". The service tracks its
 //! spend against such a cap and refuses to start work it cannot finish
-//! observably, surfacing [`BudgetError`] instead of silently wrong answers.
+//! observably, surfacing [`RerankError::BudgetExhausted`] instead of
+//! silently wrong answers.
 
-use std::fmt;
+use qrs_types::RerankError;
 use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Error returned when the query budget is exhausted mid-session.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BudgetError {
-    pub spent: u64,
-    pub limit: u64,
-}
-
-impl fmt::Display for BudgetError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "query budget exhausted: {} of {} queries spent",
-            self.spent, self.limit
-        )
-    }
-}
-
-impl std::error::Error for BudgetError {}
 
 /// A (possibly unlimited) cap on queries issued to the hidden database.
 #[derive(Debug)]
@@ -58,14 +40,15 @@ impl QueryBudget {
         current_counter.saturating_sub(self.baseline.load(Ordering::Relaxed))
     }
 
-    /// Check the budget; `Err` once the cap is hit.
-    pub fn check(&self, current_counter: u64) -> Result<(), BudgetError> {
+    /// Check the budget; [`RerankError::BudgetExhausted`] once the cap is
+    /// hit.
+    pub fn check(&self, current_counter: u64) -> Result<(), RerankError> {
         match self.limit {
             None => Ok(()),
             Some(limit) => {
                 let spent = self.spent(current_counter);
                 if spent >= limit {
-                    Err(BudgetError { spent, limit })
+                    Err(RerankError::BudgetExhausted { spent, limit })
                 } else {
                     Ok(())
                 }
@@ -100,7 +83,13 @@ mod tests {
         assert!(b.check(100).is_ok());
         assert!(b.check(109).is_ok());
         let e = b.check(110).unwrap_err();
-        assert_eq!(e, BudgetError { spent: 10, limit: 10 });
+        assert_eq!(
+            e,
+            RerankError::BudgetExhausted {
+                spent: 10,
+                limit: 10
+            }
+        );
         assert_eq!(b.spent(105), 5);
     }
 

@@ -10,11 +10,10 @@
 //! different inventories; they only need schemas carrying the ranking
 //! function's attributes.
 
-use crate::budget::BudgetError;
 use crate::service::{Algorithm, RerankService};
 use crate::session::{RankedTuple, Session};
 use qrs_ranking::RankFn;
-use qrs_types::Query;
+use qrs_types::{Query, RerankError};
 use std::sync::Arc;
 
 /// A hit from a federated stream: which source produced it, plus the tuple.
@@ -30,44 +29,61 @@ pub struct FederatedSession<'a> {
     sessions: Vec<Session<'a>>,
     /// Head of each stream, pulled lazily.
     heads: Vec<Option<RankedTuple>>,
-    primed: bool,
+    /// Per-source: has `heads[i]` been filled at least once? Tracked per
+    /// index so an error priming one source never re-pulls (and thereby
+    /// skips tuples of) sources already primed.
+    primed: Vec<bool>,
     emitted: usize,
 }
 
 impl<'a> FederatedSession<'a> {
     /// Open one session per service with the same selection and ranking
-    /// function.
+    /// function. Fails fast if any source refuses the request (capability
+    /// or algorithm preflight) — a federation with a silently missing
+    /// source would return wrong global ranks.
     pub fn open(
         services: &'a [&'a RerankService],
         sel: Query,
         rank: Arc<dyn RankFn>,
         algo: Algorithm,
-    ) -> Self {
+    ) -> Result<Self, RerankError> {
         let sessions: Vec<Session<'a>> = services
             .iter()
-            .map(|svc| svc.session(sel.clone(), Arc::clone(&rank), algo))
-            .collect();
+            .map(|svc| {
+                svc.session(sel.clone(), Arc::clone(&rank))
+                    .algorithm(algo)
+                    .open()
+            })
+            .collect::<Result<_, _>>()?;
         let heads = (0..sessions.len()).map(|_| None).collect();
-        FederatedSession {
+        let primed = vec![false; sessions.len()];
+        Ok(FederatedSession {
             sessions,
             heads,
-            primed: false,
+            primed,
             emitted: 0,
-        }
+        })
     }
 
-    fn prime(&mut self) -> Result<(), BudgetError> {
-        if !self.primed {
-            for i in 0..self.sessions.len() {
+    fn prime(&mut self) -> Result<(), RerankError> {
+        for i in 0..self.sessions.len() {
+            if !self.primed[i] {
                 self.heads[i] = self.sessions[i].next()?;
+                self.primed[i] = true;
             }
-            self.primed = true;
         }
         Ok(())
     }
 
     /// The globally next-best tuple across all sources.
-    pub fn next(&mut self) -> Result<Option<FederatedHit>, BudgetError> {
+    ///
+    /// Not an `Iterator`: each step can fail on a source's budget or
+    /// server, and callers need that error, not a silent stop. An `Err`
+    /// consumes nothing: the winning head stays buffered, so a retry
+    /// after a transient failure resumes the merge without skipping or
+    /// dropping any source's tuples.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<FederatedHit>, RerankError> {
         self.prime()?;
         let best = self
             .heads
@@ -79,8 +95,10 @@ impl<'a> FederatedSession<'a> {
         let Some(i) = best else {
             return Ok(None);
         };
-        let hit = self.heads[i].take().expect("head checked above");
-        self.heads[i] = self.sessions[i].next()?;
+        // Refill *before* taking the current head: if the refill fails, the
+        // head is still in place and a retry re-enters here cleanly.
+        let refill = self.sessions[i].next()?;
+        let hit = std::mem::replace(&mut self.heads[i], refill).expect("head checked above");
         self.emitted += 1;
         Ok(Some(FederatedHit {
             source: i,
@@ -91,16 +109,20 @@ impl<'a> FederatedSession<'a> {
         }))
     }
 
-    /// The federated top `h`.
-    pub fn top(&mut self, h: usize) -> Result<Vec<FederatedHit>, BudgetError> {
+    /// The federated top `h` (shorter if all sources are exhausted).
+    ///
+    /// Partial results survive failure, mirroring `Session::top`: hits
+    /// merged before a source failed are returned alongside the error.
+    pub fn top(&mut self, h: usize) -> (Vec<FederatedHit>, Option<RerankError>) {
         let mut out = Vec::with_capacity(h);
         while out.len() < h {
-            match self.next()? {
-                Some(f) => out.push(f),
-                None => break,
+            match self.next() {
+                Ok(Some(f)) => out.push(f),
+                Ok(None) => break,
+                Err(e) => return (out, Some(e)),
             }
         }
-        Ok(out)
+        (out, None)
     }
 
     /// Tuples emitted so far.
@@ -133,8 +155,10 @@ mod tests {
         let (a, da) = svc(1, 120);
         let (b, db) = svc(2, 80);
         let services = [&a, &b];
-        let mut fed = FederatedSession::open(&services, Query::all(), rank(), Algorithm::Auto);
-        let got = fed.top(30).unwrap();
+        let mut fed =
+            FederatedSession::open(&services, Query::all(), rank(), Algorithm::Auto).unwrap();
+        let (got, err) = fed.top(30);
+        assert!(err.is_none());
         assert_eq!(got.len(), 30);
         // Non-decreasing scores, ranks 1..=30.
         for (i, f) in got.iter().enumerate() {
@@ -165,11 +189,57 @@ mod tests {
         let (a, _) = svc(3, 25);
         let (b, _) = svc(4, 15);
         let services = [&a, &b];
-        let mut fed = FederatedSession::open(&services, Query::all(), rank(), Algorithm::Auto);
-        let got = fed.top(1000).unwrap();
+        let mut fed =
+            FederatedSession::open(&services, Query::all(), rank(), Algorithm::Auto).unwrap();
+        let (got, err) = fed.top(1000);
+        assert!(err.is_none());
         assert_eq!(got.len(), 40);
         assert!(fed.next().unwrap().is_none());
         assert_eq!(fed.emitted(), 40);
+    }
+
+    #[test]
+    fn merge_resumes_without_gaps_after_transient_errors() {
+        // One source keeps tripping a tiny service budget; after each trip
+        // the budget window is reset (a "new day") and the merge retried.
+        // The final merged stream must equal the brute-force union ranking
+        // exactly — no tuple dropped with the taken head, none skipped by
+        // re-priming an already-primed source.
+        let data_a = uniform(60, 2, 1, 7);
+        let server_a = SimServer::new(
+            data_a.clone(),
+            SystemRank::linear("anti", vec![(AttrId(0), -1.0), (AttrId(1), -1.0)]),
+            3,
+        );
+        let constrained = RerankService::new(Arc::new(server_a), 60).with_budget(5);
+        let (free, data_b) = svc(8, 40);
+        let services = [&free, &constrained];
+        let mut fed =
+            FederatedSession::open(&services, Query::all(), rank(), Algorithm::Auto).unwrap();
+        let mut got = Vec::new();
+        let mut trips = 0;
+        loop {
+            match fed.next() {
+                Ok(Some(f)) => got.push(f.hit.score),
+                Ok(None) => break,
+                Err(e) => {
+                    assert!(e.is_transient(), "unexpected terminal error {e}");
+                    trips += 1;
+                    assert!(trips < 1000, "merge never completed");
+                    constrained.budget().reset(constrained.queries_issued());
+                }
+            }
+        }
+        assert!(trips > 0, "budget of 5 never tripped — test is vacuous");
+        let r = rank();
+        let mut want: Vec<f64> = data_a
+            .tuples()
+            .iter()
+            .chain(data_b.tuples().iter())
+            .map(|t| r.score(t))
+            .collect();
+        want.sort_by(|x, y| cmp_f64(*x, *y));
+        assert_eq!(got, want, "resumed merge has gaps or duplicates");
     }
 
     #[test]
@@ -183,12 +253,19 @@ mod tests {
         let constrained = RerankService::new(Arc::new(server), 400).with_budget(2);
         let (free, _) = svc(6, 50);
         let services = [&constrained, &free];
-        let mut fed = FederatedSession::open(&services, Query::all(), rank(), Algorithm::Auto);
+        let mut fed =
+            FederatedSession::open(&services, Query::all(), rank(), Algorithm::Auto).unwrap();
         let mut saw_err = false;
         for _ in 0..100 {
             match fed.next() {
                 Err(e) => {
-                    assert_eq!(e.limit, 2);
+                    match e {
+                        qrs_types::RerankError::BudgetExhausted { spent, limit } => {
+                            assert_eq!(limit, 2);
+                            assert!(spent >= 2);
+                        }
+                        other => panic!("expected budget error, got {other}"),
+                    }
                     saw_err = true;
                     break;
                 }

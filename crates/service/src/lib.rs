@@ -6,9 +6,13 @@
 //! the amortization that makes the middleware economical.
 //!
 //! * [`RerankService`] — owns the shared state behind a [`parking_lot`]
-//!   mutex and hands out [`session::Session`]s,
+//!   mutex and hands out [`session::Session`]s through a preflighted
+//!   [`SessionBuilder`]: algorithm/ranking mismatches and missing server
+//!   capabilities surface as typed [`qrs_types::RerankError`]s at
+//!   [`SessionBuilder::open`], never as panics mid-stream,
 //! * [`session::Session`] — one user query + ranking function, consumed
-//!   incrementally Get-Next-style,
+//!   incrementally Get-Next-style; `top` returns partial results alongside
+//!   the error when a budget trips or the server fails mid-batch,
 //! * [`budget::QueryBudget`] — rate-limit accounting mirroring real sites'
 //!   per-user daily query caps (the paper's motivating constraint),
 //! * [`profiles`] — named, reusable ranking preferences,
@@ -23,9 +27,9 @@ pub mod service;
 pub mod session;
 pub mod stats;
 
-pub use budget::{BudgetError, QueryBudget};
+pub use budget::QueryBudget;
 pub use federation::{FederatedHit, FederatedSession};
 pub use profiles::ProfileStore;
-pub use service::{Algorithm, RerankService};
-pub use session::Session;
+pub use service::{Algorithm, RerankService, SessionBuilder};
+pub use session::{RankedTuple, Session};
 pub use stats::ServiceStats;

@@ -1,4 +1,11 @@
-//! The reranking service facade.
+//! The reranking service facade and its capability-preflighted session
+//! builder.
+//!
+//! [`RerankService::session`] returns a [`SessionBuilder`]; nothing talks to
+//! the hidden database until [`SessionBuilder::open`], which validates the
+//! algorithm/ranking pairing and negotiates required server capabilities
+//! *up front* — misconfiguration surfaces as a typed
+//! [`RerankError`] at open time, never as a panic deep inside an algorithm.
 
 use crate::budget::QueryBudget;
 use crate::session::Session;
@@ -8,7 +15,7 @@ use qrs_core::md::ta::SortedAccess;
 use qrs_core::{MdOptions, OneDStrategy, RerankParams, SharedState, TiePolicy};
 use qrs_ranking::RankFn;
 use qrs_server::SearchInterface;
-use qrs_types::Query;
+use qrs_types::{Capability, Query, RerankError};
 use std::sync::Arc;
 
 /// Which reranking algorithm a session runs.
@@ -21,7 +28,9 @@ pub enum Algorithm {
     OneD(OneDStrategy),
     /// A §4 box-partitioning algorithm (baseline/binary/rerank via options).
     Md(MdOptions),
-    /// TA over per-attribute sorted access (§4.1 / §5).
+    /// TA over per-attribute sorted access (§4.1 / §5). With
+    /// [`SortedAccess::PublicOrderBy`] the server must advertise `ORDER BY`
+    /// on every ranking attribute (checked at [`SessionBuilder::open`]).
     Ta(SortedAccess),
 }
 
@@ -56,37 +65,27 @@ impl RerankService {
         }
     }
 
-    /// Enforce a query cap (e.g. the API's daily limit).
+    /// Enforce a service-wide query cap (e.g. the API's daily limit).
     pub fn with_budget(mut self, limit: u64) -> Self {
         self.budget = QueryBudget::limited(limit, self.server.queries_issued());
         self
     }
 
-    /// Open a Get-Next session for `sel` ranked by `rank`.
+    /// Begin a Get-Next session for `sel` ranked by `rank`.
     ///
-    /// # Panics
-    /// If `Algorithm::OneD` is requested for a multi-attribute ranking
-    /// function.
-    pub fn session(&self, sel: Query, rank: Arc<dyn RankFn>, algo: Algorithm) -> Session<'_> {
-        self.stats.on_session();
-        let algo = match algo {
-            Algorithm::Auto => {
-                if rank.dims() == 1 {
-                    Algorithm::OneD(OneDStrategy::Rerank)
-                } else {
-                    Algorithm::Md(MdOptions::rerank())
-                }
-            }
-            other => other,
-        };
-        if let Algorithm::OneD(_) = algo {
-            assert_eq!(
-                rank.dims(),
-                1,
-                "1D algorithms require a single-attribute ranking function"
-            );
+    /// Returns a [`SessionBuilder`]; configure it and call
+    /// [`SessionBuilder::open`], which preflights the request and returns a
+    /// typed [`RerankError`] for misuse (wrong algorithm arity, missing
+    /// server capability) instead of panicking later.
+    pub fn session(&self, sel: Query, rank: Arc<dyn RankFn>) -> SessionBuilder<'_> {
+        SessionBuilder {
+            svc: self,
+            sel,
+            rank,
+            algo: Algorithm::Auto,
+            tie: TiePolicy::Exact,
+            budget: None,
         }
-        Session::new(self, sel, rank, algo, TiePolicy::Exact)
     }
 
     /// The underlying search interface.
@@ -133,5 +132,85 @@ impl std::fmt::Debug for RerankService {
             .field("queries_issued", &self.queries_issued())
             .field("stats", &self.stats.snapshot())
             .finish()
+    }
+}
+
+/// Configures and preflights one Get-Next session.
+///
+/// Defaults: [`Algorithm::Auto`], [`TiePolicy::Exact`], no per-session
+/// budget (the service-wide budget still applies).
+#[must_use = "a session builder does nothing until .open() is called"]
+pub struct SessionBuilder<'a> {
+    svc: &'a RerankService,
+    sel: Query,
+    rank: Arc<dyn RankFn>,
+    algo: Algorithm,
+    tie: TiePolicy,
+    budget: Option<u64>,
+}
+
+impl<'a> SessionBuilder<'a> {
+    /// Pick the reranking algorithm (default [`Algorithm::Auto`]).
+    pub fn algorithm(mut self, algo: Algorithm) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Pick how equal ranking values are treated (default
+    /// [`TiePolicy::Exact`]).
+    pub fn tie_policy(mut self, tie: TiePolicy) -> Self {
+        self.tie = tie;
+        self
+    }
+
+    /// Cap the queries this one session may cause (on top of the service
+    /// budget). Exceeding it returns [`RerankError::BudgetExhausted`] from
+    /// `Session::next`, with the partial batch preserved by `Session::top`.
+    pub fn budget(mut self, limit: u64) -> Self {
+        self.budget = Some(limit);
+        self
+    }
+
+    /// Validate the request and open the session.
+    ///
+    /// # Errors
+    /// * [`RerankError::InvalidAlgorithm`] — a 1D algorithm with a
+    ///   multi-attribute ranking function.
+    /// * [`RerankError::UnsupportedCapability`] — `Ta(PublicOrderBy)`
+    ///   against a server whose [`qrs_server::Capabilities`] lack `ORDER
+    ///   BY` on a ranking attribute.
+    pub fn open(self) -> Result<Session<'a>, RerankError> {
+        let algo = match self.algo {
+            Algorithm::Auto => {
+                if self.rank.dims() == 1 {
+                    Algorithm::OneD(OneDStrategy::Rerank)
+                } else {
+                    Algorithm::Md(MdOptions::rerank())
+                }
+            }
+            other => other,
+        };
+        if matches!(algo, Algorithm::OneD(_)) && self.rank.dims() != 1 {
+            return Err(RerankError::invalid_algorithm(format!(
+                "1D algorithms require a single-attribute ranking function, \
+                 got {} attributes",
+                self.rank.dims()
+            )));
+        }
+        if let Algorithm::Ta(SortedAccess::PublicOrderBy) = algo {
+            let caps = self.svc.server().capabilities();
+            for &a in self.rank.attrs() {
+                caps.require(Capability::OrderBy(a))?;
+            }
+        }
+        self.svc.stats_ref().on_session();
+        Ok(Session::new(
+            self.svc,
+            self.sel,
+            self.rank,
+            algo,
+            self.tie,
+            self.budget,
+        ))
     }
 }

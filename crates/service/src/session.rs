@@ -5,13 +5,19 @@
 //! incremental query cost ("progressively return top answers while paying
 //! only the incremental cost"). The shared service state is locked per call,
 //! so concurrent sessions interleave cleanly.
+//!
+//! Fallibility contract: a budget trip or server failure surfaces as a
+//! typed [`RerankError`]; the cursor keeps everything already paid for, so
+//! retrying `next` after the budget refreshes (or a transient server error
+//! clears) resumes instead of restarting. [`Session::top`] returns the
+//! tuples fetched *before* the failure alongside the error — paid-for
+//! results are never dropped.
 
-use crate::budget::BudgetError;
 use crate::service::{Algorithm, RerankService};
 use qrs_core::md::ta::TaCursor;
 use qrs_core::{MdCursor, OneDCursor, OneDSpec, TiePolicy};
 use qrs_ranking::RankFn;
-use qrs_types::{Query, Tuple};
+use qrs_types::{Query, RerankError, Tuple};
 use std::sync::Arc;
 
 /// One emitted answer: global rank (1-based), user score, tuple.
@@ -28,13 +34,19 @@ enum Cursor {
     Ta(TaCursor),
 }
 
-/// A user's incremental reranked query.
+/// A user's incremental reranked query. Built by
+/// [`crate::service::SessionBuilder::open`].
 pub struct Session<'a> {
     svc: &'a RerankService,
     rank: Arc<dyn RankFn>,
     cursor: Cursor,
     emitted: usize,
-    start_counter: u64,
+    /// Queries issued inside this session's own cursor calls. Counted under
+    /// the shared-state lock, so interleaved queries from concurrent
+    /// sessions are never misattributed.
+    spent: u64,
+    /// Per-session cap on `spent` (the service-wide budget still applies).
+    budget_limit: Option<u64>,
 }
 
 impl<'a> Session<'a> {
@@ -44,6 +56,7 @@ impl<'a> Session<'a> {
         rank: Arc<dyn RankFn>,
         algo: Algorithm,
         tie: TiePolicy,
+        budget_limit: Option<u64>,
     ) -> Self {
         let schema = svc.server().schema();
         let cursor = match algo {
@@ -52,46 +65,59 @@ impl<'a> Session<'a> {
                 strategy,
                 tie,
             )),
-            Algorithm::Md(opts) => {
-                Cursor::Md(MdCursor::new(Arc::clone(&rank), sel, opts, schema))
-            }
+            Algorithm::Md(opts) => Cursor::Md(MdCursor::new(Arc::clone(&rank), sel, opts, schema)),
             Algorithm::Ta(access) => Cursor::Ta(TaCursor::with_server_caps(
                 Arc::clone(&rank),
                 sel,
                 access,
                 schema,
-                &svc.server().order_by_attrs(),
+                &svc.server().capabilities(),
             )),
-            Algorithm::Auto => unreachable!("resolved by RerankService::session"),
+            Algorithm::Auto => unreachable!("resolved by SessionBuilder::open"),
         };
-        let start_counter = svc.server().queries_issued();
         Session {
             svc,
             rank,
             cursor,
             emitted: 0,
-            start_counter,
+            spent: 0,
+            budget_limit,
         }
     }
 
     /// The next tuple under the user ranking, or `Ok(None)` when exhausted.
     ///
-    /// Not an `Iterator`: each step can fail on the query budget, and
-    /// callers need that error, not a silent stop.
+    /// Not an `Iterator`: each step can fail on the query budget or the
+    /// server, and callers need that error, not a silent stop. After an
+    /// `Err` the session remains usable — queries already answered stay in
+    /// the shared history, so a retry resumes the incremental work.
     #[allow(clippy::should_implement_trait)]
-    pub fn next(&mut self) -> Result<Option<RankedTuple>, BudgetError> {
+    pub fn next(&mut self) -> Result<Option<RankedTuple>, RerankError> {
         self.svc
             .budget()
             .check(self.svc.server().queries_issued())?;
+        if let Some(limit) = self.budget_limit {
+            if self.spent >= limit {
+                return Err(RerankError::BudgetExhausted {
+                    spent: self.spent,
+                    limit,
+                });
+            }
+        }
         let server = Arc::clone(self.svc.server());
         let mut st = self.svc.state().lock();
+        // Exact per-session attribution: every service query happens inside
+        // a cursor call while the state lock is held, so the counter delta
+        // across this call is exactly this session's spend.
+        let before = server.queries_issued();
         let t = match &mut self.cursor {
             Cursor::OneD(c) => c.next(server.as_ref(), &mut st),
             Cursor::Md(c) => c.next(server.as_ref(), &mut st),
             Cursor::Ta(c) => c.next(server.as_ref(), &mut st),
         };
+        self.spent += server.queries_issued() - before;
         drop(st);
-        Ok(t.map(|tuple| {
+        Ok(t?.map(|tuple| {
             self.emitted += 1;
             self.svc.stats_ref().on_emit();
             RankedTuple {
@@ -102,16 +128,30 @@ impl<'a> Session<'a> {
         }))
     }
 
-    /// Fetch the next `h` tuples (shorter if exhausted).
-    pub fn top(&mut self, h: usize) -> Result<Vec<RankedTuple>, BudgetError> {
+    /// Fetch the next `h` tuples (shorter if `R(q)` is exhausted).
+    ///
+    /// Partial results survive failure: if the budget trips or the server
+    /// errors mid-batch, the tuples already fetched — and paid for — are
+    /// returned together with the error instead of being dropped.
+    pub fn top(&mut self, h: usize) -> (Vec<RankedTuple>, Option<RerankError>) {
         let mut out = Vec::with_capacity(h);
-        for _ in 0..h {
-            match self.next()? {
-                Some(r) => out.push(r),
-                None => break,
+        while out.len() < h {
+            match self.next() {
+                Ok(Some(r)) => out.push(r),
+                Ok(None) => break,
+                Err(e) => return (out, Some(e)),
             }
         }
-        Ok(out)
+        (out, None)
+    }
+
+    /// Like [`Session::top`] but all-or-error: partial results are dropped.
+    /// Prefer `top` when the caller can use a partial batch.
+    pub fn try_top(&mut self, h: usize) -> Result<Vec<RankedTuple>, RerankError> {
+        match self.top(h) {
+            (hits, None) => Ok(hits),
+            (_, Some(e)) => Err(e),
+        }
     }
 
     /// Tuples emitted so far.
@@ -119,13 +159,27 @@ impl<'a> Session<'a> {
         self.emitted
     }
 
-    /// Queries this session has (so far) caused against the database.
-    ///
-    /// Under concurrency this attributes interleaved queries to whichever
-    /// session observes them; exact per-session attribution would need
-    /// per-call counters.
+    /// Queries this session has caused against the database — exact even
+    /// under concurrency: the count is taken inside the shared-state lock
+    /// around this session's own cursor calls, so interleaved queries from
+    /// other sessions are never attributed here.
     pub fn queries_spent(&self) -> u64 {
-        self.svc.server().queries_issued() - self.start_counter
+        self.spent
+    }
+
+    /// This session's query cap, if one was set at build time.
+    pub fn budget_limit(&self) -> Option<u64> {
+        self.budget_limit
+    }
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("emitted", &self.emitted)
+            .field("queries_spent", &self.spent)
+            .field("budget_limit", &self.budget_limit)
+            .finish()
     }
 }
 
@@ -135,7 +189,7 @@ mod tests {
     use qrs_datagen::synthetic::uniform;
     use qrs_ranking::LinearRank;
     use qrs_server::{SimServer, SystemRank};
-    use qrs_types::AttrId;
+    use qrs_types::{AttrId, Capability};
 
     fn service(n: usize, k: usize) -> RerankService {
         let data = uniform(n, 2, 1, 501);
@@ -143,12 +197,27 @@ mod tests {
         RerankService::new(Arc::new(server), n)
     }
 
+    fn anti_service(n: usize, k: usize) -> RerankService {
+        let data = uniform(n, 2, 1, 503);
+        // Adversarial system ranking to force real query spend.
+        let server = SimServer::new(
+            data,
+            SystemRank::linear("anti", vec![(AttrId(0), -1.0), (AttrId(1), -1.0)]),
+            k,
+        );
+        RerankService::new(Arc::new(server), n)
+    }
+
+    fn rank2() -> Arc<dyn RankFn> {
+        Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)]))
+    }
+
     #[test]
     fn session_streams_ranked_results() {
         let svc = service(200, 5);
-        let rank = Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)]));
-        let mut s = svc.session(Query::all(), rank, Algorithm::Auto);
-        let top = s.top(5).unwrap();
+        let mut s = svc.session(Query::all(), rank2()).open().unwrap();
+        let (top, err) = s.top(5);
+        assert!(err.is_none());
         assert_eq!(top.len(), 5);
         assert!(top.windows(2).all(|w| w[0].score <= w[1].score));
         assert_eq!(top[0].rank, 1);
@@ -161,32 +230,27 @@ mod tests {
     fn one_d_auto_for_single_attribute() {
         let svc = service(200, 5);
         let rank = Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0)]));
-        let mut s = svc.session(Query::all(), rank, Algorithm::Auto);
-        let top = s.top(3).unwrap();
+        let mut s = svc.session(Query::all(), rank).open().unwrap();
+        let (top, err) = s.top(3);
+        assert!(err.is_none());
         let vals: Vec<f64> = top.iter().map(|r| r.tuple.ord(AttrId(0))).collect();
         assert!(vals.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]
     fn budget_stops_the_session() {
-        let data = uniform(500, 2, 1, 503);
-        // Adversarial system ranking to force real query spend.
-        let server = SimServer::new(
-            data,
-            SystemRank::linear("anti", vec![(AttrId(0), -1.0), (AttrId(1), -1.0)]),
-            3,
-        );
-        let svc = RerankService::new(Arc::new(server), 500).with_budget(2);
-        let rank = Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)]));
-        let mut s = svc.session(Query::all(), rank, Algorithm::Auto);
+        let svc = anti_service(500, 3).with_budget(2);
+        let mut s = svc.session(Query::all(), rank2()).open().unwrap();
         let mut hit_budget = false;
         for _ in 0..100 {
             match s.next() {
-                Err(e) => {
-                    assert!(e.spent >= 2);
+                Err(RerankError::BudgetExhausted { spent, limit }) => {
+                    assert_eq!(limit, 2);
+                    assert!(spent >= 2);
                     hit_budget = true;
                     break;
                 }
+                Err(e) => panic!("unexpected error {e}"),
                 Ok(Some(_)) => {}
                 Ok(None) => break,
             }
@@ -195,32 +259,118 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "single-attribute")]
-    fn one_d_rejects_multi_attribute_rank() {
+    fn per_session_budget_is_independent() {
+        let svc = anti_service(500, 3);
+        let mut constrained = svc.session(Query::all(), rank2()).budget(2).open().unwrap();
+        let mut err = None;
+        for _ in 0..100 {
+            match constrained.next() {
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+            }
+        }
+        assert!(
+            matches!(err, Some(RerankError::BudgetExhausted { limit: 2, .. })),
+            "per-session budget never tripped: {err:?}"
+        );
+        // The service itself is unconstrained: a fresh session keeps going.
+        let mut free = svc.session(Query::all(), rank2()).open().unwrap();
+        let (top, err) = free.top(3);
+        assert!(err.is_none());
+        assert_eq!(top.len(), 3);
+    }
+
+    #[test]
+    fn one_d_rejects_multi_attribute_rank_with_typed_error() {
         let svc = service(50, 5);
-        let rank = Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)]));
-        let _ = svc.session(
-            Query::all(),
-            rank,
-            Algorithm::OneD(qrs_core::OneDStrategy::Rerank),
+        let err = svc
+            .session(Query::all(), rank2())
+            .algorithm(Algorithm::OneD(qrs_core::OneDStrategy::Rerank))
+            .open()
+            .unwrap_err();
+        assert!(
+            matches!(err, RerankError::InvalidAlgorithm { ref reason } if reason.contains("single-attribute")),
+            "wrong error: {err}"
+        );
+        // No session was counted for the refused open.
+        assert_eq!(svc.stats().sessions_started, 0);
+    }
+
+    #[test]
+    fn ta_public_order_by_requires_capability() {
+        let svc = service(50, 5); // SimServer without with_order_by
+        let err = svc
+            .session(Query::all(), rank2())
+            .algorithm(Algorithm::Ta(qrs_core::md::ta::SortedAccess::PublicOrderBy))
+            .open()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RerankError::UnsupportedCapability(Capability::OrderBy(AttrId(0)))
         );
     }
 
     #[test]
     fn knowledge_accumulates_across_sessions() {
         let svc = service(300, 5);
-        let rank = Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)]));
-        let mut s1 = svc.session(Query::all(), Arc::clone(&rank) as _, Algorithm::Auto);
-        s1.top(3).unwrap();
+        let rank = rank2();
+        let mut s1 = svc.session(Query::all(), Arc::clone(&rank)).open().unwrap();
+        let (got, err) = s1.top(3);
+        assert!(err.is_none() && got.len() == 3);
         drop(s1);
         let (h1, _, _) = svc.knowledge();
         assert!(h1 > 0);
         let cost_before = svc.queries_issued();
         // Same request again: shared knowledge should make it cheaper.
-        let mut s2 = svc.session(Query::all(), rank, Algorithm::Auto);
-        s2.top(3).unwrap();
+        let mut s2 = svc.session(Query::all(), rank).open().unwrap();
+        let (got, err) = s2.top(3);
+        assert!(err.is_none() && got.len() == 3);
         let second_cost = svc.queries_issued() - cost_before;
-        assert!(second_cost <= cost_before, "no amortization: {second_cost} vs {cost_before}");
+        assert!(
+            second_cost <= cost_before,
+            "no amortization: {second_cost} vs {cost_before}"
+        );
         assert_eq!(svc.stats().sessions_started, 2);
+    }
+
+    #[test]
+    fn top_preserves_partials_on_budget_trip() {
+        let svc = anti_service(500, 3).with_budget(30);
+        let mut s = svc.session(Query::all(), rank2()).open().unwrap();
+        let (hits, err) = s.top(1000);
+        let err = err.expect("budget of 30 must trip before 1000 tuples");
+        assert!(matches!(err, RerankError::BudgetExhausted { .. }));
+        assert!(
+            !hits.is_empty(),
+            "tuples fetched before the trip must be preserved"
+        );
+        // The partial batch is still correctly ranked.
+        assert!(hits.windows(2).all(|w| w[0].score <= w[1].score));
+        // try_top is the all-or-error variant.
+        assert!(s.try_top(10).is_err());
+    }
+
+    #[test]
+    fn server_rate_limit_surfaces_with_partials() {
+        let data = uniform(400, 2, 1, 509);
+        let server = SimServer::new(
+            data,
+            SystemRank::linear("anti", vec![(AttrId(0), -1.0), (AttrId(1), -1.0)]),
+            3,
+        )
+        .with_rate_limit(25);
+        let svc = RerankService::new(Arc::new(server), 400);
+        let mut s = svc.session(Query::all(), rank2()).open().unwrap();
+        let (hits, err) = s.top(1000);
+        match err {
+            Some(RerankError::Server(e)) => assert!(e.is_transient()),
+            other => panic!("expected a server error, got {other:?}"),
+        }
+        // Whatever was fetched before the 429 is kept and ranked.
+        assert!(hits.windows(2).all(|w| w[0].score <= w[1].score));
     }
 }

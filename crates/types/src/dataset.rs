@@ -169,9 +169,15 @@ mod tests {
     #[test]
     fn validation_rejects_bad_arity() {
         let schema = Schema::new(vec![OrdinalAttr::new("x", 0.0, 1.0)], vec![]);
-        let err = Dataset::new(schema, vec![Tuple::new(TupleId(0), vec![0.1, 0.2], vec![])])
-            .unwrap_err();
-        assert_eq!(err, TypeError::OrdinalArityMismatch { expected: 1, got: 2 });
+        let err =
+            Dataset::new(schema, vec![Tuple::new(TupleId(0), vec![0.1, 0.2], vec![])]).unwrap_err();
+        assert_eq!(
+            err,
+            TypeError::OrdinalArityMismatch {
+                expected: 1,
+                got: 2
+            }
+        );
     }
 
     #[test]

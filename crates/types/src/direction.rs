@@ -7,10 +7,8 @@
 //! algorithms run in a *normalized* space where smaller is always better, and
 //! translate back through the direction when talking to the server.
 
-use serde::{Deserialize, Serialize};
-
 /// Which end of an ordinal attribute a ranking function prefers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Direction {
     /// Smaller values rank higher (e.g. price for a buyer).
     #[default]

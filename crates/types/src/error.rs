@@ -1,5 +1,25 @@
-//! Error types shared across the workspace.
+//! The workspace-wide error taxonomy.
+//!
+//! The reranking middleware fronts *remote, rate-limited* hidden databases
+//! (§1: "Google Flight Search API allows only 50 free queries per user per
+//! day"), so every layer is fallible by design:
+//!
+//! * [`ServerError`] — what a [`SearchInterface`] adapter reports: rate
+//!   limits, transient outages, and requests for capabilities the interface
+//!   does not offer,
+//! * [`RerankError`] — the unified error every cursor, session and service
+//!   call returns. Server failures lift into it via `From`, with
+//!   [`ServerError::Unsupported`] normalized to
+//!   [`RerankError::UnsupportedCapability`] so callers match one variant
+//!   regardless of whether negotiation failed at preflight or mid-stream.
+//!
+//! [`SearchInterface`]: https://docs.rs/qrs-server
+//!
+//! The contract the service layer upholds: **no misuse of the public API
+//! panics** — unsupported capabilities, bad algorithm/ranking pairings,
+//! budget exhaustion and server failures all surface as typed variants.
 
+use crate::schema::AttrId;
 use std::fmt;
 
 /// Errors raised while assembling datasets/queries.
@@ -10,23 +30,249 @@ pub enum TypeError {
     /// A tuple's categorical arity does not match the schema.
     CategoricalArityMismatch { expected: usize, got: usize },
     /// A categorical code is out of the attribute's declared cardinality.
-    CategoricalCodeOutOfRange { attr: usize, code: u32, cardinality: u32 },
+    CategoricalCodeOutOfRange {
+        attr: usize,
+        code: u32,
+        cardinality: u32,
+    },
 }
 
 impl fmt::Display for TypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TypeError::OrdinalArityMismatch { expected, got } => {
-                write!(f, "tuple has {got} ordinal values, schema expects {expected}")
+                write!(
+                    f,
+                    "tuple has {got} ordinal values, schema expects {expected}"
+                )
             }
             TypeError::CategoricalArityMismatch { expected, got } => {
-                write!(f, "tuple has {got} categorical values, schema expects {expected}")
+                write!(
+                    f,
+                    "tuple has {got} categorical values, schema expects {expected}"
+                )
             }
-            TypeError::CategoricalCodeOutOfRange { attr, code, cardinality } => {
-                write!(f, "categorical code {code} out of range for B{attr} (cardinality {cardinality})")
+            TypeError::CategoricalCodeOutOfRange {
+                attr,
+                code,
+                cardinality,
+            } => {
+                write!(
+                    f,
+                    "categorical code {code} out of range for B{attr} (cardinality {cardinality})"
+                )
             }
         }
     }
 }
 
 impl std::error::Error for TypeError {}
+
+/// An optional feature of a hidden database's search interface.
+///
+/// Real sites differ: some offer "next page" links, some let the user pick
+/// a public `ORDER BY` attribute (§5 "Multiple/Known System Ranking
+/// Functions"), many offer neither. Algorithms *negotiate* for these
+/// instead of assuming them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Capability {
+    /// Page turns on the proprietary system ranking.
+    Paging,
+    /// Public `ORDER BY` paging on the given attribute.
+    OrderBy(AttrId),
+}
+
+impl fmt::Display for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Capability::Paging => write!(f, "page turns on the system ranking"),
+            Capability::OrderBy(a) => write!(f, "public ORDER BY on attribute {a}"),
+        }
+    }
+}
+
+/// A failure reported by a search-interface adapter.
+///
+/// The in-process simulators only produce these when explicitly configured
+/// to; a real HTTP adapter maps 429s, 5xxs and malformed requests here
+/// instead of panicking inside the middleware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// The backend refused the query (quota, throttling). `retry_after_ms`
+    /// is the backend's hint, when it gave one.
+    RateLimited { retry_after_ms: Option<u64> },
+    /// Transient failure: network error, 5xx, timeout.
+    Unavailable { reason: String },
+    /// The interface does not offer the requested capability.
+    Unsupported(Capability),
+    /// The query violates the interface contract (e.g. a range predicate on
+    /// an attribute that only accepts point predicates, §5).
+    InvalidQuery { reason: String },
+}
+
+impl ServerError {
+    /// Convenience constructor for transient failures.
+    pub fn unavailable(reason: impl Into<String>) -> Self {
+        ServerError::Unavailable {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for contract violations.
+    pub fn invalid_query(reason: impl Into<String>) -> Self {
+        ServerError::InvalidQuery {
+            reason: reason.into(),
+        }
+    }
+
+    /// Whether retrying the same request later could succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ServerError::RateLimited { .. } | ServerError::Unavailable { .. }
+        )
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::RateLimited {
+                retry_after_ms: Some(ms),
+            } => {
+                write!(f, "server rate-limited the request (retry after {ms} ms)")
+            }
+            ServerError::RateLimited {
+                retry_after_ms: None,
+            } => {
+                write!(f, "server rate-limited the request")
+            }
+            ServerError::Unavailable { reason } => write!(f, "server unavailable: {reason}"),
+            ServerError::Unsupported(c) => write!(f, "server does not support {c}"),
+            ServerError::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// The unified error type of the reranking workspace.
+///
+/// Everything downstream of a [`ServerError`] — cursors, sessions, the
+/// federated merge — returns this. Budget exhaustion carries the spend so
+/// callers can report "x of y queries used"; capability and algorithm
+/// mismatches are caught at session preflight *and* surfaced from deep
+/// inside algorithms if a server's behavior changes mid-stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RerankError {
+    /// The query budget ran out. Results fetched before the trip are
+    /// retained by the caller (see `Session::top`).
+    BudgetExhausted { spent: u64, limit: u64 },
+    /// The backing server does not offer a capability the chosen algorithm
+    /// requires.
+    UnsupportedCapability(Capability),
+    /// The requested algorithm cannot serve the requested ranking function
+    /// (e.g. a 1D algorithm with a multi-attribute ranking function).
+    InvalidAlgorithm { reason: String },
+    /// The backing server failed.
+    Server(ServerError),
+}
+
+impl RerankError {
+    /// Convenience constructor for algorithm/ranking mismatches.
+    pub fn invalid_algorithm(reason: impl Into<String>) -> Self {
+        RerankError::InvalidAlgorithm {
+            reason: reason.into(),
+        }
+    }
+
+    /// Whether retrying the same call later could succeed (rate limits,
+    /// transient server failures, refreshed budgets).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            RerankError::BudgetExhausted { .. } => true,
+            RerankError::Server(e) => e.is_transient(),
+            RerankError::UnsupportedCapability(_) | RerankError::InvalidAlgorithm { .. } => false,
+        }
+    }
+}
+
+impl fmt::Display for RerankError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RerankError::BudgetExhausted { spent, limit } => {
+                write!(
+                    f,
+                    "query budget exhausted: {spent} of {limit} queries spent"
+                )
+            }
+            RerankError::UnsupportedCapability(c) => {
+                write!(f, "the server does not support {c}")
+            }
+            RerankError::InvalidAlgorithm { reason } => {
+                write!(f, "invalid algorithm choice: {reason}")
+            }
+            RerankError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RerankError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RerankError::Server(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServerError> for RerankError {
+    /// Lift a server failure. [`ServerError::Unsupported`] normalizes to
+    /// [`RerankError::UnsupportedCapability`] so callers match a single
+    /// variant whether negotiation failed at preflight or mid-stream.
+    fn from(e: ServerError) -> Self {
+        match e {
+            ServerError::Unsupported(c) => RerankError::UnsupportedCapability(c),
+            other => RerankError::Server(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsupported_normalizes_through_from() {
+        let e: RerankError = ServerError::Unsupported(Capability::Paging).into();
+        assert_eq!(e, RerankError::UnsupportedCapability(Capability::Paging));
+        let e: RerankError = ServerError::RateLimited {
+            retry_after_ms: Some(10),
+        }
+        .into();
+        assert!(matches!(
+            e,
+            RerankError::Server(ServerError::RateLimited { .. })
+        ));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(RerankError::BudgetExhausted { spent: 1, limit: 1 }.is_transient());
+        assert!(RerankError::Server(ServerError::unavailable("503")).is_transient());
+        assert!(!RerankError::UnsupportedCapability(Capability::OrderBy(AttrId(0))).is_transient());
+        assert!(!RerankError::invalid_algorithm("1D needs one attribute").is_transient());
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let s = RerankError::BudgetExhausted {
+            spent: 50,
+            limit: 50,
+        }
+        .to_string();
+        assert!(s.contains("50 of 50"));
+        let s = RerankError::UnsupportedCapability(Capability::OrderBy(AttrId(2))).to_string();
+        assert!(s.contains("ORDER BY"));
+    }
+}

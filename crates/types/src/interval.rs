@@ -9,12 +9,11 @@
 //! no epsilon hacks.
 
 use crate::value::cmp_f64;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// One end of an [`Interval`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Endpoint {
     /// No constraint on this side.
     Unbounded,
@@ -47,7 +46,7 @@ impl Endpoint {
 /// detects it. Construction never panics on reversed bounds — a reversed
 /// interval is simply empty, which is exactly how the reranking algorithms
 /// want to treat an exhausted search region.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interval {
     pub lo: Endpoint,
     pub hi: Endpoint,

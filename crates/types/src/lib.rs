@@ -15,7 +15,9 @@
 //! * [`Query`] — conjunctions of range predicates on ordinal attributes and
 //!   membership predicates on categorical attributes,
 //! * [`QueryOutcome`], [`QueryResponse`] — the trichotomy *underflow / valid /
-//!   overflow* that every reranking algorithm branches on.
+//!   overflow* that every reranking algorithm branches on,
+//! * [`RerankError`], [`ServerError`], [`Capability`] — the workspace-wide
+//!   fallibility vocabulary: rate limits, capability negotiation, budgets.
 //!
 //! Everything downstream (`qrs-server`, `qrs-core`, …) is written against
 //! these types.
@@ -33,7 +35,7 @@ pub mod value;
 
 pub use dataset::Dataset;
 pub use direction::Direction;
-pub use error::TypeError;
+pub use error::{Capability, RerankError, ServerError, TypeError};
 pub use interval::{Endpoint, Interval};
 pub use predicate::{CatPredicate, RangePredicate};
 pub use query::Query;

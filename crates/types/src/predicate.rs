@@ -4,10 +4,9 @@
 use crate::interval::Interval;
 use crate::schema::{AttrId, CatId};
 use crate::tuple::Tuple;
-use serde::{Deserialize, Serialize};
 
 /// `Ai ∈ I` for an ordinal attribute.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RangePredicate {
     pub attr: AttrId,
     pub interval: Interval,
@@ -25,7 +24,7 @@ impl RangePredicate {
 }
 
 /// `Bj ∈ {codes…}` for a categorical attribute (equality when a single code).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CatPredicate {
     pub attr: CatId,
     /// Accepted codes, kept sorted and deduplicated.

@@ -1,5 +1,9 @@
-//! Property-based tests for the interval algebra — every reranking
+//! Randomized property tests for the interval algebra — every reranking
 //! algorithm's pruning correctness reduces to these identities.
+//!
+//! Written against the local `rand` stand-in (no registry access for
+//! `proptest`): each property is checked over a deterministic seeded sweep,
+//! and failures print the offending case.
 
 #![cfg(test)]
 
@@ -7,82 +11,115 @@ use crate::interval::{Endpoint, Interval};
 use crate::query::Query;
 use crate::schema::AttrId;
 use crate::tuple::{Tuple, TupleId};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
-fn endpoint_strategy() -> impl Strategy<Value = Endpoint> {
-    prop_oneof![
-        Just(Endpoint::Unbounded),
-        (-50i32..50).prop_map(|v| Endpoint::Open(f64::from(v) / 4.0)),
-        (-50i32..50).prop_map(|v| Endpoint::Closed(f64::from(v) / 4.0)),
-    ]
-}
+const CASES: usize = 512;
 
-fn interval_strategy() -> impl Strategy<Value = Interval> {
-    (endpoint_strategy(), endpoint_strategy()).prop_map(|(lo, hi)| Interval { lo, hi })
-}
-
-fn value_strategy() -> impl Strategy<Value = f64> {
-    (-220i32..220).prop_map(|v| f64::from(v) / 8.0)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn intersection_is_conjunction(a in interval_strategy(), b in interval_strategy(), v in value_strategy()) {
-        let c = a.intersect(&b);
-        prop_assert_eq!(c.contains(v), a.contains(v) && b.contains(v));
+fn endpoint(rng: &mut StdRng) -> Endpoint {
+    match rng.random_range(0..3u32) {
+        0 => Endpoint::Unbounded,
+        1 => Endpoint::Open(f64::from(rng.random_range(0..100u32) as i32 - 50) / 4.0),
+        _ => Endpoint::Closed(f64::from(rng.random_range(0..100u32) as i32 - 50) / 4.0),
     }
+}
 
-    #[test]
-    fn empty_intervals_contain_nothing(a in interval_strategy(), v in value_strategy()) {
+fn interval(rng: &mut StdRng) -> Interval {
+    Interval {
+        lo: endpoint(rng),
+        hi: endpoint(rng),
+    }
+}
+
+fn value(rng: &mut StdRng) -> f64 {
+    f64::from(rng.random_range(0..440u32) as i32 - 220) / 8.0
+}
+
+#[test]
+fn intersection_is_conjunction() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for _ in 0..CASES {
+        let (a, b, v) = (interval(&mut rng), interval(&mut rng), value(&mut rng));
+        let c = a.intersect(&b);
+        assert_eq!(
+            c.contains(v),
+            a.contains(v) && b.contains(v),
+            "{a} ∩ {b} = {c} disagrees at {v}"
+        );
+    }
+}
+
+#[test]
+fn empty_intervals_contain_nothing() {
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for _ in 0..CASES {
+        let (a, v) = (interval(&mut rng), value(&mut rng));
         if a.is_empty() {
-            prop_assert!(!a.contains(v));
+            assert!(!a.contains(v), "empty {a} contains {v}");
         }
     }
+}
 
-    #[test]
-    fn subset_implies_membership(a in interval_strategy(), b in interval_strategy(), v in value_strategy()) {
+#[test]
+fn subset_implies_membership() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..CASES {
+        let (a, b, v) = (interval(&mut rng), interval(&mut rng), value(&mut rng));
         if a.is_subset_of(&b) && a.contains(v) {
-            prop_assert!(b.contains(v), "{} ⊆ {} but {} only in the former", a, b, v);
+            assert!(b.contains(v), "{a} ⊆ {b} but {v} only in the former");
         }
     }
+}
 
-    #[test]
-    fn negate_mirrors_membership(a in interval_strategy(), v in value_strategy()) {
-        prop_assert_eq!(a.negate().contains(-v), a.contains(v));
+#[test]
+fn negate_mirrors_membership() {
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    for _ in 0..CASES {
+        let (a, v) = (interval(&mut rng), value(&mut rng));
+        assert_eq!(a.negate().contains(-v), a.contains(v), "{a} at {v}");
     }
+}
 
-    #[test]
-    fn negate_is_involution(a in interval_strategy()) {
-        prop_assert_eq!(a.negate().negate(), a);
+#[test]
+fn negate_is_involution() {
+    let mut rng = StdRng::seed_from_u64(0xE66);
+    for _ in 0..CASES {
+        let a = interval(&mut rng);
+        assert_eq!(a.negate().negate(), a, "double negation changed {a}");
     }
+}
 
-    #[test]
-    fn intersection_subset_of_operands(a in interval_strategy(), b in interval_strategy()) {
+#[test]
+fn intersection_subset_of_operands() {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    for _ in 0..CASES {
+        let (a, b) = (interval(&mut rng), interval(&mut rng));
         let c = a.intersect(&b);
-        prop_assert!(c.is_subset_of(&a));
-        prop_assert!(c.is_subset_of(&b));
+        assert!(c.is_subset_of(&a), "{a} ∩ {b} = {c} ⊄ {a}");
+        assert!(c.is_subset_of(&b), "{a} ∩ {b} = {c} ⊄ {b}");
     }
+}
 
-    #[test]
-    fn query_subsumption_implies_match_implication(
-        ivs_inner in proptest::collection::vec(interval_strategy(), 2),
-        ivs_outer in proptest::collection::vec(interval_strategy(), 2),
-        coords in proptest::collection::vec(value_strategy(), 2),
-    ) {
+#[test]
+fn query_subsumption_implies_match_implication() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for _ in 0..CASES {
         let mut inner = Query::all();
         let mut outer = Query::all();
-        for (i, (a, b)) in ivs_inner.iter().zip(&ivs_outer).enumerate() {
+        let mut coords = Vec::new();
+        for i in 0..2 {
+            let a = interval(&mut rng);
+            let b = interval(&mut rng);
             // inner gets both predicates (so it is at least as strict).
-            inner.add_range(AttrId(i), *a);
-            inner.add_range(AttrId(i), *b);
-            outer.add_range(AttrId(i), *b);
+            inner.add_range(AttrId(i), a);
+            inner.add_range(AttrId(i), b);
+            outer.add_range(AttrId(i), b);
+            coords.push(value(&mut rng));
         }
-        prop_assert!(inner.is_subsumed_by(&outer));
+        assert!(inner.is_subsumed_by(&outer));
         let t = Tuple::new(TupleId(0), coords, vec![]);
         if inner.matches(&t) {
-            prop_assert!(outer.matches(&t));
+            assert!(outer.matches(&t), "inner matches {t:?} but outer does not");
         }
     }
 }

@@ -12,11 +12,10 @@ use crate::schema::AttrId;
 #[cfg(test)]
 use crate::schema::CatId;
 use crate::tuple::Tuple;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A conjunctive range query (the paper's `q` / `Sel(q)`).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Query {
     ranges: Vec<RangePredicate>,
     cats: Vec<CatPredicate>,

@@ -5,11 +5,10 @@
 //! returned) and *overflow* (`|R(q)| > k`, only the system's top-k returned).
 
 use crate::tuple::Tuple;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Which of the three cases a query landed in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QueryOutcome {
     /// No tuple matches.
     Underflow,

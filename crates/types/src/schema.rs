@@ -5,15 +5,14 @@
 //! value domains, plus categorical attributes `B1..Bm'` that appear in
 //! selection conditions but never in ranking functions.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of an ordinal attribute within a [`Schema`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AttrId(pub usize);
 
 /// Index of a categorical attribute within a [`Schema`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CatId(pub usize);
 
 impl fmt::Display for AttrId {
@@ -29,7 +28,7 @@ impl fmt::Display for CatId {
 }
 
 /// An ordinal (rankable, range-searchable) attribute.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OrdinalAttr {
     pub name: String,
     /// Smallest domain value `v0`.
@@ -83,7 +82,7 @@ impl OrdinalAttr {
 }
 
 /// A categorical attribute, usable only in equality/membership filters.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CatAttr {
     pub name: String,
     /// Number of distinct values; values are encoded as `0..cardinality`.
@@ -100,7 +99,7 @@ impl CatAttr {
 }
 
 /// Schema of a client-server database.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Schema {
     ordinal: Vec<OrdinalAttr>,
     categorical: Vec<CatAttr>,

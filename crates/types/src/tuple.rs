@@ -1,14 +1,13 @@
 //! Tuples: one row of the client-server database.
 
 use crate::schema::{AttrId, CatId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Stable identifier of a tuple within its [`crate::Dataset`].
 ///
 /// `u32` keeps hot structures small (see the type-sizes guidance in the Rust
 /// perf book); the paper's largest dataset has 457,013 rows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TupleId(pub u32);
 
 impl fmt::Display for TupleId {
@@ -18,7 +17,7 @@ impl fmt::Display for TupleId {
 }
 
 /// A database tuple: ordinal values (rankable) + categorical codes (filters).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tuple {
     pub id: TupleId,
     ord: Box<[f64]>,

@@ -54,25 +54,28 @@ fn main() {
                 )),
             ),
         ] {
-            let mut s = service.session(sel.clone(), Arc::clone(&rank), algo);
-            match s.top(5) {
-                Ok(rows) => {
-                    println!("\n{label} via {algo_label} — {} queries", s.queries_spent());
-                    for r in rows {
-                        println!(
-                            "  #{} carat {:.2}  price ${:>7.0}  $/ct {:>6.0}  depth {:.3} table {:.3}",
-                            r.rank,
-                            r.tuple.ord(attr::CARAT),
-                            r.tuple.ord(attr::PRICE),
-                            r.tuple.ord(attr::PRICE) / r.tuple.ord(attr::CARAT),
-                            r.tuple.ord(attr::DEPTH),
-                            r.tuple.ord(attr::TABLE),
-                        );
-                    }
-                }
-                Err(e) => {
-                    println!("\n{label} via {algo_label}: stopped by rate limit ({e})");
-                }
+            let mut s = service
+                .session(sel.clone(), Arc::clone(&rank))
+                .algorithm(algo)
+                .open()
+                .expect("both algorithms run on a bare top-k interface");
+            // `top` keeps the tuples fetched before a budget trip: the
+            // shopper sees whatever the rate limit allowed, plus the error.
+            let (rows, err) = s.top(5);
+            println!("\n{label} via {algo_label} — {} queries", s.queries_spent());
+            for r in rows {
+                println!(
+                    "  #{} carat {:.2}  price ${:>7.0}  $/ct {:>6.0}  depth {:.3} table {:.3}",
+                    r.rank,
+                    r.tuple.ord(attr::CARAT),
+                    r.tuple.ord(attr::PRICE),
+                    r.tuple.ord(attr::PRICE) / r.tuple.ord(attr::CARAT),
+                    r.tuple.ord(attr::DEPTH),
+                    r.tuple.ord(attr::TABLE),
+                );
+            }
+            if let Some(e) = err {
+                println!("  … stopped early by the budget: {e}");
             }
         }
     }

@@ -24,7 +24,10 @@ fn main() {
     // User query: one specific carrier, mid-range distance; rank by
     // ascending taxi-out — unsupported by the site.
     let sel = Query::all()
-        .and_cat(CatPredicate::eq(query_reranking::datagen::flights::cat::CARRIER, 2))
+        .and_cat(CatPredicate::eq(
+            query_reranking::datagen::flights::cat::CARRIER,
+            2,
+        ))
         .and_range(attr::DISTANCE, Interval::closed(200.0, 1_500.0));
 
     println!("top-5 flights by taxi-out (exact), per algorithm:\n");
@@ -34,14 +37,24 @@ fn main() {
         let mut cur = OneDCursor::over(attr::TAXI_OUT, Direction::Asc, sel.clone(), strategy);
         let mut rows = Vec::new();
         for _ in 0..5 {
-            match cur.next(&server, &mut st) {
+            match cur
+                .next(&server, &mut st)
+                .expect("offline sim server does not fail")
+            {
                 Some(t) => rows.push((t.ord(attr::TAXI_OUT), t.ord(attr::DISTANCE))),
                 None => break,
             }
         }
-        println!("{:<12} cost = {:>3} queries", strategy.label(), server.queries_issued());
+        println!(
+            "{:<12} cost = {:>3} queries",
+            strategy.label(),
+            server.queries_issued()
+        );
         for (i, (taxi, dist)) in rows.iter().enumerate() {
-            println!("   #{} taxi_out = {taxi:>5.1} min  distance = {dist:>5.0} mi", i + 1);
+            println!(
+                "   #{} taxi_out = {taxi:>5.1} min  distance = {dist:>5.0} mi",
+                i + 1
+            );
         }
         println!();
     }

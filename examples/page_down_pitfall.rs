@@ -26,11 +26,15 @@ fn main() {
     let truth = data.rank_by(&Query::all(), |t| rank.score(t));
 
     println!("page-down shortcut vs exact reranking (n={n}, top-10):\n");
-    println!("{:<28} {:>8} {:>10} {:>7}", "method", "queries", "recall@10", "exact?");
+    println!(
+        "{:<28} {:>8} {:>10} {:>7}",
+        "method", "queries", "recall@10", "exact?"
+    );
     for pages in [1usize, 3, 10, 30, 100] {
         let server = SimServer::new(data.clone(), sys.clone(), 10).with_paging();
         let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(n, 10));
-        let r = page_down_rerank(&server, &mut st, &Query::all(), |t| rank.score(t), pages);
+        let r = page_down_rerank(&server, &mut st, &Query::all(), |t| rank.score(t), pages)
+            .expect("paging capability enabled above");
         println!(
             "{:<28} {:>8} {:>10.2} {:>7}",
             format!("page-down ({pages} pages)"),
@@ -49,7 +53,10 @@ fn main() {
     );
     let mut got = Vec::new();
     for _ in 0..10 {
-        match cur.next(&server, &mut st) {
+        match cur
+            .next(&server, &mut st)
+            .expect("offline sim server does not fail")
+        {
             Some(t) => got.push(t),
             None => break,
         }

@@ -18,7 +18,11 @@ use std::sync::Arc;
 fn main() {
     // Two dealers with different inventories and different opaque rankings.
     let dealer_a = RerankService::new(
-        Arc::new(SimServer::new(autos(8_000, 1), SystemRank::pseudo_random(1), 15)),
+        Arc::new(SimServer::new(
+            autos(8_000, 1),
+            SystemRank::pseudo_random(1),
+            15,
+        )),
         8_000,
     );
     let dealer_b = RerankService::new(
@@ -44,9 +48,16 @@ fn main() {
 
     let rank = profiles.get("commuter").expect("profile registered above");
     for (name, dealer) in [("dealer A", &dealer_a), ("dealer B", &dealer_b)] {
-        let mut session = dealer.session(Query::all(), Arc::clone(&rank), Algorithm::Auto);
-        let rows = session.top(5).expect("no budget configured");
-        println!("\n{name} — top-5 under the shared 'commuter' profile ({} queries):", session.queries_spent());
+        let mut session = dealer
+            .session(Query::all(), Arc::clone(&rank))
+            .open()
+            .expect("Auto picks an algorithm needing no optional capability");
+        let (rows, err) = session.top(5);
+        assert!(err.is_none(), "no budget configured: {err:?}");
+        println!(
+            "\n{name} — top-5 under the shared 'commuter' profile ({} queries):",
+            session.queries_spent()
+        );
         for r in rows {
             println!(
                 "  #{} ${:>6.0}  {:>7.0} mi  year {:.0}",
@@ -65,9 +76,12 @@ fn main() {
         Query::all(),
         Arc::clone(&rank),
         Algorithm::Auto,
-    );
+    )
+    .expect("every source accepts the Auto algorithm");
     println!("\nfederated top-8 across both dealers:");
-    for f in fed.top(8).expect("no budget configured") {
+    let (hits, err) = fed.top(8);
+    assert!(err.is_none(), "no budget configured: {err:?}");
+    for f in hits {
         println!(
             "  #{} [dealer {}] ${:>6.0}  {:>7.0} mi  year {:.0}",
             f.hit.rank,

@@ -36,10 +36,18 @@ fn main() {
         (year, Direction::Desc, 900.0),
     ]));
 
-    // 4. Stream the exact top-10 and report the query bill.
-    let mut session = service.session(Query::all(), rank, Algorithm::Md(MdOptions::rerank()));
+    // 4. Open a session (the builder preflights the algorithm choice and
+    //    the server's capabilities), stream the exact top-10, and report
+    //    the query bill.
+    let mut session = service
+        .session(Query::all(), rank)
+        .algorithm(Algorithm::Md(MdOptions::rerank()))
+        .open()
+        .expect("MD-RERANK needs no optional server capability");
     println!("rank | price    | mileage  | year | score");
-    for r in session.top(10).expect("budget is unlimited here") {
+    let (rows, err) = session.top(10);
+    assert!(err.is_none(), "budget is unlimited here: {err:?}");
+    for r in rows {
         println!(
             "{:>4} | {:>8.0} | {:>8.0} | {:>4.0} | {:>9.1}",
             r.rank,

@@ -13,6 +13,7 @@ fn run(n: usize, k: usize, strategy: OneDStrategy) {
     let mut st = SharedState::new(adv.schema(), RerankParams::paper_defaults(n, k));
     let spec = OneDSpec::new(AttrId(0), Direction::Asc, Query::all());
     let t = next_above(&adv, &mut st, &spec, strategy, f64::NEG_INFINITY, None)
+        .unwrap()
         .expect("the adversary materializes at least one tuple");
     // Correctness: the certified top-1 really is the minimum of the
     // (now fully materialized) database.
@@ -66,6 +67,18 @@ fn adversary_forces_full_materialization() {
     let adv = AdversaryServer::new(0.0, 1.0, n, k);
     let mut st = SharedState::new(adv.schema(), RerankParams::paper_defaults(n, k));
     let spec = OneDSpec::new(AttrId(0), Direction::Asc, Query::all());
-    next_above(&adv, &mut st, &spec, OneDStrategy::Baseline, f64::NEG_INFINITY, None).unwrap();
-    assert!(adv.is_frozen(), "algorithm certified before the adversary ran dry");
+    next_above(
+        &adv,
+        &mut st,
+        &spec,
+        OneDStrategy::Baseline,
+        f64::NEG_INFINITY,
+        None,
+    )
+    .unwrap()
+    .unwrap();
+    assert!(
+        adv.is_frozen(),
+        "algorithm certified before the adversary ran dry"
+    );
 }

@@ -24,7 +24,7 @@ fn check_complete(data: &Dataset, k: usize, q: &Query) {
     };
     let server = SimServer::new(data.clone(), SystemRank::pseudo_random(9), k);
     let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(data.len(), k));
-    let r = crawl_region(&server, &mut st, q);
+    let r = crawl_region(&server, &mut st, q).unwrap();
     assert!(!r.truncated, "unexpected truncation");
     let got: Vec<u32> = r.tuples.iter().map(|t| t.id.0).collect();
     assert_eq!(got, want);
@@ -82,7 +82,7 @@ fn grid_data_with_categorical_separation() {
         data.schema(),
         RerankParams::paper_defaults(data.len(), max_group - 1),
     );
-    let r = crawl_region(&server, &mut st, &Query::all());
+    let r = crawl_region(&server, &mut st, &Query::all()).unwrap();
     assert!(r.truncated);
 }
 
@@ -117,14 +117,17 @@ fn point_only_attribute_enumeration() {
 fn truncation_reported_for_indistinguishable_duplicates() {
     // 12 tuples, all identical on the single ordinal and the single
     // categorical attribute, k = 4: only 4 are reachable.
-    let schema = Schema::new(vec![OrdinalAttr::new("x", 0.0, 1.0)], vec![CatAttr::new("c", 1)]);
+    let schema = Schema::new(
+        vec![OrdinalAttr::new("x", 0.0, 1.0)],
+        vec![CatAttr::new("c", 1)],
+    );
     let tuples: Vec<Tuple> = (0..12)
         .map(|i| Tuple::new(TupleId(i), vec![0.5], vec![0]))
         .collect();
     let data = Dataset::new(schema, tuples).unwrap();
     let server = SimServer::new(data.clone(), SystemRank::pseudo_random(1), 4);
     let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(12, 4));
-    let r = crawl_region(&server, &mut st, &Query::all());
+    let r = crawl_region(&server, &mut st, &Query::all()).unwrap();
     assert!(r.truncated, "silent truncation");
     assert_eq!(r.tuples.len(), 4);
 }
@@ -137,7 +140,7 @@ fn crawl_cost_scales_with_result_size_not_database_size() {
     let expect = data.count_matching(&q);
     let server = SimServer::new(data.clone(), SystemRank::pseudo_random(2), 10);
     let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(5_000, 10));
-    let r = crawl_region(&server, &mut st, &q);
+    let r = crawl_region(&server, &mut st, &q).unwrap();
     assert_eq!(r.tuples.len(), expect);
     assert!(
         server.queries_issued() <= (4 * expect / 10 + 10) as u64,

@@ -29,14 +29,17 @@ fn check_stream(
     dir: Direction,
     take: usize,
 ) {
-    let want: Vec<(f64, u32)> = truth(data, &sel, attr, dir).into_iter().take(take).collect();
+    let want: Vec<(f64, u32)> = truth(data, &sel, attr, dir)
+        .into_iter()
+        .take(take)
+        .collect();
     for strategy in OneDStrategy::ALL {
         let server = SimServer::new(data.clone(), sys.clone(), k);
         let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(data.len(), k));
         let mut cur = OneDCursor::over(attr, dir, sel.clone(), strategy);
         let mut got = Vec::new();
         for _ in 0..take {
-            match cur.next(&server, &mut st) {
+            match cur.next(&server, &mut st).unwrap() {
                 Some(t) => got.push((dir.normalize(t.ord(attr)), t.id.0)),
                 None => break,
             }
@@ -167,7 +170,7 @@ fn shared_state_across_user_queries_stays_exact() {
         let mut cur = OneDCursor::over(uq.attr, uq.dir, uq.query.clone(), OneDStrategy::Rerank);
         let mut got = Vec::new();
         for _ in 0..5 {
-            match cur.next(&server, &mut st) {
+            match cur.next(&server, &mut st).unwrap() {
                 Some(t) => got.push((uq.dir.normalize(t.ord(uq.attr)), t.id.0)),
                 None => break,
             }

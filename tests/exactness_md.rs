@@ -51,7 +51,7 @@ fn run_cursor(
     let mut cur = MdCursor::new(Arc::clone(&rank), sel.clone(), opts, server.schema());
     let mut got = Vec::new();
     for _ in 0..take {
-        match cur.next(&server, &mut st) {
+        match cur.next(&server, &mut st).unwrap() {
             Some(t) => got.push((rank.score(&t), t.id.0)),
             None => break,
         }
@@ -71,7 +71,14 @@ fn truth(data: &Dataset, rank: &dyn RankFn, sel: &Query, take: usize) -> Vec<(f6
     v
 }
 
-fn check_all_algos(data: &Dataset, sys: SystemRank, k: usize, rank: Arc<dyn RankFn>, sel: Query, take: usize) {
+fn check_all_algos(
+    data: &Dataset,
+    sys: SystemRank,
+    k: usize,
+    rank: Arc<dyn RankFn>,
+    sel: Query,
+    take: usize,
+) {
     let want = truth(data, rank.as_ref(), &sel, take);
     for (label, opts) in [
         ("MD-BASELINE", MdOptions::baseline()),
@@ -93,7 +100,7 @@ fn check_all_algos(data: &Dataset, sys: SystemRank, k: usize, rank: Arc<dyn Rank
     );
     let mut got = Vec::new();
     for _ in 0..take {
-        match ta.next(&server, &mut st) {
+        match ta.next(&server, &mut st).unwrap() {
             Some(t) => got.push((rank.score(&t), t.id.0)),
             None => break,
         }

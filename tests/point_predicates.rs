@@ -62,6 +62,7 @@ fn md_rank_over_point_only_attribute_via_ta() {
     );
     let got: Vec<f64> = ta
         .top_h(&server, &mut st, 12)
+        .unwrap()
         .iter()
         .map(|t| rank.score(t))
         .collect();
@@ -93,7 +94,7 @@ fn one_d_point_only_with_filter_both_directions() {
             OneDStrategy::Rerank,
         );
         let mut got = Vec::new();
-        while let Some(t) = cur.next(&server, &mut st) {
+        while let Some(t) = cur.next(&server, &mut st).unwrap() {
             got.push((dir.normalize(t.ord(AttrId(0))), t.id.0));
             assert!(got.len() <= want.len(), "stream overran");
         }

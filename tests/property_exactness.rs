@@ -1,9 +1,11 @@
-//! Property-based exactness: random datasets × random monotonic ranking
+//! Randomized exactness: random datasets × random monotonic ranking
 //! functions × random filters — every algorithm must agree with brute force.
 //! This is the paper's core claim ("the output query answer must precisely
 //! follow the user-specified ranking function") under fuzzing.
+//!
+//! Written against the local `rand` stand-in (no registry access for
+//! `proptest`): each property runs a deterministic seeded sweep.
 
-use proptest::prelude::*;
 use query_reranking::core::md::ta::{SortedAccess, TaCursor};
 use query_reranking::core::{
     MdCursor, MdOptions, OneDCursor, OneDStrategy, RerankParams, SharedState,
@@ -14,61 +16,63 @@ use query_reranking::types::value::cmp_f64;
 use query_reranking::types::{
     AttrId, CatAttr, Dataset, Direction, Interval, OrdinalAttr, Query, Schema, Tuple, TupleId,
 };
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use std::sync::Arc;
 
-/// A small random dataset: n tuples over m ordinal attrs, values on a coarse
-/// grid (ties guaranteed), one categorical attribute.
-fn dataset_strategy(m: usize) -> impl Strategy<Value = Dataset> {
-    let tuple = proptest::collection::vec(0..=9u8, m).prop_flat_map(|ords| {
-        (Just(ords), 0..3u32)
-    });
-    proptest::collection::vec(tuple, 5..60).prop_map(move |rows| {
-        let schema = Schema::new(
-            (0..m)
-                .map(|i| OrdinalAttr::new(format!("a{i}"), 0.0, 9.0))
-                .collect(),
-            vec![CatAttr::new("c", 3)],
-        );
-        let tuples = rows
-            .into_iter()
-            .enumerate()
-            .map(|(i, (ords, cat))| {
-                Tuple::new(
-                    TupleId(i as u32),
-                    ords.into_iter().map(f64::from).collect(),
-                    vec![cat],
+const CASES: usize = 48;
+
+/// A small random dataset: 5–60 tuples over m ordinal attrs, values on a
+/// coarse 0..=9 grid (ties guaranteed), one 3-valued categorical attribute.
+fn dataset(rng: &mut StdRng, m: usize) -> Dataset {
+    let n = rng.random_range(5..60usize);
+    let schema = Schema::new(
+        (0..m)
+            .map(|i| OrdinalAttr::new(format!("a{i}"), 0.0, 9.0))
+            .collect(),
+        vec![CatAttr::new("c", 3)],
+    );
+    let tuples = (0..n)
+        .map(|i| {
+            Tuple::new(
+                TupleId(i as u32),
+                (0..m)
+                    .map(|_| f64::from(rng.random_range(0..10u32)))
+                    .collect(),
+                vec![rng.random_range(0..3u32)],
+            )
+        })
+        .collect();
+    Dataset::new(schema, tuples).unwrap()
+}
+
+fn rank(rng: &mut StdRng, m: usize) -> LinearRank {
+    LinearRank::new(
+        (0..m)
+            .map(|i| {
+                (
+                    AttrId(i),
+                    if rng.random::<bool>() {
+                        Direction::Desc
+                    } else {
+                        Direction::Asc
+                    },
+                    0.1 + 1.9 * rng.random::<f64>(),
                 )
             })
-            .collect();
-        Dataset::new(schema, tuples).unwrap()
-    })
+            .collect(),
+    )
 }
 
-fn rank_strategy(m: usize) -> impl Strategy<Value = LinearRank> {
-    proptest::collection::vec((0.1f64..2.0, prop::bool::ANY), m).prop_map(|terms| {
-        LinearRank::new(
-            terms
-                .into_iter()
-                .enumerate()
-                .map(|(i, (w, desc))| {
-                    (
-                        AttrId(i),
-                        if desc { Direction::Desc } else { Direction::Asc },
-                        w,
-                    )
-                })
-                .collect(),
-        )
-    })
-}
-
-fn sel_strategy() -> impl Strategy<Value = Query> {
+fn sel(rng: &mut StdRng) -> Query {
     // Optionally constrain attr 0 to a sub-range.
-    prop_oneof![
-        Just(Query::all()),
-        (0.0f64..5.0, 5.0f64..9.0).prop_map(|(lo, hi)| Query::all()
-            .and_range(AttrId(0), Interval::closed(lo, hi))),
-    ]
+    if rng.random::<bool>() {
+        Query::all()
+    } else {
+        let lo = 5.0 * rng.random::<f64>();
+        let hi = 5.0 + 4.0 * rng.random::<f64>();
+        Query::all().and_range(AttrId(0), Interval::closed(lo, hi))
+    }
 }
 
 /// Tuples matching `sel`, with groups identical on *every* ordinal and
@@ -105,18 +109,19 @@ fn ground_truth(data: &Dataset, rank: &dyn RankFn, sel: &Query, k: usize) -> Vec
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn one_d_streams_match_bruteforce(
-        data in dataset_strategy(2),
-        dir in prop::bool::ANY,
-        sel in sel_strategy(),
-        k in 1usize..6,
-        sys_seed in 0u64..1000,
-    ) {
-        let dir = if dir { Direction::Desc } else { Direction::Asc };
+#[test]
+fn one_d_streams_match_bruteforce() {
+    let mut rng = StdRng::seed_from_u64(0xD1);
+    for case in 0..CASES {
+        let data = dataset(&mut rng, 2);
+        let dir = if rng.random::<bool>() {
+            Direction::Desc
+        } else {
+            Direction::Asc
+        };
+        let sel = sel(&mut rng);
+        let k = rng.random_range(1..6usize);
+        let sys_seed = rng.random_range(0..1000u64);
         let want: Vec<f64> = {
             let mut v: Vec<f64> = reachable(&data, &sel, k)
                 .iter()
@@ -127,48 +132,56 @@ proptest! {
         };
         for strategy in OneDStrategy::ALL {
             let server = SimServer::new(data.clone(), SystemRank::pseudo_random(sys_seed), k);
-            let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(data.len(), k));
+            let mut st =
+                SharedState::new(data.schema(), RerankParams::paper_defaults(data.len(), k));
             let mut cur = OneDCursor::over(AttrId(0), dir, sel.clone(), strategy);
             let mut got = Vec::new();
-            while let Some(t) = cur.next(&server, &mut st) {
+            while let Some(t) = cur.next(&server, &mut st).unwrap() {
                 got.push(dir.normalize(t.ord(AttrId(0))));
-                prop_assert!(got.len() <= want.len() + 1, "stream longer than relation");
+                assert!(got.len() <= want.len() + 1, "stream longer than relation");
             }
-            prop_assert_eq!(&got, &want, "{}", strategy.label());
+            assert_eq!(got, want, "case {case}: {}", strategy.label());
         }
     }
+}
 
-    #[test]
-    fn md_cursors_match_bruteforce(
-        data in dataset_strategy(2),
-        rank in rank_strategy(2),
-        sel in sel_strategy(),
-        k in 1usize..6,
-        sys_seed in 0u64..1000,
-    ) {
-        let rank: Arc<dyn RankFn> = Arc::new(rank);
+#[test]
+fn md_cursors_match_bruteforce() {
+    let mut rng = StdRng::seed_from_u64(0xD2);
+    for case in 0..CASES {
+        let data = dataset(&mut rng, 2);
+        let rank: Arc<dyn RankFn> = Arc::new(rank(&mut rng, 2));
+        let sel = sel(&mut rng);
+        let k = rng.random_range(1..6usize);
+        let sys_seed = rng.random_range(0..1000u64);
         let want = ground_truth(&data, rank.as_ref(), &sel, k);
-        for opts in [MdOptions::baseline(), MdOptions::binary(), MdOptions::rerank()] {
+        for opts in [
+            MdOptions::baseline(),
+            MdOptions::binary(),
+            MdOptions::rerank(),
+        ] {
             let server = SimServer::new(data.clone(), SystemRank::pseudo_random(sys_seed), k);
-            let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(data.len(), k));
+            let mut st =
+                SharedState::new(data.schema(), RerankParams::paper_defaults(data.len(), k));
             let mut cur = MdCursor::new(Arc::clone(&rank), sel.clone(), opts, server.schema());
             let mut got = Vec::new();
-            while let Some(t) = cur.next(&server, &mut st) {
+            while let Some(t) = cur.next(&server, &mut st).unwrap() {
                 got.push(rank.score(&t));
-                prop_assert!(got.len() <= want.len(), "stream longer than relation");
+                assert!(got.len() <= want.len(), "stream longer than relation");
             }
-            prop_assert_eq!(&got, &want);
+            assert_eq!(got, want, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn ta_matches_bruteforce(
-        data in dataset_strategy(3),
-        rank in rank_strategy(3),
-        k in 1usize..6,
-        sys_seed in 0u64..1000,
-    ) {
-        let rank: Arc<dyn RankFn> = Arc::new(rank);
+#[test]
+fn ta_matches_bruteforce() {
+    let mut rng = StdRng::seed_from_u64(0xD3);
+    for case in 0..CASES {
+        let data = dataset(&mut rng, 3);
+        let rank: Arc<dyn RankFn> = Arc::new(rank(&mut rng, 3));
+        let k = rng.random_range(1..6usize);
+        let sys_seed = rng.random_range(0..1000u64);
         let want = ground_truth(&data, rank.as_ref(), &Query::all(), k);
         let server = SimServer::new(data.clone(), SystemRank::pseudo_random(sys_seed), k);
         let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(data.len(), k));
@@ -179,25 +192,31 @@ proptest! {
             server.schema(),
         );
         let mut got = Vec::new();
-        while let Some(t) = ta.next(&server, &mut st) {
+        while let Some(t) = ta.next(&server, &mut st).unwrap() {
             got.push(rank.score(&t));
-            prop_assert!(got.len() <= want.len(), "stream longer than relation");
+            assert!(got.len() <= want.len(), "stream longer than relation");
         }
-        prop_assert_eq!(&got, &want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    #[test]
-    fn md_3d_top1_matches_bruteforce(
-        data in dataset_strategy(3),
-        rank in rank_strategy(3),
-        sys_seed in 0u64..1000,
-    ) {
-        let rank: Arc<dyn RankFn> = Arc::new(rank);
+#[test]
+fn md_3d_top1_matches_bruteforce() {
+    let mut rng = StdRng::seed_from_u64(0xD4);
+    for case in 0..CASES {
+        let data = dataset(&mut rng, 3);
+        let rank: Arc<dyn RankFn> = Arc::new(rank(&mut rng, 3));
+        let sys_seed = rng.random_range(0..1000u64);
         let want = ground_truth(&data, rank.as_ref(), &Query::all(), 4);
         let server = SimServer::new(data.clone(), SystemRank::pseudo_random(sys_seed), 4);
         let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(data.len(), 4));
-        let mut cur = MdCursor::new(Arc::clone(&rank), Query::all(), MdOptions::rerank(), server.schema());
-        let got = cur.next(&server, &mut st).map(|t| rank.score(&t));
-        prop_assert_eq!(got, want.first().copied());
+        let mut cur = MdCursor::new(
+            Arc::clone(&rank),
+            Query::all(),
+            MdOptions::rerank(),
+            server.schema(),
+        );
+        let got = cur.next(&server, &mut st).unwrap().map(|t| rank.score(&t));
+        assert_eq!(got, want.first().copied(), "case {case}");
     }
 }

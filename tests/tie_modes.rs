@@ -4,8 +4,7 @@
 
 use query_reranking::core::md::cursor::MdTie;
 use query_reranking::core::{
-    MdCursor, MdOptions, OneDCursor, OneDSpec, OneDStrategy, RerankParams, SharedState,
-    TiePolicy,
+    MdCursor, MdOptions, OneDCursor, OneDSpec, OneDStrategy, RerankParams, SharedState, TiePolicy,
 };
 use query_reranking::datagen::synthetic::{discrete_grid, uniform};
 use query_reranking::ranking::{LinearRank, RankFn};
@@ -16,8 +15,7 @@ use std::sync::Arc;
 #[test]
 fn md_gp_equals_exact_on_distinct_data() {
     let data = uniform(300, 2, 1, 5001);
-    let rank: Arc<dyn RankFn> =
-        Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 0.7)]));
+    let rank: Arc<dyn RankFn> = Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 0.7)]));
     let run = |tie: MdTie| -> (Vec<u32>, u64) {
         let server = SimServer::new(data.clone(), SystemRank::pseudo_random(31), 5);
         let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(300, 5));
@@ -30,7 +28,7 @@ fn md_gp_equals_exact_on_distinct_data() {
         );
         let mut ids = Vec::new();
         for _ in 0..20 {
-            match cur.next(&server, &mut st) {
+            match cur.next(&server, &mut st).unwrap() {
                 Some(t) => ids.push(t.id.0),
                 None => break,
             }
@@ -52,8 +50,7 @@ fn md_gp_skips_ties_exact_does_not() {
     // that is the documented general-positioning behavior, and Exact mode
     // must not exhibit it.
     let data = discrete_grid(150, 2, 3, 5003);
-    let rank: Arc<dyn RankFn> =
-        Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)]));
+    let rank: Arc<dyn RankFn> = Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)]));
     let total = data.len();
     let run = |tie: MdTie| -> usize {
         let server = SimServer::new(data.clone(), SystemRank::pseudo_random(33), 40);
@@ -66,7 +63,7 @@ fn md_gp_skips_ties_exact_does_not() {
             tie,
         );
         let mut n = 0;
-        while cur.next(&server, &mut st).is_some() {
+        while cur.next(&server, &mut st).unwrap().is_some() {
             n += 1;
             assert!(n <= total, "emitted more tuples than exist");
         }
@@ -87,7 +84,7 @@ fn one_d_assume_distinct_emits_one_per_value() {
         TiePolicy::AssumeDistinct,
     );
     let mut values = Vec::new();
-    while let Some(t) = cur.next(&server, &mut st) {
+    while let Some(t) = cur.next(&server, &mut st).unwrap() {
         values.push(t.ord(AttrId(0)));
         assert!(values.len() <= 4, "more emissions than distinct values");
     }
