@@ -1,0 +1,126 @@
+//! Injectable time for backoff and rate-limit windows.
+//!
+//! The retry layer in `qrs-service` sleeps between attempts, and the
+//! [`FaultyServer`](crate::FaultyServer) decorator can enforce a server's
+//! `retry_after_ms` hint as a hard refusal window. Both take time through
+//! the [`Clock`] trait so tests drive whole rate-limit storms — backoff,
+//! `Retry-After` dominance, recovery — without a single wall-clock sleep:
+//! [`MockClock::sleep_ms`] *advances* the mock's notion of now instead of
+//! blocking, and records every sleep for assertions.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonic millisecond clock plus the ability to wait on it.
+///
+/// `now_ms` is monotonic but has an arbitrary epoch — callers may only
+/// compare instants from the *same* clock instance.
+pub trait Clock: Send + Sync {
+    /// Milliseconds since this clock's (arbitrary) epoch.
+    fn now_ms(&self) -> u64;
+
+    /// Wait until `now_ms` has advanced by at least `ms`.
+    fn sleep_ms(&self, ms: u64);
+}
+
+/// The real thing: `now_ms` measures from construction, `sleep_ms` blocks
+/// the calling thread.
+#[derive(Debug)]
+pub struct SystemClock {
+    start: Instant,
+}
+
+impl SystemClock {
+    pub fn new() -> Self {
+        SystemClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+}
+
+/// A deterministic test clock: `sleep_ms` advances `now_ms` instantly and
+/// logs the requested duration, so backoff schedules are asserted — never
+/// waited for.
+#[derive(Debug, Default)]
+pub struct MockClock {
+    now: AtomicU64,
+    sleeps: Mutex<Vec<u64>>,
+}
+
+impl MockClock {
+    pub fn new() -> Self {
+        MockClock::default()
+    }
+
+    /// Move time forward without recording a sleep (an external event, e.g.
+    /// "a day passes").
+    pub fn advance(&self, ms: u64) {
+        self.now.fetch_add(ms, Ordering::Relaxed);
+    }
+
+    /// Every duration passed to [`Clock::sleep_ms`], in call order.
+    pub fn sleeps(&self) -> Vec<u64> {
+        self.sleeps.lock().clone()
+    }
+
+    /// Total virtual milliseconds slept.
+    pub fn total_slept_ms(&self) -> u64 {
+        self.sleeps.lock().iter().sum()
+    }
+}
+
+impl Clock for MockClock {
+    fn now_ms(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        self.sleeps.lock().push(ms);
+        self.now.fetch_add(ms, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mock_clock_advances_without_blocking() {
+        let c = MockClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.sleep_ms(250);
+        c.sleep_ms(500);
+        assert_eq!(c.now_ms(), 750);
+        assert_eq!(c.sleeps(), vec![250, 500]);
+        assert_eq!(c.total_slept_ms(), 750);
+        c.advance(1000);
+        assert_eq!(c.now_ms(), 1750);
+        // advance() is not a sleep.
+        assert_eq!(c.sleeps(), vec![250, 500]);
+    }
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now_ms();
+        let b = c.now_ms();
+        assert!(b >= a);
+    }
+}

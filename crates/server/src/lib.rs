@@ -19,17 +19,26 @@
 //!   a server that lacks a capability refuses with a typed
 //!   [`qrs_types::ServerError`] instead of panicking,
 //! * failure realism: rate limits and transient errors surface as
-//!   `Result`s so real HTTP adapters slot in without panics.
+//!   `Result`s so real HTTP adapters slot in without panics,
+//! * **fault injection**: [`FaultyServer`] wraps any interface and injects
+//!   rate limits, outages and truncated pages from a deterministic,
+//!   seeded schedule, with `retry_after_ms` windows enforceable against an
+//!   injectable [`Clock`] — so retry/backoff machinery is tested end to
+//!   end without wall-clock sleeping.
 //!
 //! [`adversary::AdversaryServer`] implements the query-answering mechanism
 //! from the proof of Theorem 1, so the `n/k` lower bound is executable.
 
 pub mod adversary;
+pub mod clock;
+pub mod faulty;
 pub mod interface;
 pub mod sim;
 pub mod system_rank;
 
 pub use adversary::AdversaryServer;
+pub use clock::{Clock, MockClock, SystemClock};
+pub use faulty::{Fault, FaultyServer};
 pub use interface::{Capabilities, OrderedPage, SearchInterface};
 pub use sim::SimServer;
 pub use system_rank::SystemRank;

@@ -9,6 +9,23 @@
 //! The sources may have different system rankings, different `k`s and
 //! different inventories; they only need schemas carrying the ranking
 //! function's attributes.
+//!
+//! ## Per-source health and degraded merges
+//!
+//! By default an error from any source propagates (and the merge resumes
+//! exactly on retry). With a failure threshold set
+//! ([`FederatedSession::with_failure_threshold`]), each source carries
+//! consecutive-failure circuit state instead: a source that keeps failing
+//! **trips** and silently leaves the merge, which completes over the
+//! healthy sources and reports the casualty in a typed per-source
+//! [`SourceReport`] — one failing dealer degrades the federation, it does
+//! not kill it. Retryable failures below the threshold are re-pulled
+//! immediately (each source's own session-level retry policy has already
+//! done the backoff); errors a re-pull can never heal — capability
+//! mismatches, exhausted budgets, a session that already consumed its
+//! whole retry policy — trip the circuit at once. If *every* source trips,
+//! the merge surfaces the last error instead of masquerading as an empty
+//! result.
 
 use crate::service::{Algorithm, RerankService};
 use crate::session::{RankedTuple, Session};
@@ -24,6 +41,26 @@ pub struct FederatedHit {
     pub hit: RankedTuple,
 }
 
+/// Per-source circuit state, reported by [`FederatedSession::report`].
+#[derive(Debug, Clone)]
+pub struct SourceReport {
+    /// Index into the sources passed to [`FederatedSession::open`].
+    pub source: usize,
+    /// Failures since the last successful pull from this source.
+    pub consecutive_failures: u32,
+    /// The circuit is open: the source has been dropped from the merge.
+    pub tripped: bool,
+    /// The most recent error this source produced, if any.
+    pub last_error: Option<RerankError>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct SourceHealth {
+    consecutive_failures: u32,
+    tripped: bool,
+    last_error: Option<RerankError>,
+}
+
 /// One user query + ranking function over several services, merged exactly.
 pub struct FederatedSession<'a> {
     sessions: Vec<Session<'a>>,
@@ -34,6 +71,10 @@ pub struct FederatedSession<'a> {
     /// skips tuples of) sources already primed.
     primed: Vec<bool>,
     emitted: usize,
+    /// Consecutive failures after which a source's circuit trips and the
+    /// merge degrades around it. `None` (default) propagates every error.
+    failure_threshold: Option<u32>,
+    health: Vec<SourceHealth>,
 }
 
 impl<'a> FederatedSession<'a> {
@@ -57,18 +98,73 @@ impl<'a> FederatedSession<'a> {
             .collect::<Result<_, _>>()?;
         let heads = (0..sessions.len()).map(|_| None).collect();
         let primed = vec![false; sessions.len()];
+        let health = vec![SourceHealth::default(); sessions.len()];
         Ok(FederatedSession {
             sessions,
             heads,
             primed,
             emitted: 0,
+            failure_threshold: None,
+            health,
         })
+    }
+
+    /// Degrade instead of dying: a source whose pulls fail `threshold`
+    /// times in a row (or fail non-retryably even once) trips its
+    /// circuit and leaves the merge; the remaining sources' exact merged
+    /// stream continues and [`FederatedSession::report`] carries the typed
+    /// per-source post-mortem. `threshold` is clamped to at least 1.
+    pub fn with_failure_threshold(mut self, threshold: u32) -> Self {
+        self.failure_threshold = Some(threshold.max(1));
+        self
+    }
+
+    /// Pull the next tuple from source `i`, tracking circuit state.
+    ///
+    /// Returns `Ok(None)` when the source is exhausted *or* its circuit is
+    /// open. Without a threshold configured, errors propagate untouched
+    /// (the legacy resume-exactly contract). With one, retryable failures
+    /// below the threshold strike and re-pull immediately — the source's
+    /// own session retry policy has already slept through backoff — and
+    /// the loop is bounded by the threshold, so it can never hang. An
+    /// error that an immediate re-pull can never heal
+    /// (`!RerankError::is_retryable()`: capability mismatches, budget
+    /// exhaustion, a session that already burned its whole retry policy)
+    /// trips the circuit on the first strike instead of wasting the
+    /// threshold on deterministic failures.
+    fn pull(&mut self, i: usize) -> Result<Option<RankedTuple>, RerankError> {
+        loop {
+            if self.health[i].tripped {
+                return Ok(None);
+            }
+            match self.sessions[i].next() {
+                Ok(t) => {
+                    self.health[i].consecutive_failures = 0;
+                    return Ok(t);
+                }
+                Err(e) => {
+                    let terminal = !e.is_retryable();
+                    let h = &mut self.health[i];
+                    h.consecutive_failures += 1;
+                    h.last_error = Some(e.clone());
+                    match self.failure_threshold {
+                        None => return Err(e),
+                        Some(t) => {
+                            if terminal || h.consecutive_failures >= t {
+                                h.tripped = true;
+                                return Ok(None);
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     fn prime(&mut self) -> Result<(), RerankError> {
         for i in 0..self.sessions.len() {
             if !self.primed[i] {
-                self.heads[i] = self.sessions[i].next()?;
+                self.heads[i] = self.pull(i)?;
                 self.primed[i] = true;
             }
         }
@@ -82,6 +178,14 @@ impl<'a> FederatedSession<'a> {
     /// consumes nothing: the winning head stays buffered, so a retry
     /// after a transient failure resumes the merge without skipping or
     /// dropping any source's tuples.
+    ///
+    /// With [`FederatedSession::with_failure_threshold`] set, source
+    /// failures are absorbed into circuit state instead of surfacing here:
+    /// a persistently failing source trips and leaves the merge, and this
+    /// method keeps returning the remaining sources' exact merged stream.
+    /// The one exception is total failure — *every* source tripped: that
+    /// surfaces the last recorded error instead of `Ok(None)`, so a dead
+    /// federation is never mistaken for a legitimately empty result.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<FederatedHit>, RerankError> {
         self.prime()?;
@@ -93,11 +197,20 @@ impl<'a> FederatedSession<'a> {
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(i, _)| i);
         let Some(i) = best else {
+            if !self.health.is_empty() && self.health.iter().all(|h| h.tripped) {
+                let e = self
+                    .health
+                    .iter()
+                    .rev()
+                    .find_map(|h| h.last_error.clone())
+                    .expect("a tripped source always records its error");
+                return Err(e);
+            }
             return Ok(None);
         };
         // Refill *before* taking the current head: if the refill fails, the
         // head is still in place and a retry re-enters here cleanly.
-        let refill = self.sessions[i].next()?;
+        let refill = self.pull(i)?;
         let hit = std::mem::replace(&mut self.heads[i], refill).expect("head checked above");
         self.emitted += 1;
         Ok(Some(FederatedHit {
@@ -128,6 +241,30 @@ impl<'a> FederatedSession<'a> {
     /// Tuples emitted so far.
     pub fn emitted(&self) -> usize {
         self.emitted
+    }
+
+    /// Typed per-source health report: circuit state, consecutive-failure
+    /// count, and the last error each source produced.
+    pub fn report(&self) -> Vec<SourceReport> {
+        self.health
+            .iter()
+            .enumerate()
+            .map(|(source, h)| SourceReport {
+                source,
+                consecutive_failures: h.consecutive_failures,
+                tripped: h.tripped,
+                last_error: h.last_error.clone(),
+            })
+            .collect()
+    }
+
+    /// Indices of sources whose circuit has tripped (dropped from the merge).
+    pub fn tripped_sources(&self) -> Vec<usize> {
+        self.health
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.tripped.then_some(i))
+            .collect()
     }
 }
 
@@ -240,6 +377,200 @@ mod tests {
             .collect();
         want.sort_by(|x, y| cmp_f64(*x, *y));
         assert_eq!(got, want, "resumed merge has gaps or duplicates");
+    }
+
+    #[test]
+    fn one_dead_dealer_degrades_the_merge_instead_of_killing_it() {
+        use qrs_server::{FaultyServer, SearchInterface};
+        // Source 1's backend is permanently down from the very first call.
+        let (a, data_a) = svc(21, 80);
+        let dead_inner = Arc::new(SimServer::new(
+            uniform(50, 2, 1, 22),
+            SystemRank::pseudo_random(22),
+            5,
+        ));
+        let dead = Arc::new(
+            FaultyServer::new(dead_inner as Arc<dyn SearchInterface>).with_permanent_outage_from(0),
+        );
+        let dead_svc = RerankService::new(dead as Arc<dyn SearchInterface>, 50);
+        let (c, data_c) = svc(23, 60);
+        let services = [&a, &dead_svc, &c];
+        let mut fed = FederatedSession::open(&services, Query::all(), rank(), Algorithm::Auto)
+            .unwrap()
+            .with_failure_threshold(3);
+        let (got, err) = fed.top(25);
+        assert!(err.is_none(), "degraded merge must complete: {err:?}");
+        assert_eq!(got.len(), 25);
+        // Exactly the merged top-25 of the two healthy sources.
+        let r = rank();
+        let mut want: Vec<f64> = data_a
+            .tuples()
+            .iter()
+            .chain(data_c.tuples().iter())
+            .map(|t| r.score(t))
+            .collect();
+        want.sort_by(|x, y| cmp_f64(*x, *y));
+        want.truncate(25);
+        let gots: Vec<f64> = got.iter().map(|f| f.hit.score).collect();
+        assert_eq!(gots, want);
+        assert!(got.iter().all(|f| f.source != 1));
+        // The typed per-source post-mortem.
+        assert_eq!(fed.tripped_sources(), vec![1]);
+        let report = fed.report();
+        assert!(!report[0].tripped && report[0].last_error.is_none());
+        assert!(report[1].tripped);
+        assert_eq!(report[1].consecutive_failures, 3);
+        assert!(matches!(
+            report[1].last_error,
+            Some(RerankError::Server(ref e)) if e.is_transient()
+        ));
+        assert!(!report[2].tripped && report[2].last_error.is_none());
+    }
+
+    #[test]
+    fn non_transient_failure_trips_the_circuit_immediately() {
+        // A source whose attribute only accepts point predicates dies
+        // mid-stream with InvalidQuery (the MD subdivision needs ranges) —
+        // non-transient, so the circuit must trip on the first strike
+        // instead of burning the whole threshold on re-pulls.
+        let (a, _) = svc(31, 40);
+        let schema_pt = qrs_types::Schema::new(
+            vec![
+                {
+                    let mut at = qrs_types::OrdinalAttr::new("x", 0.0, 9.0);
+                    at.point_only = true;
+                    at
+                },
+                qrs_types::OrdinalAttr::new("y", 0.0, 9.0),
+            ],
+            vec![],
+        );
+        let tuples = (0..40u32)
+            .map(|i| {
+                qrs_types::Tuple::new(
+                    qrs_types::TupleId(i),
+                    vec![f64::from(i % 10), f64::from((i * 7) % 10)],
+                    vec![],
+                )
+            })
+            .collect();
+        let ds = qrs_types::Dataset::new(schema_pt, tuples).unwrap();
+        let server = SimServer::new(ds, SystemRank::pseudo_random(31), 5);
+        let point_only = RerankService::new(Arc::new(server), 40);
+        let services = [&a, &point_only];
+        let mut fed = FederatedSession::open(&services, Query::all(), rank(), Algorithm::Auto)
+            .unwrap()
+            .with_failure_threshold(10);
+        let (got, err) = fed.top(10);
+        assert!(err.is_none(), "{err:?}");
+        assert_eq!(got.len(), 10);
+        let report = fed.report();
+        // The point-only source died on an InvalidQuery — non-transient, so
+        // the circuit tripped on the first strike, not the tenth.
+        assert!(report[1].tripped);
+        assert_eq!(report[1].consecutive_failures, 1);
+        assert!(matches!(
+            report[1].last_error,
+            Some(RerankError::Server(
+                qrs_types::ServerError::InvalidQuery { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn total_failure_surfaces_an_error_not_an_empty_result() {
+        use qrs_server::{FaultyServer, SearchInterface};
+        // Every source dead: the degraded merge must NOT masquerade as a
+        // legitimately empty stream — callers get the last typed error.
+        let mk_dead = |seed: u64| {
+            let inner = Arc::new(SimServer::new(
+                uniform(30, 2, 1, seed),
+                SystemRank::pseudo_random(seed),
+                5,
+            ));
+            let dead = Arc::new(
+                FaultyServer::new(inner as Arc<dyn SearchInterface>).with_permanent_outage_from(0),
+            );
+            RerankService::new(dead as Arc<dyn SearchInterface>, 30)
+        };
+        let (a, b) = (mk_dead(51), mk_dead(52));
+        let services = [&a, &b];
+        let mut fed = FederatedSession::open(&services, Query::all(), rank(), Algorithm::Auto)
+            .unwrap()
+            .with_failure_threshold(2);
+        let (got, err) = fed.top(5);
+        assert!(got.is_empty());
+        let err = err.expect("a fully-dead federation must surface an error");
+        assert!(
+            matches!(err, RerankError::Server(ref e) if e.is_transient()),
+            "{err}"
+        );
+        assert_eq!(fed.tripped_sources(), vec![0, 1]);
+        // The merge stays dead-but-usable: asking again keeps erroring
+        // instead of flipping to a silent empty stream.
+        assert!(fed.next().is_err());
+    }
+
+    #[test]
+    fn budget_exhaustion_trips_the_circuit_without_futile_repulls() {
+        // BudgetExhausted is transient (windows reset) but an immediate
+        // re-pull can never heal it — the circuit must trip on the first
+        // strike, not after burning the whole threshold.
+        let data = uniform(400, 2, 1, 61);
+        let server = SimServer::new(
+            data,
+            SystemRank::linear("anti", vec![(AttrId(0), -1.0), (AttrId(1), -1.0)]),
+            3,
+        );
+        let constrained = RerankService::new(Arc::new(server), 400).with_budget(2);
+        let (free, _) = svc(62, 50);
+        let services = [&constrained, &free];
+        let mut fed = FederatedSession::open(&services, Query::all(), rank(), Algorithm::Auto)
+            .unwrap()
+            .with_failure_threshold(100);
+        let (got, err) = fed.top(20);
+        assert!(err.is_none(), "{err:?}");
+        assert_eq!(got.len(), 20, "the free source carries the merge");
+        let report = fed.report();
+        assert!(report[0].tripped);
+        assert_eq!(
+            report[0].consecutive_failures, 1,
+            "budget exhaustion must trip on the first strike"
+        );
+        assert!(matches!(
+            report[0].last_error,
+            Some(RerankError::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn healthy_source_recovers_consecutive_failure_count() {
+        use qrs_server::{Fault, FaultyServer, SearchInterface};
+        // One transient outage early on: with session-level fail-fast and a
+        // fed threshold of 3, the strike is absorbed by an immediate
+        // re-pull, the count resets on success, and nothing trips.
+        let inner = Arc::new(SimServer::new(
+            uniform(60, 2, 1, 41),
+            SystemRank::pseudo_random(41),
+            5,
+        ));
+        let flaky = Arc::new(
+            FaultyServer::new(inner as Arc<dyn SearchInterface>).with_fault_at(1, Fault::Outage),
+        );
+        let flaky_svc = RerankService::new(flaky as Arc<dyn SearchInterface>, 60);
+        let (b, _) = svc(42, 40);
+        let services = [&flaky_svc, &b];
+        let mut fed = FederatedSession::open(&services, Query::all(), rank(), Algorithm::Auto)
+            .unwrap()
+            .with_failure_threshold(3);
+        let (got, err) = fed.top(30);
+        assert!(err.is_none(), "{err:?}");
+        assert_eq!(got.len(), 30);
+        let report = fed.report();
+        assert!(!report[0].tripped);
+        assert_eq!(report[0].consecutive_failures, 0, "success must reset");
+        assert!(report[0].last_error.is_some(), "the strike was recorded");
+        assert!(got.iter().any(|f| f.source == 0));
     }
 
     #[test]

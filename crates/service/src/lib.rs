@@ -15,21 +15,30 @@
 //!   the error when a budget trips or the server fails mid-batch,
 //! * [`budget::QueryBudget`] — rate-limit accounting mirroring real sites'
 //!   per-user daily query caps (the paper's motivating constraint),
+//! * [`retry`] — the retry/backoff engine: transient server failures are
+//!   retried in place with exponential backoff + deterministic jitter,
+//!   honoring `retry_after_ms`, metered by per-session and service-wide
+//!   [`retry::RetryBudget`]s, sleeping on an injectable clock so tests
+//!   never wait wall-clock time,
 //! * [`profiles`] — named, reusable ranking preferences,
 //! * [`federation`] — one preference over *multiple* hidden databases with
 //!   exact score-merged results: the paper's "personalized ranking across
-//!   multiple web databases" application, end to end.
+//!   multiple web databases" application, end to end — with per-source
+//!   circuit-breaker health so one failing dealer degrades the merge
+//!   (typed [`SourceReport`]s) instead of killing it.
 
 pub mod budget;
 pub mod federation;
 pub mod profiles;
+pub mod retry;
 pub mod service;
 pub mod session;
 pub mod stats;
 
 pub use budget::QueryBudget;
-pub use federation::{FederatedHit, FederatedSession};
+pub use federation::{FederatedHit, FederatedSession, SourceReport};
 pub use profiles::ProfileStore;
+pub use retry::RetryBudget;
 pub use service::{Algorithm, RerankService, SessionBuilder};
-pub use session::{RankedTuple, Session};
+pub use session::{RankedTuple, Session, SessionStats};
 pub use stats::ServiceStats;

@@ -8,14 +8,15 @@
 //! [`RerankError`] at open time, never as a panic deep inside an algorithm.
 
 use crate::budget::QueryBudget;
+use crate::retry::RetryBudget;
 use crate::session::Session;
 use crate::stats::ServiceStats;
 use parking_lot::Mutex;
 use qrs_core::md::ta::SortedAccess;
 use qrs_core::{MdOptions, OneDStrategy, RerankParams, SharedState, TiePolicy};
 use qrs_ranking::RankFn;
-use qrs_server::SearchInterface;
-use qrs_types::{Capability, Query, RerankError};
+use qrs_server::{Clock, SearchInterface, SystemClock};
+use qrs_types::{Capability, Query, RerankError, RetryPolicy};
 use std::sync::Arc;
 
 /// Which reranking algorithm a session runs.
@@ -44,6 +45,12 @@ pub struct RerankService {
     state: Mutex<SharedState>,
     stats: ServiceStats,
     budget: QueryBudget,
+    /// Default retry policy for sessions that don't override it.
+    retry_policy: RetryPolicy,
+    /// Service-wide cap on retries, shared across all sessions.
+    retry_budget: RetryBudget,
+    /// Time source for backoff sleeps (a mock clock in tests).
+    clock: Arc<dyn Clock>,
 }
 
 impl RerankService {
@@ -62,12 +69,39 @@ impl RerankService {
             state: Mutex::new(state),
             stats: ServiceStats::default(),
             budget: QueryBudget::unlimited(),
+            retry_policy: RetryPolicy::none(),
+            retry_budget: RetryBudget::unlimited(),
+            clock: Arc::new(SystemClock::new()),
         }
     }
 
     /// Enforce a service-wide query cap (e.g. the API's daily limit).
     pub fn with_budget(mut self, limit: u64) -> Self {
         self.budget = QueryBudget::limited(limit, self.server.queries_issued());
+        self
+    }
+
+    /// Default retry policy for every session opened on this service
+    /// (sessions may override via [`SessionBuilder::retry`]). The default
+    /// is [`RetryPolicy::none`]: fail fast, errors surface unchanged.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry_policy = policy;
+        self
+    }
+
+    /// Cap retries *service-wide*: once `limit` retries have been spent
+    /// across all sessions, further transient failures surface as
+    /// [`RerankError::RetryBudgetExhausted`] instead of sleeping.
+    pub fn with_retry_limit(mut self, limit: u64) -> Self {
+        self.retry_budget = RetryBudget::limited(limit);
+        self
+    }
+
+    /// Inject the time source used for backoff sleeps. Tests pass a
+    /// [`qrs_server::MockClock`] so whole rate-limit storms run without
+    /// wall-clock sleeping.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -85,6 +119,8 @@ impl RerankService {
             algo: Algorithm::Auto,
             tie: TiePolicy::Exact,
             budget: None,
+            retry: None,
+            retry_limit: None,
         }
     }
 
@@ -106,8 +142,24 @@ impl RerankService {
         &self.stats
     }
 
-    pub(crate) fn budget(&self) -> &QueryBudget {
+    /// The service-wide query budget — inspect spend or open a new
+    /// accounting window via [`QueryBudget::reset`].
+    pub fn budget(&self) -> &QueryBudget {
         &self.budget
+    }
+
+    /// The service-wide retry budget — inspect spend or reset the window,
+    /// mirroring [`RerankService::budget`].
+    pub fn retry_budget(&self) -> &RetryBudget {
+        &self.retry_budget
+    }
+
+    pub(crate) fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    pub(crate) fn default_retry_policy(&self) -> &RetryPolicy {
+        &self.retry_policy
     }
 
     pub(crate) fn state(&self) -> &Mutex<SharedState> {
@@ -147,6 +199,8 @@ pub struct SessionBuilder<'a> {
     algo: Algorithm,
     tie: TiePolicy,
     budget: Option<u64>,
+    retry: Option<RetryPolicy>,
+    retry_limit: Option<u64>,
 }
 
 impl<'a> SessionBuilder<'a> {
@@ -168,6 +222,23 @@ impl<'a> SessionBuilder<'a> {
     /// `Session::next`, with the partial batch preserved by `Session::top`.
     pub fn budget(mut self, limit: u64) -> Self {
         self.budget = Some(limit);
+        self
+    }
+
+    /// Override the service's default retry policy for this session.
+    /// Transient server failures ([`RerankError::is_retryable`]) are
+    /// retried with exponential backoff + jitter, honoring the server's
+    /// `retry_after_ms` hint; non-retryable errors surface immediately.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Cap the retries this one session may spend (on top of the
+    /// service-wide retry budget). Exceeding it surfaces
+    /// [`RerankError::RetryBudgetExhausted`].
+    pub fn retry_limit(mut self, limit: u64) -> Self {
+        self.retry_limit = Some(limit);
         self
     }
 
@@ -204,6 +275,16 @@ impl<'a> SessionBuilder<'a> {
             }
         }
         self.svc.stats_ref().on_session();
+        let mut retry = self
+            .retry
+            .unwrap_or_else(|| self.svc.default_retry_policy().clone());
+        // Decorrelate jitter across sessions: every session cloning the
+        // same policy would otherwise draw identical jitter sequences and
+        // retry in lockstep during a shared outage — the thundering herd
+        // jitter exists to prevent. The session ordinal keeps the mix
+        // deterministic for replayable tests (same open order, same seeds).
+        let nonce = self.svc.stats_ref().snapshot().sessions_started;
+        retry.seed ^= nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Ok(Session::new(
             self.svc,
             self.sel,
@@ -211,6 +292,8 @@ impl<'a> SessionBuilder<'a> {
             algo,
             self.tie,
             self.budget,
+            retry,
+            self.retry_limit,
         ))
     }
 }

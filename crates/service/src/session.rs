@@ -12,12 +12,23 @@
 //! clears) resumes instead of restarting. [`Session::top`] returns the
 //! tuples fetched *before* the failure alongside the error — paid-for
 //! results are never dropped.
+//!
+//! Retry contract: with a [`RetryPolicy`] attached (via the service default
+//! or [`crate::SessionBuilder::retry`]), transient *server* failures are
+//! retried in place with exponential backoff + jitter, honoring the
+//! server's `retry_after_ms` hint, sleeping on the service's injectable
+//! clock, and metering against the per-session and service-wide retry
+//! budgets. Because cursors resume after `Err`, a retry re-enters exactly
+//! where the failure struck — queries already answered are never re-paid.
+//! Attempt counts and retries are tracked in [`SessionStats`] so budget
+//! attribution stays exact even for steps that ultimately fail.
 
+use crate::retry::RetryRunner;
 use crate::service::{Algorithm, RerankService};
 use qrs_core::md::ta::TaCursor;
 use qrs_core::{MdCursor, OneDCursor, OneDSpec, TiePolicy};
 use qrs_ranking::RankFn;
-use qrs_types::{Query, RerankError, Tuple};
+use qrs_types::{Query, RerankError, RetryPolicy, Tuple};
 use std::sync::Arc;
 
 /// One emitted answer: global rank (1-based), user score, tuple.
@@ -34,6 +45,25 @@ enum Cursor {
     Ta(TaCursor),
 }
 
+/// Point-in-time accounting for one session, exact under retries and
+/// concurrency: every counter is updated inside the shared-state lock
+/// around this session's own cursor calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Tuples emitted so far.
+    pub emitted: usize,
+    /// Queries charged to this session — including those spent by attempts
+    /// that ultimately failed (e.g. a page truncated in transit was paid
+    /// for even though no result arrived).
+    pub queries_spent: u64,
+    /// Cursor-step attempts made, successful and failed alike.
+    pub attempts_made: u64,
+    /// Retries spent (attempts beyond the first for a given step).
+    pub retries_spent: u64,
+    /// The per-session query cap, if any.
+    pub budget_limit: Option<u64>,
+}
+
 /// A user's incremental reranked query. Built by
 /// [`crate::service::SessionBuilder::open`].
 pub struct Session<'a> {
@@ -47,9 +77,17 @@ pub struct Session<'a> {
     spent: u64,
     /// Per-session cap on `spent` (the service-wide budget still applies).
     budget_limit: Option<u64>,
+    /// Cursor-step attempts, counted in-lock alongside `spent` so failed
+    /// attempts' query spend stays attributed to this session.
+    attempts: u64,
+    /// Retries spent across all steps of this session.
+    retries: u64,
+    /// Retry policy + jitter RNG + per-session retry cap.
+    retry: RetryRunner,
 }
 
 impl<'a> Session<'a> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         svc: &'a RerankService,
         sel: Query,
@@ -57,6 +95,8 @@ impl<'a> Session<'a> {
         algo: Algorithm,
         tie: TiePolicy,
         budget_limit: Option<u64>,
+        retry_policy: RetryPolicy,
+        retry_limit: Option<u64>,
     ) -> Self {
         let schema = svc.server().schema();
         let cursor = match algo {
@@ -82,6 +122,9 @@ impl<'a> Session<'a> {
             emitted: 0,
             spent: 0,
             budget_limit,
+            attempts: 0,
+            retries: 0,
+            retry: RetryRunner::new(retry_policy, retry_limit),
         }
     }
 
@@ -91,41 +134,104 @@ impl<'a> Session<'a> {
     /// server, and callers need that error, not a silent stop. After an
     /// `Err` the session remains usable — queries already answered stay in
     /// the shared history, so a retry resumes the incremental work.
+    ///
+    /// With retries enabled, transient server failures are absorbed here:
+    /// the step is re-attempted after a backoff sleep (server
+    /// `retry_after_ms` hint dominating the exponential schedule) until it
+    /// succeeds, the policy's `max_attempts` is consumed
+    /// ([`RerankError::RetriesExhausted`]), or a retry budget runs out
+    /// ([`RerankError::RetryBudgetExhausted`]). Query-budget trips are
+    /// *not* slept on — only a caller-side window reset can clear them.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<RankedTuple>, RerankError> {
-        self.svc
-            .budget()
-            .check(self.svc.server().queries_issued())?;
-        if let Some(limit) = self.budget_limit {
-            if self.spent >= limit {
-                return Err(RerankError::BudgetExhausted {
-                    spent: self.spent,
-                    limit,
+        let mut retries_this_step: u32 = 0;
+        loop {
+            // Budget gates re-checked before every attempt: a retry must
+            // not sneak past a cap that tripped mid-recovery.
+            self.svc
+                .budget()
+                .check(self.svc.server().queries_issued())?;
+            if let Some(limit) = self.budget_limit {
+                if self.spent >= limit {
+                    return Err(RerankError::BudgetExhausted {
+                        spent: self.spent,
+                        limit,
+                    });
+                }
+            }
+            let err = match self.step() {
+                Ok(t) => {
+                    return Ok(t.map(|tuple| {
+                        self.emitted += 1;
+                        self.svc.stats_ref().on_emit();
+                        RankedTuple {
+                            rank: self.emitted,
+                            score: self.rank.score(&tuple),
+                            tuple,
+                        }
+                    }))
+                }
+                Err(e) => e,
+            };
+            if !err.is_retryable() || !self.retry.policy().retries_enabled() {
+                return Err(err);
+            }
+            let attempts_this_step = retries_this_step + 1;
+            if attempts_this_step >= self.retry.policy().max_attempts {
+                return Err(RerankError::RetriesExhausted {
+                    attempts: attempts_this_step,
+                    last: Box::new(err),
                 });
             }
+            if let Some(limit) = self.retry.session_limit() {
+                if self.retries >= limit {
+                    return Err(RerankError::RetryBudgetExhausted {
+                        retries_spent: self.retries,
+                        limit,
+                        last: Box::new(err),
+                    });
+                }
+            }
+            if let Err((spent, limit)) = self.svc.retry_budget().try_spend() {
+                return Err(RerankError::RetryBudgetExhausted {
+                    retries_spent: spent,
+                    limit,
+                    last: Box::new(err),
+                });
+            }
+            retries_this_step += 1;
+            self.retries += 1;
+            self.svc.stats_ref().on_retry();
+            let delay = self.retry.delay_ms(retries_this_step, &err);
+            if delay > 0 {
+                // The shared-state lock is NOT held here: other sessions
+                // keep working while this one backs off.
+                self.svc.clock().sleep_ms(delay);
+            }
         }
+    }
+
+    /// One cursor step under the shared-state lock.
+    ///
+    /// Exact per-session attribution: every service query happens inside a
+    /// cursor call while the state lock is held, so the counter delta
+    /// across this call is exactly this session's spend. The attempt and
+    /// spend counters update *before* the error propagates — a failed
+    /// attempt that paid for queries (e.g. a page truncated in transit)
+    /// still charges this session.
+    fn step(&mut self) -> Result<Option<Arc<Tuple>>, RerankError> {
         let server = Arc::clone(self.svc.server());
         let mut st = self.svc.state().lock();
-        // Exact per-session attribution: every service query happens inside
-        // a cursor call while the state lock is held, so the counter delta
-        // across this call is exactly this session's spend.
         let before = server.queries_issued();
         let t = match &mut self.cursor {
             Cursor::OneD(c) => c.next(server.as_ref(), &mut st),
             Cursor::Md(c) => c.next(server.as_ref(), &mut st),
             Cursor::Ta(c) => c.next(server.as_ref(), &mut st),
         };
+        self.attempts += 1;
         self.spent += server.queries_issued() - before;
         drop(st);
-        Ok(t?.map(|tuple| {
-            self.emitted += 1;
-            self.svc.stats_ref().on_emit();
-            RankedTuple {
-                rank: self.emitted,
-                score: self.rank.score(&tuple),
-                tuple,
-            }
-        }))
+        t
     }
 
     /// Fetch the next `h` tuples (shorter if `R(q)` is exhausted).
@@ -171,6 +277,29 @@ impl<'a> Session<'a> {
     pub fn budget_limit(&self) -> Option<u64> {
         self.budget_limit
     }
+
+    /// Cursor-step attempts made so far, failed attempts included.
+    pub fn attempts_made(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Retries spent so far (attempts beyond the first for a given step).
+    pub fn retries_spent(&self) -> u64 {
+        self.retries
+    }
+
+    /// Full accounting snapshot. Exact even when the last `top` returned
+    /// `(hits, Some(err))`: attempts and spend are counted in-lock per
+    /// cursor call, so failed and retried steps are attributed too.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            emitted: self.emitted,
+            queries_spent: self.spent,
+            attempts_made: self.attempts,
+            retries_spent: self.retries,
+            budget_limit: self.budget_limit,
+        }
+    }
 }
 
 impl std::fmt::Debug for Session<'_> {
@@ -178,6 +307,8 @@ impl std::fmt::Debug for Session<'_> {
         f.debug_struct("Session")
             .field("emitted", &self.emitted)
             .field("queries_spent", &self.spent)
+            .field("attempts_made", &self.attempts)
+            .field("retries_spent", &self.retries)
             .field("budget_limit", &self.budget_limit)
             .finish()
     }
@@ -352,6 +483,189 @@ mod tests {
         assert!(hits.windows(2).all(|w| w[0].score <= w[1].score));
         // try_top is the all-or-error variant.
         assert!(s.try_top(10).is_err());
+    }
+
+    #[test]
+    fn retries_absorb_an_outage_storm_without_wall_clock_sleeps() {
+        use qrs_server::{Clock, Fault, FaultyServer, MockClock, SearchInterface};
+        use qrs_types::RetryPolicy;
+        let data = uniform(200, 2, 1, 601);
+        let inner = Arc::new(SimServer::new(
+            data,
+            SystemRank::linear("anti", vec![(AttrId(0), -1.0), (AttrId(1), -1.0)]),
+            3,
+        ));
+        // Three consecutive outages starting at call 2.
+        let faulty = FaultyServer::new(Arc::clone(&inner) as Arc<dyn SearchInterface>).with_storm(
+            2,
+            3,
+            Fault::Outage,
+        );
+        let clock = Arc::new(MockClock::new());
+        let svc = RerankService::new(Arc::new(faulty), 200)
+            .with_retry_policy(RetryPolicy::none().attempts(5).backoff(100, 10_000))
+            .with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        let mut s = svc.session(Query::all(), rank2()).open().unwrap();
+        let (hits, err) = s.top(5);
+        assert!(err.is_none(), "storm should be absorbed: {err:?}");
+        assert_eq!(hits.len(), 5);
+        assert!(hits.windows(2).all(|w| w[0].score <= w[1].score));
+        // The three faulted calls each cost one backoff sleep on the mock
+        // clock (pure exponential, zero jitter). The storm struck within a
+        // single cursor step or across a few, so the recorded sleeps are a
+        // prefix-reset exponential sequence — but never wall-clock.
+        assert_eq!(clock.sleeps().iter().sum::<u64>() % 100, 0);
+        assert_eq!(s.retries_spent(), 3);
+        assert!(s.attempts_made() > s.retries_spent());
+        assert_eq!(svc.stats().retries_spent, 3);
+        assert_eq!(svc.retry_budget().spent(), 3);
+    }
+
+    #[test]
+    fn retry_after_hint_dominates_backoff_and_is_honored_exactly() {
+        use qrs_server::{Clock, Fault, FaultyServer, MockClock, SearchInterface};
+        use qrs_types::RetryPolicy;
+        let data = uniform(200, 2, 1, 607);
+        let inner = Arc::new(SimServer::new(
+            data,
+            SystemRank::linear("anti", vec![(AttrId(0), -1.0), (AttrId(1), -1.0)]),
+            3,
+        ));
+        let clock = Arc::new(MockClock::new());
+        // The fault carries a 7300 ms hint and the server *enforces* it:
+        // any retry before the window elapses is refused again.
+        let faulty = FaultyServer::new(Arc::clone(&inner) as Arc<dyn SearchInterface>)
+            .with_fault_at(
+                1,
+                Fault::RateLimit {
+                    retry_after_ms: Some(7300),
+                },
+            )
+            .with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        let svc = RerankService::new(Arc::new(faulty), 200)
+            // Computed backoff would be 50 ms — far below the hint.
+            .with_retry_policy(
+                RetryPolicy::none()
+                    .attempts(4)
+                    .backoff(50, 100_000)
+                    .jitter(25),
+            )
+            .with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        let mut s = svc.session(Query::all(), rank2()).open().unwrap();
+        let (hits, err) = s.top(3);
+        assert!(err.is_none(), "{err:?}");
+        assert_eq!(hits.len(), 3);
+        // Exactly one retry, slept for exactly the server's hint: had the
+        // session retried early, the enforcing server would have refused
+        // again and the retry count would exceed 1.
+        assert_eq!(clock.sleeps(), vec![7300]);
+        assert_eq!(s.retries_spent(), 1);
+    }
+
+    #[test]
+    fn session_retry_limit_surfaces_typed_exhaustion_not_a_hang() {
+        use qrs_server::{Clock, FaultyServer, MockClock, SearchInterface};
+        use qrs_types::RetryPolicy;
+        let data = uniform(100, 2, 1, 611);
+        let inner = Arc::new(SimServer::new(data, SystemRank::pseudo_random(7), 3));
+        let faulty = FaultyServer::new(Arc::clone(&inner) as Arc<dyn SearchInterface>)
+            .with_permanent_outage_from(0);
+        let clock = Arc::new(MockClock::new());
+        let svc = RerankService::new(Arc::new(faulty), 100)
+            .with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        let mut s = svc
+            .session(Query::all(), rank2())
+            .retry(RetryPolicy::none().attempts(1000).backoff(10, 1000))
+            .retry_limit(3)
+            .open()
+            .unwrap();
+        let err = s.next().unwrap_err();
+        match err {
+            RerankError::RetryBudgetExhausted {
+                retries_spent,
+                limit,
+                last,
+            } => {
+                assert_eq!((retries_spent, limit), (3, 3));
+                assert!(last.is_retryable());
+            }
+            other => panic!("expected RetryBudgetExhausted, got {other}"),
+        }
+        // Bounded recovery effort: 3 sleeps, all virtual.
+        assert_eq!(clock.sleeps().len(), 3);
+        assert_eq!(s.stats().retries_spent, 3);
+        assert_eq!(s.stats().attempts_made, 4);
+    }
+
+    #[test]
+    fn service_retry_limit_is_shared_across_sessions() {
+        use qrs_server::{Clock, FaultyServer, MockClock, SearchInterface};
+        use qrs_types::RetryPolicy;
+        let data = uniform(100, 2, 1, 613);
+        let inner = Arc::new(SimServer::new(data, SystemRank::pseudo_random(7), 3));
+        let faulty = FaultyServer::new(Arc::clone(&inner) as Arc<dyn SearchInterface>)
+            .with_permanent_outage_from(0);
+        let clock = Arc::new(MockClock::new());
+        let svc = RerankService::new(Arc::new(faulty), 100)
+            .with_retry_policy(RetryPolicy::none().attempts(1000).backoff(10, 1000))
+            .with_retry_limit(5)
+            .with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        let mut a = svc.session(Query::all(), rank2()).open().unwrap();
+        let err = a.next().unwrap_err();
+        assert!(
+            matches!(err, RerankError::RetryBudgetExhausted { limit: 5, .. }),
+            "{err}"
+        );
+        // The whole service budget is gone: a second session gets no retries.
+        let mut b = svc.session(Query::all(), rank2()).open().unwrap();
+        let err = b.next().unwrap_err();
+        match err {
+            RerankError::RetryBudgetExhausted {
+                retries_spent,
+                limit,
+                ..
+            } => assert_eq!((retries_spent, limit), (5, 5)),
+            other => panic!("expected RetryBudgetExhausted, got {other}"),
+        }
+        assert_eq!(b.retries_spent(), 0);
+        assert_eq!(svc.retry_budget().spent(), 5);
+    }
+
+    #[test]
+    fn failed_attempts_keep_in_lock_query_attribution_exact() {
+        use qrs_server::{Fault, FaultyServer, SearchInterface};
+        use qrs_types::RetryPolicy;
+        // Truncated pages are charged by the backend but error out: the
+        // session must still attribute those queries to itself, so spend
+        // sums to the global counter even under retries. Regression for
+        // counting outside the lock / only on the happy path.
+        let data = uniform(300, 2, 1, 617);
+        let inner = Arc::new(SimServer::new(
+            data,
+            SystemRank::linear("anti", vec![(AttrId(0), -1.0), (AttrId(1), -1.0)]),
+            3,
+        ));
+        let faulty = Arc::new(
+            FaultyServer::new(Arc::clone(&inner) as Arc<dyn SearchInterface>)
+                .with_fault_at(3, Fault::TruncatedPage)
+                .with_fault_at(7, Fault::TruncatedPage),
+        );
+        let svc = RerankService::new(Arc::clone(&faulty) as Arc<dyn SearchInterface>, 300)
+            .with_retry_policy(RetryPolicy::none().attempts(4));
+        let mut s = svc.session(Query::all(), rank2()).open().unwrap();
+        let (hits, err) = s.top(6);
+        assert!(err.is_none(), "{err:?}");
+        assert_eq!(hits.len(), 6);
+        assert_eq!(
+            s.queries_spent(),
+            svc.queries_issued(),
+            "failed attempts' spend must be attributed to the session"
+        );
+        assert_eq!(s.retries_spent(), 2);
+        let stats = s.stats();
+        assert_eq!(stats.queries_spent, s.queries_spent());
+        assert_eq!(stats.retries_spent, 2);
+        assert!(stats.attempts_made >= 2 + hits.len() as u64);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct ServiceStats {
     sessions_started: AtomicU64,
     tuples_emitted: AtomicU64,
+    retries_spent: AtomicU64,
 }
 
 /// Point-in-time snapshot.
@@ -15,6 +16,9 @@ pub struct ServiceStats {
 pub struct StatsSnapshot {
     pub sessions_started: u64,
     pub tuples_emitted: u64,
+    /// Retries spent across all sessions (the recovery effort the service
+    /// has burned on transient server failures).
+    pub retries_spent: u64,
 }
 
 impl ServiceStats {
@@ -26,10 +30,15 @@ impl ServiceStats {
         self.tuples_emitted.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn on_retry(&self) {
+        self.retries_spent.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             sessions_started: self.sessions_started.load(Ordering::Relaxed),
             tuples_emitted: self.tuples_emitted.load(Ordering::Relaxed),
+            retries_spent: self.retries_spent.load(Ordering::Relaxed),
         }
     }
 }
@@ -44,8 +53,12 @@ mod tests {
         s.on_session();
         s.on_emit();
         s.on_emit();
+        s.on_retry();
+        s.on_retry();
+        s.on_retry();
         let snap = s.snapshot();
         assert_eq!(snap.sessions_started, 1);
         assert_eq!(snap.tuples_emitted, 2);
+        assert_eq!(snap.retries_spent, 3);
     }
 }

@@ -176,6 +176,21 @@ pub enum RerankError {
     InvalidAlgorithm { reason: String },
     /// The backing server failed.
     Server(ServerError),
+    /// A transient server failure persisted through every attempt the
+    /// session's retry policy allows. Carries the attempt count and the
+    /// last underlying error so budget attribution stays exact.
+    RetriesExhausted {
+        attempts: u32,
+        last: Box<RerankError>,
+    },
+    /// The per-session or service-wide *retry* budget ran out while
+    /// recovering from the carried error. Distinct from
+    /// [`RerankError::BudgetExhausted`], which meters queries, not retries.
+    RetryBudgetExhausted {
+        retries_spent: u64,
+        limit: u64,
+        last: Box<RerankError>,
+    },
 }
 
 impl RerankError {
@@ -192,7 +207,32 @@ impl RerankError {
         match self {
             RerankError::BudgetExhausted { .. } => true,
             RerankError::Server(e) => e.is_transient(),
+            RerankError::RetriesExhausted { last, .. }
+            | RerankError::RetryBudgetExhausted { last, .. } => last.is_transient(),
             RerankError::UnsupportedCapability(_) | RerankError::InvalidAlgorithm { .. } => false,
+        }
+    }
+
+    /// Whether an *automatic* retry (sleep and re-issue, no external
+    /// intervention) could succeed. Strictly narrower than
+    /// [`RerankError::is_transient`]: budget exhaustion is transient — the
+    /// caller can reset the budget window on a new day — but sleeping on it
+    /// can never help, so the retry loop in `qrs-service` surfaces it
+    /// immediately instead of burning backoff time.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, RerankError::Server(e) if e.is_transient())
+    }
+
+    /// The server's `Retry-After` hint, when this error (or the failure it
+    /// wraps) carries one.
+    pub fn retry_after_hint(&self) -> Option<u64> {
+        match self {
+            RerankError::Server(ServerError::RateLimited {
+                retry_after_ms: Some(ms),
+            }) => Some(*ms),
+            RerankError::RetriesExhausted { last, .. }
+            | RerankError::RetryBudgetExhausted { last, .. } => last.retry_after_hint(),
+            _ => None,
         }
     }
 }
@@ -213,6 +253,20 @@ impl fmt::Display for RerankError {
                 write!(f, "invalid algorithm choice: {reason}")
             }
             RerankError::Server(e) => write!(f, "server error: {e}"),
+            RerankError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+            RerankError::RetryBudgetExhausted {
+                retries_spent,
+                limit,
+                last,
+            } => {
+                write!(
+                    f,
+                    "retry budget exhausted: {retries_spent} of {limit} retries spent \
+                     recovering from: {last}"
+                )
+            }
         }
     }
 }
@@ -221,6 +275,8 @@ impl std::error::Error for RerankError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RerankError::Server(e) => Some(e),
+            RerankError::RetriesExhausted { last, .. }
+            | RerankError::RetryBudgetExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -262,6 +318,49 @@ mod tests {
         assert!(RerankError::Server(ServerError::unavailable("503")).is_transient());
         assert!(!RerankError::UnsupportedCapability(Capability::OrderBy(AttrId(0))).is_transient());
         assert!(!RerankError::invalid_algorithm("1D needs one attribute").is_transient());
+    }
+
+    #[test]
+    fn retry_wrappers_carry_attempt_metadata() {
+        let last = RerankError::Server(ServerError::RateLimited {
+            retry_after_ms: Some(250),
+        });
+        let e = RerankError::RetriesExhausted {
+            attempts: 4,
+            last: Box::new(last.clone()),
+        };
+        assert!(e.is_transient());
+        // The wrapper itself is not auto-retryable: the policy already gave up.
+        assert!(!e.is_retryable());
+        assert_eq!(e.retry_after_hint(), Some(250));
+        assert!(e.to_string().contains("4 attempts"));
+
+        let e = RerankError::RetryBudgetExhausted {
+            retries_spent: 7,
+            limit: 7,
+            last: Box::new(last),
+        };
+        assert!(e.is_transient());
+        assert!(!e.is_retryable());
+        assert!(e.to_string().contains("7 of 7 retries"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn retryable_is_narrower_than_transient() {
+        // Budget exhaustion: transient (windows reset) but never auto-retryable.
+        let e = RerankError::BudgetExhausted { spent: 5, limit: 5 };
+        assert!(e.is_transient());
+        assert!(!e.is_retryable());
+        // Server transients are both.
+        let e = RerankError::Server(ServerError::unavailable("503"));
+        assert!(e.is_transient());
+        assert!(e.is_retryable());
+        // Contract violations are neither.
+        let e = RerankError::Server(ServerError::invalid_query("bad range"));
+        assert!(!e.is_transient());
+        assert!(!e.is_retryable());
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! * [`QueryOutcome`], [`QueryResponse`] — the trichotomy *underflow / valid /
 //!   overflow* that every reranking algorithm branches on,
 //! * [`RerankError`], [`ServerError`], [`Capability`] — the workspace-wide
-//!   fallibility vocabulary: rate limits, capability negotiation, budgets.
+//!   fallibility vocabulary: rate limits, capability negotiation, budgets,
+//! * [`RetryPolicy`] — declarative retry/backoff configuration consumed by
+//!   the `qrs-service` retry loop.
 //!
 //! Everything downstream (`qrs-server`, `qrs-core`, …) is written against
 //! these types.
@@ -29,6 +31,7 @@ pub mod interval;
 pub mod predicate;
 pub mod query;
 pub mod response;
+pub mod retry;
 pub mod schema;
 pub mod tuple;
 pub mod value;
@@ -40,6 +43,7 @@ pub use interval::{Endpoint, Interval};
 pub use predicate::{CatPredicate, RangePredicate};
 pub use query::Query;
 pub use response::{QueryOutcome, QueryResponse};
+pub use retry::RetryPolicy;
 pub use schema::{AttrId, CatAttr, CatId, OrdinalAttr, Schema};
 pub use tuple::{Tuple, TupleId};
 
