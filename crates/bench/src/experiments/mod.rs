@@ -5,14 +5,16 @@ pub mod ablation;
 pub mod md;
 pub mod one_d;
 pub mod online;
+pub mod scaling;
 pub mod thm1;
 
 use crate::Scale;
 
-/// All experiment ids, in paper order.
-pub const ALL_IDS: [&str; 14] = [
+/// All experiment ids, in paper order (plus the post-paper `scaling`
+/// experiment for the concurrent service layer).
+pub const ALL_IDS: [&str; 15] = [
     "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-    "fig17", "thm1", "ablation",
+    "fig17", "thm1", "ablation", "scaling",
 ];
 
 /// Run one experiment by id; `false` if the id is unknown.
@@ -59,6 +61,9 @@ pub fn run(id: &str, scale: Scale) -> bool {
         }
         "ablation" => {
             ablation::run(scale);
+        }
+        "scaling" => {
+            scaling::run(scale);
         }
         _ => return false,
     }

@@ -1,0 +1,353 @@
+//! The `scaling` experiment: what the `qrs-exec` subsystem buys.
+//!
+//! Two measurements, both against *slow* backends
+//! ([`qrs_server::LatencyServer`] injecting real per-query latency on the
+//! system clock — the regime a real federation of web databases lives in):
+//!
+//! 1. **Concurrent front-end** — a multi-tenant batch (several backends ×
+//!    several requests each) driven through [`qrs_service::drive`] at
+//!    increasing worker counts. Reported per worker count: wall-clock
+//!    elapsed, throughput, p50/p99 per-request latency, and the exact
+//!    spend ledger — `queries_spent`, `retries_spent`, `attempts_made` —
+//!    summed from each request's [`qrs_service::SessionStats`] (the retry
+//!    traffic comes from seeded fault injection, so the numbers are
+//!    replayable).
+//! 2. **Federation fan-out** — one federated merge over many latency-bound
+//!    sources, serial vs. parallel head-priming
+//!    ([`FederatedSession::with_executor`]). The parallel run must produce
+//!    the *identical* merged stream (asserted here, not just in tests) —
+//!    the speedup comes purely from overlapping the waits.
+//!
+//! Output is JSON lines (one object per measurement) so downstream
+//! tooling can ingest the numbers without a CSV parser:
+//!
+//! ```text
+//! cargo run --release -p qrs-bench --bin figures -- --scale quick scaling
+//! ```
+
+use crate::Scale;
+use qrs_exec::{CancelToken, Executor};
+use qrs_ranking::{LinearRank, RankFn};
+use qrs_server::{
+    Clock, FaultyServer, LatencyServer, MockClock, SearchInterface, SimServer, SystemClock,
+    SystemRank,
+};
+use qrs_service::{drive, Algorithm, BatchRequest, FederatedSession, RerankService};
+use qrs_types::{AttrId, Query, RetryPolicy};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One front-end measurement at a fixed worker count.
+#[derive(Debug, Clone)]
+pub struct FrontEndPoint {
+    pub workers: usize,
+    pub requests: usize,
+    pub elapsed_ms: f64,
+    pub throughput_rps: f64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub queries_spent: u64,
+    pub retries_spent: u64,
+    pub attempts_made: u64,
+}
+
+/// The serial-vs-parallel federation measurement.
+#[derive(Debug, Clone)]
+pub struct FederationPoint {
+    pub sources: usize,
+    pub top_h: usize,
+    pub serial_ms: f64,
+    pub parallel_ms: f64,
+    pub speedup: f64,
+    pub queries_spent_serial: u64,
+    pub queries_spent_parallel: u64,
+}
+
+/// Everything the experiment measured (also printed as JSON lines).
+#[derive(Debug, Clone)]
+pub struct ScalingReport {
+    pub front_end: Vec<FrontEndPoint>,
+    pub federation: FederationPoint,
+}
+
+struct Params {
+    backends: usize,
+    requests_per_backend: usize,
+    top_h: usize,
+    n_per_backend: usize,
+    latency_ms: u64,
+    worker_counts: Vec<usize>,
+    fed_sources: usize,
+    fed_top_h: usize,
+    fed_n: usize,
+}
+
+impl Params {
+    fn for_scale(scale: Scale) -> Params {
+        match scale {
+            Scale::Quick => Params {
+                backends: 4,
+                requests_per_backend: 6,
+                top_h: 8,
+                n_per_backend: 1_500,
+                latency_ms: 1,
+                worker_counts: vec![1, 2, 4, 8],
+                fed_sources: 8,
+                fed_top_h: 12,
+                fed_n: 800,
+            },
+            Scale::Paper => Params {
+                backends: 8,
+                requests_per_backend: 12,
+                top_h: 20,
+                n_per_backend: 10_000,
+                latency_ms: 3,
+                worker_counts: vec![1, 2, 4, 8, 16],
+                fed_sources: 12,
+                fed_top_h: 18,
+                fed_n: 4_000,
+            },
+        }
+    }
+}
+
+/// A latency-bound, occasionally faulting backend: `FaultyServer(Latency(
+/// Sim))`. Faults fire at the gate (no latency paid on a refusal); retry
+/// backoff sleeps land on a mock clock so recovery costs bookkeeping, not
+/// bench wall-time.
+fn slow_backend(n: usize, seed: u64, latency_ms: u64) -> RerankService {
+    let data = qrs_datagen::synthetic::uniform(n, 2, 1, seed);
+    let sim = Arc::new(SimServer::new(data, SystemRank::pseudo_random(seed), 5));
+    let slow = Arc::new(LatencyServer::new(
+        sim as Arc<dyn SearchInterface>,
+        Arc::new(SystemClock::new()) as Arc<dyn Clock>,
+        latency_ms,
+    ));
+    let faulty = Arc::new(
+        FaultyServer::new(slow as Arc<dyn SearchInterface>).with_random_faults(
+            seed ^ 0xFA17,
+            0.04,
+            0.02,
+            0.0,
+        ),
+    );
+    // Generous attempts: backoff is virtual (mock clock) and gate refusals
+    // pay no latency, so deep retries cost only bookkeeping — and with
+    // faults dealt off one schedule-dependent RNG, a stingy attempt cap
+    // would let an unlucky interleaving exhaust a request and flake the
+    // CI smoke-run (at fault rate 0.06, ten-in-a-row is ~6e-13 per chain).
+    RerankService::new(faulty as Arc<dyn SearchInterface>, n)
+        .with_retry_policy(
+            RetryPolicy::none()
+                .attempts(10)
+                .backoff(20, 2_000)
+                .seed(seed),
+        )
+        .with_clock(Arc::new(MockClock::new()) as Arc<dyn Clock>)
+}
+
+fn rank2(i: usize) -> Arc<dyn RankFn> {
+    Arc::new(LinearRank::asc(vec![
+        (AttrId(0), 1.0 + i as f64 * 0.5),
+        (AttrId(1), 1.0),
+    ]))
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let ix = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[ix.min(sorted.len() - 1)]
+}
+
+/// Drive the multi-tenant batch at one worker count; fresh backends per
+/// call so no run warms the next one's caches.
+fn front_end_point(p: &Params, workers: usize) -> FrontEndPoint {
+    let services: Vec<RerankService> = (0..p.backends)
+        .map(|b| slow_backend(p.n_per_backend, 1_000 + b as u64, p.latency_ms))
+        .collect();
+    let mut jobs: Vec<(&RerankService, BatchRequest)> = Vec::new();
+    for (b, svc) in services.iter().enumerate() {
+        for r in 0..p.requests_per_backend {
+            jobs.push((
+                svc,
+                BatchRequest::new(Query::all(), rank2(b * p.requests_per_backend + r), p.top_h),
+            ));
+        }
+    }
+    let requests = jobs.len();
+    let exec = Executor::pool(workers);
+    let t0 = Instant::now();
+    let outcomes = drive(&exec, jobs, &CancelToken::new());
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut lat: Vec<f64> = outcomes.iter().map(|o| o.wall_ms).collect();
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let (mut q, mut rt, mut at) = (0u64, 0u64, 0u64);
+    for o in &outcomes {
+        assert!(o.is_ok(), "scaling workload must complete: {:?}", o.error);
+        q += o.stats.queries_spent;
+        rt += o.stats.retries_spent;
+        at += o.stats.attempts_made;
+    }
+    FrontEndPoint {
+        workers,
+        requests,
+        elapsed_ms,
+        throughput_rps: requests as f64 / (elapsed_ms / 1e3).max(1e-9),
+        p50_ms: percentile(&lat, 0.50),
+        p99_ms: percentile(&lat, 0.99),
+        queries_spent: q,
+        retries_spent: rt,
+        attempts_made: at,
+    }
+}
+
+/// One federated merge over latency-bound sources; returns (elapsed ms,
+/// total queries, the merged stream) so the caller can assert equality.
+fn federation_run(
+    p: &Params,
+    executor: Option<Arc<Executor>>,
+) -> (f64, u64, Vec<(usize, u32, u64)>) {
+    let services: Vec<RerankService> = (0..p.fed_sources)
+        .map(|s| {
+            let data = qrs_datagen::synthetic::uniform(p.fed_n, 2, 1, 7_000 + s as u64);
+            let sim = Arc::new(SimServer::new(
+                data,
+                SystemRank::pseudo_random(7_000 + s as u64),
+                5,
+            ));
+            let slow = Arc::new(LatencyServer::new(
+                sim as Arc<dyn SearchInterface>,
+                Arc::new(SystemClock::new()) as Arc<dyn Clock>,
+                p.latency_ms,
+            ));
+            RerankService::new(slow as Arc<dyn SearchInterface>, p.fed_n)
+        })
+        .collect();
+    let refs: Vec<&RerankService> = services.iter().collect();
+    let rank: Arc<dyn RankFn> = Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)]));
+    let t0 = Instant::now();
+    let mut fed = FederatedSession::open(&refs, Query::all(), rank, Algorithm::Auto)
+        .expect("preflight cannot fail on the sim stack");
+    if let Some(e) = executor {
+        fed = fed.with_executor(e);
+    }
+    let (hits, err) = fed.top(p.fed_top_h);
+    assert!(err.is_none(), "clean sources cannot fail: {err:?}");
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let queries: u64 = fed.session_stats().iter().map(|s| s.queries_spent).sum();
+    let stream = hits
+        .iter()
+        .map(|f| (f.source, f.hit.tuple.id.0, f.hit.score.to_bits()))
+        .collect();
+    (elapsed_ms, queries, stream)
+}
+
+fn json_front_end(pt: &FrontEndPoint) {
+    println!(
+        "{{\"experiment\":\"scaling\",\"mode\":\"front_end\",\"workers\":{},\
+         \"requests\":{},\"elapsed_ms\":{:.2},\"throughput_rps\":{:.2},\
+         \"p50_ms\":{:.2},\"p99_ms\":{:.2},\"queries_spent\":{},\
+         \"retries_spent\":{},\"attempts_made\":{}}}",
+        pt.workers,
+        pt.requests,
+        pt.elapsed_ms,
+        pt.throughput_rps,
+        pt.p50_ms,
+        pt.p99_ms,
+        pt.queries_spent,
+        pt.retries_spent,
+        pt.attempts_made
+    );
+}
+
+fn json_federation(pt: &FederationPoint) {
+    println!(
+        "{{\"experiment\":\"scaling\",\"mode\":\"federation\",\"sources\":{},\
+         \"top_h\":{},\"serial_ms\":{:.2},\"parallel_ms\":{:.2},\
+         \"speedup\":{:.3},\"queries_spent_serial\":{},\
+         \"queries_spent_parallel\":{}}}",
+        pt.sources,
+        pt.top_h,
+        pt.serial_ms,
+        pt.parallel_ms,
+        pt.speedup,
+        pt.queries_spent_serial,
+        pt.queries_spent_parallel
+    );
+}
+
+/// Run the full scaling experiment at `scale`, printing JSON lines.
+pub fn run(scale: Scale) -> ScalingReport {
+    let p = Params::for_scale(scale);
+    let front_end: Vec<FrontEndPoint> = p
+        .worker_counts
+        .iter()
+        .map(|&w| {
+            let pt = front_end_point(&p, w);
+            json_front_end(&pt);
+            pt
+        })
+        .collect();
+    let (serial_ms, q_serial, serial_stream) = federation_run(&p, None);
+    let exec = Arc::new(Executor::pool(p.fed_sources.min(16)));
+    let (parallel_ms, q_parallel, parallel_stream) = federation_run(&p, Some(exec));
+    assert_eq!(
+        serial_stream, parallel_stream,
+        "parallel federation must reproduce the serial merge byte for byte"
+    );
+    let federation = FederationPoint {
+        sources: p.fed_sources,
+        top_h: p.fed_top_h,
+        serial_ms,
+        parallel_ms,
+        speedup: serial_ms / parallel_ms.max(1e-9),
+        queries_spent_serial: q_serial,
+        queries_spent_parallel: q_parallel,
+    };
+    json_federation(&federation);
+    ScalingReport {
+        front_end,
+        federation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A micro version of the experiment (tiny latency, tiny workload):
+    /// the structural invariants must hold even when timings are noisy.
+    #[test]
+    fn scaling_report_is_structurally_sound() {
+        let p = Params {
+            backends: 2,
+            requests_per_backend: 2,
+            top_h: 3,
+            n_per_backend: 200,
+            latency_ms: 0,
+            worker_counts: vec![1, 2],
+            fed_sources: 3,
+            fed_top_h: 5,
+            fed_n: 100,
+        };
+        for &w in &p.worker_counts {
+            let pt = front_end_point(&p, w);
+            assert_eq!(pt.requests, 4);
+            assert!(pt.queries_spent > 0);
+            assert!(pt.attempts_made > 0);
+            assert!(
+                pt.attempts_made >= pt.retries_spent,
+                "retries are a subset of attempts"
+            );
+            assert!(pt.p99_ms >= pt.p50_ms);
+            assert!(pt.throughput_rps > 0.0);
+        }
+        let (_, q_serial, serial) = federation_run(&p, None);
+        let (_, q_parallel, parallel) = federation_run(&p, Some(Arc::new(Executor::pool(3))));
+        assert_eq!(serial, parallel, "streams must be identical");
+        assert_eq!(q_serial, q_parallel, "ledgers must be identical");
+        assert_eq!(serial.len(), 5);
+    }
+}

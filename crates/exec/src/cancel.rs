@@ -1,0 +1,91 @@
+//! Cooperative, hierarchical cancellation.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag that long-running work
+//! polls between units of progress (the service layer checks it between
+//! Get-Next pulls). Tokens form a tree: [`CancelToken::child`] creates a
+//! token that observes its parent's cancellation but whose own
+//! cancellation never propagates *up* — cancel one request without
+//! cancelling the batch, or cancel the batch and take every request down.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn is_cancelled(&self) -> bool {
+        if self.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        self.parent.as_deref().is_some_and(Inner::is_cancelled)
+    }
+}
+
+/// A cooperative cancellation flag; see the module docs. Clones share the
+/// same flag — cancelling any clone cancels them all.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled root token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Flip the flag. Idempotent; visible to all clones and descendants.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether this token — or any ancestor — has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.is_cancelled()
+    }
+
+    /// A child token: sees this token's cancellation, but cancelling the
+    /// child does not touch the parent.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                parent: Some(Arc::clone(&self.inner)),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled() && !c.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled() && c.is_cancelled());
+    }
+
+    #[test]
+    fn cancellation_flows_down_but_never_up() {
+        let root = CancelToken::new();
+        let mid = root.child();
+        let leaf = mid.child();
+        leaf.cancel();
+        assert!(leaf.is_cancelled());
+        assert!(!mid.is_cancelled() && !root.is_cancelled());
+
+        let root = CancelToken::new();
+        let mid = root.child();
+        let leaf = mid.child();
+        root.cancel();
+        assert!(mid.is_cancelled() && leaf.is_cancelled());
+    }
+}

@@ -1,0 +1,322 @@
+//! A bounded multi-producer multi-consumer channel.
+//!
+//! `std::sync::mpsc` is single-consumer, which rules out the worker-pool
+//! shape ("many workers drain one request queue"); this is the missing
+//! piece, built on one mutex and two condvars. The buffer is bounded, so a
+//! fast producer *blocks* in [`Sender::send`] once `capacity` items are in
+//! flight — backpressure, not unbounded memory growth.
+//!
+//! Disconnect semantics mirror the crossbeam/mpsc conventions:
+//!
+//! * all [`Sender`]s dropped ⇒ `recv` drains the buffer, then reports
+//!   [`RecvError::Disconnected`],
+//! * all [`Receiver`]s dropped ⇒ `send` fails with [`SendError`] carrying
+//!   the rejected value back to the caller.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `send` failed because every receiver is gone; carries the value back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// `try_send` outcome when the channel cannot take the value right now.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The buffer is at capacity (receivers still exist).
+    Full(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+/// `recv` failed: buffer empty and every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// `try_recv` outcome when no value is available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing buffered right now (senders still exist).
+    Empty,
+    /// Buffer empty and every sender is gone.
+    Disconnected,
+}
+
+struct State<T> {
+    buf: VecDeque<T>,
+    cap: usize,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+/// Create a bounded MPMC channel with room for `capacity` in-flight items
+/// (clamped to at least 1). Both halves are cloneable.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            buf: VecDeque::new(),
+            cap: capacity.max(1),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// The producing half; cloneable for multi-producer use.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Block until the buffer has room, then enqueue `value`. Fails only
+    /// when every receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = lock(&self.shared.state);
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if st.buf.len() < st.cap {
+                st.buf.push_back(value);
+                drop(st);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self
+                .shared
+                .not_full
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking send.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = lock(&self.shared.state);
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if st.buf.len() >= st.cap {
+            return Err(TrySendError::Full(value));
+        }
+        st.buf.push_back(value);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        lock(&self.shared.state).senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = lock(&self.shared.state);
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            // Wake receivers parked on an empty buffer so they observe the
+            // disconnect instead of sleeping forever.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+/// The consuming half; cloneable for multi-consumer (work-stealing) use.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Block until a value is available. The buffer drains fully before a
+    /// disconnect is reported: no value a sender managed to enqueue is lost.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = lock(&self.shared.state);
+        loop {
+            if let Some(v) = st.buf.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .shared
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = lock(&self.shared.state);
+        if let Some(v) = st.buf.pop_front() {
+            drop(st);
+            self.shared.not_full.notify_one();
+            return Ok(v);
+        }
+        if st.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        lock(&self.shared.state).receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = lock(&self.shared.state);
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            // Wake senders parked on a full buffer: their sends now fail.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+
+    #[test]
+    fn values_round_trip_in_order_per_producer() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(
+            (0..4).map(|_| rx.recv().unwrap()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn try_send_reports_full_and_try_recv_reports_empty() {
+        let (tx, rx) = bounded(2);
+        assert!(tx.try_send(1).is_ok());
+        assert!(tx.try_send(2).is_ok());
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert!(tx.try_send(3).is_ok());
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Ok(3));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnects_drain_then_fail() {
+        let (tx, rx) = bounded(4);
+        tx.send("a").unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok("a"));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+
+        let (tx, rx) = bounded(4);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+        assert_eq!(tx.try_send(9), Err(TrySendError::Disconnected(9)));
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let (tx, rx) = bounded(0);
+        assert!(tx.try_send(1).is_ok());
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+    }
+
+    #[test]
+    fn bounded_send_exerts_backpressure_across_threads() {
+        // A producer pushing 100 items through a 2-slot buffer can only
+        // finish if blocked sends wake as the consumer drains.
+        let exec = Executor::pool(2);
+        let (tx, rx) = bounded(2);
+        let got: Vec<u32> = exec.scope(|s| {
+            let producer = s.spawn(move || {
+                for i in 0..100u32 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let consumer = s.spawn(move || {
+                let mut out = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    out.push(v);
+                }
+                out
+            });
+            producer.join();
+            consumer.join()
+        });
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn multiple_consumers_partition_the_stream() {
+        let exec = Executor::pool(3);
+        let (tx, rx) = bounded(8);
+        let rx2 = rx.clone();
+        let (mut a, mut b): (Vec<u32>, Vec<u32>) = exec.scope(|s| {
+            let producer = s.spawn(move || {
+                for i in 0..200u32 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let c1 = s.spawn(move || {
+                let mut out = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    out.push(v);
+                }
+                out
+            });
+            let c2 = s.spawn(move || {
+                let mut out = Vec::new();
+                while let Ok(v) = rx2.recv() {
+                    out.push(v);
+                }
+                out
+            });
+            producer.join();
+            (c1.join(), c2.join())
+        });
+        let mut all: Vec<u32> = a.drain(..).chain(b.drain(..)).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..200).collect::<Vec<_>>(), "no loss, no duplication");
+    }
+}

@@ -1,0 +1,142 @@
+//! Per-call latency injection for any [`SearchInterface`].
+//!
+//! Real hidden databases answer over the network: tens of milliseconds per
+//! query, not the nanoseconds of the in-process [`crate::SimServer`]. The
+//! parallel-federation and concurrent-service layers only pay off against
+//! *slow* backends, so [`LatencyServer`] makes slowness injectable: every
+//! query method sleeps `latency_ms` on the attached [`Clock`] before
+//! delegating. With a [`crate::SystemClock`] the sleep is real (benchmarks
+//! measure genuine wall-clock overlap); with a [`crate::MockClock`] it is
+//! virtual and recorded (tests assert latency budgets without waiting).
+//!
+//! The decorator is thread-safe as long as its inner server is — sleeps
+//! happen outside any lock, so concurrent callers overlap their waits.
+
+use crate::clock::Clock;
+use crate::interface::{Capabilities, OrderedPage, SearchInterface};
+use qrs_types::{AttrId, Direction, Query, QueryResponse, Schema, ServerError};
+use std::sync::Arc;
+
+/// Wraps a [`SearchInterface`], adding a fixed per-call latency on an
+/// injectable clock. See the module docs.
+pub struct LatencyServer {
+    inner: Arc<dyn SearchInterface>,
+    clock: Arc<dyn Clock>,
+    latency_ms: u64,
+}
+
+impl LatencyServer {
+    /// Delay every query method by `latency_ms` on `clock`.
+    pub fn new(inner: Arc<dyn SearchInterface>, clock: Arc<dyn Clock>, latency_ms: u64) -> Self {
+        LatencyServer {
+            inner,
+            clock,
+            latency_ms,
+        }
+    }
+
+    /// The wrapped server.
+    pub fn inner(&self) -> &Arc<dyn SearchInterface> {
+        &self.inner
+    }
+
+    fn delay(&self) {
+        if self.latency_ms > 0 {
+            self.clock.sleep_ms(self.latency_ms);
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyServer")
+            .field("latency_ms", &self.latency_ms)
+            .finish()
+    }
+}
+
+impl SearchInterface for LatencyServer {
+    fn schema(&self) -> &Arc<Schema> {
+        self.inner.schema()
+    }
+
+    fn k(&self) -> usize {
+        self.inner.k()
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        self.inner.capabilities()
+    }
+
+    fn query(&self, q: &Query) -> Result<QueryResponse, ServerError> {
+        self.delay();
+        self.inner.query(q)
+    }
+
+    fn queries_issued(&self) -> u64 {
+        self.inner.queries_issued()
+    }
+
+    fn query_page(&self, q: &Query, page: usize) -> Result<QueryResponse, ServerError> {
+        self.delay();
+        self.inner.query_page(q, page)
+    }
+
+    fn query_ordered(
+        &self,
+        q: &Query,
+        attr: AttrId,
+        dir: Direction,
+        page: usize,
+    ) -> Result<OrderedPage, ServerError> {
+        self.delay();
+        self.inner.query_ordered(q, attr, dir, page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::MockClock;
+    use crate::sim::SimServer;
+    use crate::system_rank::SystemRank;
+    use qrs_types::{Dataset, OrdinalAttr, Tuple, TupleId};
+
+    #[test]
+    fn every_query_sleeps_the_configured_latency_on_the_clock() {
+        let schema = Schema::new(vec![OrdinalAttr::new("x", 0.0, 9.0)], vec![]);
+        let tuples = (0..10)
+            .map(|i| Tuple::new(TupleId(i), vec![f64::from(i)], vec![]))
+            .collect();
+        let ds = Dataset::new(schema, tuples).unwrap();
+        let sim = Arc::new(SimServer::new(ds, SystemRank::by_attr_desc(AttrId(0)), 3));
+        let clock = Arc::new(MockClock::new());
+        let slow = LatencyServer::new(
+            Arc::clone(&sim) as Arc<dyn SearchInterface>,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            25,
+        );
+        assert!(slow.query(&Query::all()).is_ok());
+        assert!(slow.query(&Query::all()).is_ok());
+        assert_eq!(clock.sleeps(), vec![25, 25]);
+        // Shape and charging delegate untouched.
+        assert_eq!(slow.k(), 3);
+        assert_eq!(slow.queries_issued(), 2);
+        assert_eq!(slow.capabilities(), sim.capabilities());
+    }
+
+    #[test]
+    fn zero_latency_never_touches_the_clock() {
+        let schema = Schema::new(vec![OrdinalAttr::new("x", 0.0, 9.0)], vec![]);
+        let ds = Dataset::new(schema, vec![Tuple::new(TupleId(0), vec![1.0], vec![])]).unwrap();
+        let sim = Arc::new(SimServer::new(ds, SystemRank::by_attr_desc(AttrId(0)), 3));
+        let clock = Arc::new(MockClock::new());
+        let slow = LatencyServer::new(
+            sim as Arc<dyn SearchInterface>,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            0,
+        );
+        assert!(slow.query(&Query::all()).is_ok());
+        assert!(clock.sleeps().is_empty());
+    }
+}

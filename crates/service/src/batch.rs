@@ -1,0 +1,451 @@
+//! The concurrent service front-end: many sessions progressing in
+//! parallel.
+//!
+//! The paper pitches reranking *as a service* — a middleware fronting one
+//! hidden database for many users at once. [`RerankService::serve_batch`]
+//! is that front door: hand it an executor and a batch of
+//! [`BatchRequest`]s, and every request runs as its own session on the
+//! pool, all against the shared knowledge, the shared query budget, and
+//! the shared retry budget. Outcomes come back in request order, each
+//! carrying its hits, its typed error (if any), and its exact
+//! [`SessionStats`] — per-request attribution stays precise because every
+//! counter is updated inside the shared-state lock or via atomics
+//! ([`crate::ServiceStats`], [`crate::QueryBudget`],
+//! [`crate::RetryBudget`]).
+//!
+//! Cancellation is cooperative: [`RerankService::serve_batch_cancellable`]
+//! checks the token between Get-Next pulls, so a cancelled batch stops at
+//! tuple granularity and every request keeps the partial results it
+//! already paid for (error [`RerankError::Cancelled`]).
+//!
+//! [`drive`] is the multi-service generalization — one task per
+//! *(service, request)* pair — for multi-tenant drivers like the
+//! `qrs-bench` scaling experiment.
+
+use crate::service::{Algorithm, RerankService};
+use crate::session::{RankedTuple, SessionStats};
+use qrs_exec::{CancelToken, Executor, TaskHandle};
+use qrs_ranking::RankFn;
+use qrs_types::{Query, RerankError, RetryPolicy};
+use std::sync::Arc;
+
+/// One user request inside a batch: a selection, a ranking function, and
+/// how many top answers to fetch, plus optional per-request knobs.
+pub struct BatchRequest {
+    pub sel: Query,
+    pub rank: Arc<dyn RankFn>,
+    pub algo: Algorithm,
+    /// How many top tuples to fetch (the `h` of `Session::top`).
+    pub top: usize,
+    /// Per-session query cap (the service-wide budget still applies).
+    pub budget: Option<u64>,
+    /// Per-session retry override (else the service default).
+    pub retry: Option<RetryPolicy>,
+}
+
+impl BatchRequest {
+    /// A request with defaults: [`Algorithm::Auto`], no per-session caps.
+    pub fn new(sel: Query, rank: Arc<dyn RankFn>, top: usize) -> Self {
+        BatchRequest {
+            sel,
+            rank,
+            algo: Algorithm::Auto,
+            top,
+            budget: None,
+            retry: None,
+        }
+    }
+
+    /// Builder: pick the algorithm.
+    pub fn algorithm(mut self, algo: Algorithm) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Builder: cap this request's query spend.
+    pub fn budget(mut self, limit: u64) -> Self {
+        self.budget = Some(limit);
+        self
+    }
+
+    /// Builder: override the retry policy for this request.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+}
+
+/// What one [`BatchRequest`] produced. Mirrors `Session::top`'s contract:
+/// partial results survive failure and cancellation alike.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// The hits fetched (possibly fewer than requested on error/cancel).
+    pub hits: Vec<RankedTuple>,
+    /// The typed failure that stopped the request early, if any.
+    pub error: Option<RerankError>,
+    /// Exact per-session accounting, failed attempts included.
+    pub stats: SessionStats,
+    /// Wall-clock time this request occupied a worker, in milliseconds —
+    /// observational only (latency percentiles in benchmarks), measured on
+    /// the OS clock, not the service's injectable one.
+    pub wall_ms: f64,
+}
+
+impl BatchOutcome {
+    /// The request ran to completion (full batch or stream exhausted).
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Run one request against one service, checking the cancel token between
+/// pulls.
+fn run_one(svc: &RerankService, req: BatchRequest, cancel: &CancelToken) -> BatchOutcome {
+    let t0 = std::time::Instant::now();
+    let wall_ms = |t0: std::time::Instant| t0.elapsed().as_secs_f64() * 1e3;
+    svc.stats_ref().on_request();
+    let empty = SessionStats {
+        emitted: 0,
+        queries_spent: 0,
+        attempts_made: 0,
+        retries_spent: 0,
+        budget_limit: req.budget,
+    };
+    if cancel.is_cancelled() {
+        svc.stats_ref().on_cancel();
+        return BatchOutcome {
+            hits: Vec::new(),
+            error: Some(RerankError::Cancelled),
+            stats: empty,
+            wall_ms: wall_ms(t0),
+        };
+    }
+    let mut builder = svc.session(req.sel, req.rank).algorithm(req.algo);
+    if let Some(limit) = req.budget {
+        builder = builder.budget(limit);
+    }
+    if let Some(policy) = req.retry {
+        builder = builder.retry(policy);
+    }
+    let mut sess = match builder.open() {
+        Ok(s) => s,
+        Err(e) => {
+            return BatchOutcome {
+                hits: Vec::new(),
+                error: Some(e),
+                stats: empty,
+                wall_ms: wall_ms(t0),
+            }
+        }
+    };
+    let mut hits = Vec::with_capacity(req.top);
+    let mut error = None;
+    while hits.len() < req.top {
+        if cancel.is_cancelled() {
+            svc.stats_ref().on_cancel();
+            error = Some(RerankError::Cancelled);
+            break;
+        }
+        match sess.next() {
+            Ok(Some(r)) => hits.push(r),
+            Ok(None) => break,
+            Err(e) => {
+                error = Some(e);
+                break;
+            }
+        }
+    }
+    BatchOutcome {
+        hits,
+        error,
+        stats: sess.stats(),
+        wall_ms: wall_ms(t0),
+    }
+}
+
+/// The multi-service batch driver: one pooled task per *(service,
+/// request)* pair, outcomes in input order. Sessions against the same
+/// service share its knowledge, budgets, and stats; sessions against
+/// different services progress fully independently (their state locks
+/// don't touch).
+pub fn drive(
+    exec: &Executor,
+    jobs: Vec<(&RerankService, BatchRequest)>,
+    cancel: &CancelToken,
+) -> Vec<BatchOutcome> {
+    exec.scope(|s| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|(svc, req)| s.spawn(move || run_one(svc, req, cancel)))
+            .collect();
+        handles.into_iter().map(TaskHandle::join).collect()
+    })
+}
+
+impl RerankService {
+    /// Serve a batch of requests concurrently on `exec`, one session per
+    /// request. Outcomes return in request order. All sessions share this
+    /// service's knowledge (so concurrent requests amortize each other's
+    /// queries), its service-wide query budget, and its retry budget —
+    /// both enforced atomically, so a storm of sessions cannot overspend
+    /// a cap by racing it.
+    pub fn serve_batch(&self, exec: &Executor, requests: Vec<BatchRequest>) -> Vec<BatchOutcome> {
+        self.serve_batch_cancellable(exec, requests, &CancelToken::new())
+    }
+
+    /// [`RerankService::serve_batch`] with cooperative cancellation:
+    /// `cancel` is checked between Get-Next pulls, so cancellation lands
+    /// at tuple granularity and partial results (already paid for) are
+    /// kept in each outcome alongside [`RerankError::Cancelled`].
+    pub fn serve_batch_cancellable(
+        &self,
+        exec: &Executor,
+        requests: Vec<BatchRequest>,
+        cancel: &CancelToken,
+    ) -> Vec<BatchOutcome> {
+        self.stats_ref().on_batch();
+        drive(
+            exec,
+            requests.into_iter().map(|r| (self, r)).collect(),
+            cancel,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrs_datagen::synthetic::uniform;
+    use qrs_ranking::LinearRank;
+    use qrs_server::{SimServer, SystemRank};
+    use qrs_types::value::cmp_f64;
+    use qrs_types::AttrId;
+
+    fn service(n: usize, seed: u64) -> (RerankService, qrs_types::Dataset) {
+        let data = uniform(n, 2, 1, seed);
+        let server = SimServer::new(data.clone(), SystemRank::pseudo_random(seed), 5);
+        (RerankService::new(Arc::new(server), n), data)
+    }
+
+    fn rank(w0: f64, w1: f64) -> Arc<dyn RankFn> {
+        Arc::new(LinearRank::asc(vec![(AttrId(0), w0), (AttrId(1), w1)]))
+    }
+
+    fn brute_top(data: &qrs_types::Dataset, r: &Arc<dyn RankFn>, h: usize) -> Vec<f64> {
+        let mut v: Vec<f64> = data.tuples().iter().map(|t| r.score(t)).collect();
+        v.sort_by(|a, b| cmp_f64(*a, *b));
+        v.truncate(h);
+        v
+    }
+
+    #[test]
+    fn batch_outcomes_are_exact_and_in_request_order() {
+        let (svc, data) = service(300, 9001);
+        let ranks: Vec<Arc<dyn RankFn>> = vec![
+            rank(1.0, 1.0),
+            rank(2.0, 0.5),
+            rank(0.1, 1.0),
+            rank(1.0, 0.25),
+        ];
+        let reqs: Vec<BatchRequest> = ranks
+            .iter()
+            .map(|r| BatchRequest::new(Query::all(), Arc::clone(r), 8))
+            .collect();
+        let exec = Executor::pool(4);
+        let outcomes = svc.serve_batch(&exec, reqs);
+        assert_eq!(outcomes.len(), 4);
+        for (i, (out, r)) in outcomes.iter().zip(&ranks).enumerate() {
+            assert!(out.is_ok(), "request {i}: {:?}", out.error);
+            let got: Vec<f64> = out.hits.iter().map(|h| h.score).collect();
+            assert_eq!(
+                got,
+                brute_top(&data, r, 8),
+                "request {i} (order or exactness)"
+            );
+            assert_eq!(out.stats.emitted, 8);
+        }
+        let snap = svc.stats();
+        assert_eq!(snap.sessions_started, 4);
+        assert_eq!(snap.batches_served, 1);
+        assert_eq!(snap.requests_served, 4);
+        assert_eq!(snap.requests_cancelled, 0);
+        assert_eq!(snap.tuples_emitted, 32);
+    }
+
+    #[test]
+    fn batch_is_identical_across_executor_modes() {
+        let run = |exec: &Executor| -> Vec<Vec<(u32, f64)>> {
+            let (svc, _) = service(250, 9007);
+            let reqs: Vec<BatchRequest> = (0..6)
+                .map(|i| BatchRequest::new(Query::all(), rank(1.0 + f64::from(i), 1.0), 6))
+                .collect();
+            svc.serve_batch(exec, reqs)
+                .into_iter()
+                .map(|o| {
+                    assert!(o.is_ok(), "{:?}", o.error);
+                    o.hits.iter().map(|h| (h.tuple.id.0, h.score)).collect()
+                })
+                .collect()
+        };
+        let serial = run(&Executor::immediate(3));
+        let pooled = run(&Executor::pool(4));
+        let single = run(&Executor::pool(1));
+        assert_eq!(serial, pooled, "pool(4) must match immediate mode");
+        assert_eq!(serial, single, "pool(1) must match immediate mode");
+    }
+
+    #[test]
+    fn pre_cancelled_batch_serves_nothing_but_stays_typed() {
+        let (svc, _) = service(100, 9011);
+        let reqs = vec![
+            BatchRequest::new(Query::all(), rank(1.0, 1.0), 5),
+            BatchRequest::new(Query::all(), rank(0.5, 1.0), 5),
+        ];
+        let exec = Executor::pool(2);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let outcomes = svc.serve_batch_cancellable(&exec, reqs, &cancel);
+        for out in &outcomes {
+            assert!(matches!(out.error, Some(RerankError::Cancelled)));
+            assert!(out.hits.is_empty());
+            assert_eq!(out.stats.queries_spent, 0);
+        }
+        assert_eq!(svc.queries_issued(), 0, "no query reaches the backend");
+        let snap = svc.stats();
+        assert_eq!(snap.requests_cancelled, 2);
+        assert_eq!(snap.sessions_started, 0);
+    }
+
+    #[test]
+    fn mid_stream_cancellation_keeps_paid_partials() {
+        // The token flips after the second pull of the first request: the
+        // cancel lands between pulls, partial hits survive. Immediate mode
+        // makes the interleaving deterministic (requests run one by one).
+        let (svc, data) = service(200, 9013);
+        let cancel = CancelToken::new();
+        let watcher = cancel.clone();
+        struct TripRank {
+            inner: Arc<dyn RankFn>,
+            trips: std::sync::atomic::AtomicU64,
+            watcher: CancelToken,
+        }
+        impl RankFn for TripRank {
+            fn attrs(&self) -> &[AttrId] {
+                self.inner.attrs()
+            }
+            fn directions(&self) -> &[qrs_types::Direction] {
+                self.inner.directions()
+            }
+            fn score_norm(&self, u: &[f64]) -> f64 {
+                // Cancel once scoring shows real progress (≈ second tuple).
+                if self
+                    .trips
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                    > 400
+                {
+                    self.watcher.cancel();
+                }
+                self.inner.score_norm(u)
+            }
+        }
+        let tripping: Arc<dyn RankFn> = Arc::new(TripRank {
+            inner: rank(1.0, 1.0),
+            trips: std::sync::atomic::AtomicU64::new(0),
+            watcher,
+        });
+        let reqs = vec![
+            BatchRequest::new(Query::all(), tripping, 50),
+            BatchRequest::new(Query::all(), rank(0.5, 1.0), 50),
+        ];
+        let exec = Executor::immediate(0);
+        let outcomes = svc.serve_batch_cancellable(&exec, reqs, &cancel);
+        let cancelled: Vec<_> = outcomes
+            .iter()
+            .filter(|o| matches!(o.error, Some(RerankError::Cancelled)))
+            .collect();
+        assert!(!cancelled.is_empty(), "the trip wire never fired");
+        // Whatever was fetched before the cancel is kept AND is an exact
+        // prefix of the brute-force ranking — cancellation may truncate a
+        // stream, never corrupt it. (TripRank only instruments scoring, so
+        // request 0's scores equal its inner rank's.)
+        let request_ranks = [rank(1.0, 1.0), rank(0.5, 1.0)];
+        for (out, r) in outcomes.iter().zip(&request_ranks) {
+            let got: Vec<f64> = out.hits.iter().map(|h| h.score).collect();
+            assert_eq!(
+                got,
+                brute_top(&data, r, out.hits.len()),
+                "kept partials must be an exact ranking prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_service_budget_binds_atomically_across_the_batch() {
+        // An anti-correlated system ranking forces real spend; the shared
+        // cap must stop the whole batch without any session overspending
+        // it by more than one in-flight step.
+        let data = uniform(400, 2, 1, 9017);
+        let server = SimServer::new(
+            data,
+            SystemRank::linear("anti", vec![(AttrId(0), -1.0), (AttrId(1), -1.0)]),
+            3,
+        );
+        let svc = RerankService::new(Arc::new(server), 400).with_budget(6);
+        let reqs: Vec<BatchRequest> = (0..4)
+            .map(|i| BatchRequest::new(Query::all(), rank(1.0, 1.0 + f64::from(i)), 100))
+            .collect();
+        let exec = Executor::pool(4);
+        let outcomes = svc.serve_batch(&exec, reqs);
+        let tripped = outcomes
+            .iter()
+            .filter(|o| matches!(o.error, Some(RerankError::BudgetExhausted { .. })))
+            .count();
+        assert!(tripped >= 1, "a 6-query cap must trip a 4×top-100 batch");
+        // Ledger consistency: per-session spend partitions the global count.
+        let spent: u64 = outcomes.iter().map(|o| o.stats.queries_spent).sum();
+        assert_eq!(spent, svc.queries_issued());
+    }
+
+    #[test]
+    fn failed_open_is_an_outcome_not_a_poisoned_batch() {
+        let (svc, data) = service(150, 9019);
+        let reqs = vec![
+            // 1D algorithm with a 2D ranking function: refused at preflight.
+            BatchRequest::new(Query::all(), rank(1.0, 1.0), 5)
+                .algorithm(Algorithm::OneD(qrs_core::OneDStrategy::Rerank)),
+            BatchRequest::new(Query::all(), rank(1.0, 1.0), 5),
+        ];
+        let exec = Executor::pool(2);
+        let outcomes = svc.serve_batch(&exec, reqs);
+        assert!(matches!(
+            outcomes[0].error,
+            Some(RerankError::InvalidAlgorithm { .. })
+        ));
+        assert!(outcomes[1].is_ok(), "{:?}", outcomes[1].error);
+        let got: Vec<f64> = outcomes[1].hits.iter().map(|h| h.score).collect();
+        assert_eq!(got, brute_top(&data, &rank(1.0, 1.0), 5));
+    }
+
+    #[test]
+    fn drive_spans_services_and_keeps_input_order() {
+        let (a, da) = service(120, 9023);
+        let (b, db) = service(90, 9029);
+        let r = rank(1.0, 1.0);
+        let jobs = vec![
+            (&a, BatchRequest::new(Query::all(), Arc::clone(&r), 4)),
+            (&b, BatchRequest::new(Query::all(), Arc::clone(&r), 4)),
+            (&a, BatchRequest::new(Query::all(), Arc::clone(&r), 2)),
+        ];
+        let exec = Executor::pool(3);
+        let outcomes = drive(&exec, jobs, &CancelToken::new());
+        assert_eq!(outcomes.len(), 3);
+        let got0: Vec<f64> = outcomes[0].hits.iter().map(|h| h.score).collect();
+        let got1: Vec<f64> = outcomes[1].hits.iter().map(|h| h.score).collect();
+        let got2: Vec<f64> = outcomes[2].hits.iter().map(|h| h.score).collect();
+        assert_eq!(got0, brute_top(&da, &r, 4));
+        assert_eq!(got1, brute_top(&db, &r, 4));
+        assert_eq!(got2, brute_top(&da, &r, 2));
+        assert_eq!(a.stats().requests_served, 2);
+        assert_eq!(b.stats().requests_served, 1);
+    }
+}

@@ -13,8 +13,9 @@
 //! ## Per-source health and degraded merges
 //!
 //! By default an error from any source propagates (and the merge resumes
-//! exactly on retry). With a failure threshold set
-//! ([`FederatedSession::with_failure_threshold`]), each source carries
+//! exactly on retry). With a circuit policy set
+//! ([`FederatedSession::with_failure_threshold`] /
+//! [`FederatedSession::with_circuit`]), each source carries
 //! consecutive-failure circuit state instead: a source that keeps failing
 //! **trips** and silently leaves the merge, which completes over the
 //! healthy sources and reports the casualty in a typed per-source
@@ -26,11 +27,40 @@
 //! whole retry policy — trip the circuit at once. If *every* source trips,
 //! the merge surfaces the last error instead of masquerading as an empty
 //! result.
+//!
+//! ## Half-open circuits
+//!
+//! With a cool-down configured ([`qrs_types::CircuitPolicy::cooldown`]), a
+//! tripped source is not gone for good: once the cool-down elapses on its
+//! service's injectable clock, the merge admits exactly **one probe pull**.
+//! Success closes the circuit — the source rejoins the merge mid-stream,
+//! its cursor resuming exactly where the failures struck (queries already
+//! paid for are never re-paid). Failure re-trips the circuit and restarts
+//! the cool-down, so a permanently dead backend costs one probe per window
+//! instead of one failed pull per merge step.
+//!
+//! ## Parallel fan-out
+//!
+//! With an executor attached ([`FederatedSession::with_executor`]), the
+//! merge fans its per-source pulls — the initial priming of every head,
+//! and due half-open probes — across the pool instead of visiting sources
+//! one by one. Merge *semantics* are untouched: results are committed in
+//! source order after the fan-out joins, each source still sees exactly
+//! the same sequence of pulls it would serially (its own session/circuit
+//! state advances under its own service's locks), and the winner-refill
+//! step stays single-source. Against slow (network-latency) backends the
+//! fan-out overlaps the waits — see the `scaling` experiment in
+//! `qrs-bench`.
+//!
+//! Per-source *retry policies* are configured up front via
+//! [`FederatedSession::builder`]: a fast dealer can afford aggressive
+//! retries while a slow one fails over to the circuit quickly.
 
 use crate::service::{Algorithm, RerankService};
-use crate::session::{RankedTuple, Session};
+use crate::session::{RankedTuple, Session, SessionStats};
+use qrs_exec::Executor;
 use qrs_ranking::RankFn;
-use qrs_types::{Query, RerankError};
+use qrs_types::{CircuitPolicy, Query, RerankError, RetryPolicy};
 use std::sync::Arc;
 
 /// A hit from a federated stream: which source produced it, plus the tuple.
@@ -48,8 +78,14 @@ pub struct SourceReport {
     pub source: usize,
     /// Failures since the last successful pull from this source.
     pub consecutive_failures: u32,
-    /// The circuit is open: the source has been dropped from the merge.
+    /// The circuit is open: the source has been dropped from the merge
+    /// (until a cool-down admits a probe, if one is configured).
     pub tripped: bool,
+    /// Times this source's circuit has tripped over the session's lifetime
+    /// (re-trips after failed half-open probes included).
+    pub trips: u64,
+    /// Half-open probe pulls admitted after cool-downs.
+    pub probes_admitted: u64,
     /// The most recent error this source produced, if any.
     pub last_error: Option<RerankError>,
 }
@@ -59,6 +95,160 @@ struct SourceHealth {
     consecutive_failures: u32,
     tripped: bool,
     last_error: Option<RerankError>,
+    /// The source's service-clock reading at the moment of the last trip
+    /// (drives the half-open cool-down).
+    tripped_at_ms: Option<u64>,
+    trips: u64,
+    probes_admitted: u64,
+}
+
+/// Pull the next tuple from one source, tracking its circuit state.
+///
+/// A free function over *disjoint* per-source state so the parallel
+/// fan-out can run one call per source concurrently — each source's
+/// session and health advance independently, exactly as they would
+/// serially.
+///
+/// Returns `Ok(None)` when the source is exhausted *or* its circuit is
+/// open (and no probe is due). Without a circuit policy, errors propagate
+/// untouched (the legacy resume-exactly contract). With one, retryable
+/// failures below the threshold strike and re-pull immediately — the
+/// source's own session retry policy has already slept through backoff —
+/// and the loop is bounded by the threshold, so it can never hang. An
+/// error that an immediate re-pull can never heal
+/// (`!RerankError::is_retryable()`: capability mismatches, budget
+/// exhaustion, a session that already burned its whole retry policy)
+/// trips the circuit on the first strike instead of wasting the
+/// threshold on deterministic failures.
+///
+/// A tripped source whose cool-down has elapsed (on its own service's
+/// clock) admits exactly one probe pull: success closes the circuit and
+/// returns the tuple, failure re-trips and restarts the cool-down.
+fn pull_source(
+    sess: &mut Session<'_>,
+    h: &mut SourceHealth,
+    circuit: Option<CircuitPolicy>,
+) -> Result<Option<RankedTuple>, RerankError> {
+    loop {
+        if h.tripped {
+            let probe_due = match (circuit.and_then(|c| c.cooldown_ms), h.tripped_at_ms) {
+                (Some(cd), Some(at)) => sess.svc().clock().now_ms() >= at.saturating_add(cd),
+                _ => false,
+            };
+            if !probe_due {
+                return Ok(None);
+            }
+            h.probes_admitted += 1;
+            match sess.next() {
+                Ok(t) => {
+                    h.tripped = false;
+                    h.tripped_at_ms = None;
+                    h.consecutive_failures = 0;
+                    return Ok(t);
+                }
+                Err(e) => {
+                    h.consecutive_failures += 1;
+                    h.last_error = Some(e);
+                    h.trips += 1;
+                    h.tripped_at_ms = Some(sess.svc().clock().now_ms());
+                    return Ok(None);
+                }
+            }
+        }
+        match sess.next() {
+            Ok(t) => {
+                h.consecutive_failures = 0;
+                return Ok(t);
+            }
+            Err(e) => {
+                let terminal = !e.is_retryable();
+                h.consecutive_failures += 1;
+                h.last_error = Some(e.clone());
+                match circuit {
+                    None => return Err(e),
+                    Some(c) => {
+                        if terminal || h.consecutive_failures >= c.failure_threshold {
+                            h.tripped = true;
+                            h.trips += 1;
+                            h.tripped_at_ms = Some(sess.svc().clock().now_ms());
+                            return Ok(None);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Configures per-source overrides before opening a [`FederatedSession`].
+/// Obtained from [`FederatedSession::builder`].
+#[must_use = "a federation builder does nothing until .open() is called"]
+pub struct FederationBuilder<'a> {
+    services: &'a [&'a RerankService],
+    sel: Query,
+    rank: Arc<dyn RankFn>,
+    algo: Algorithm,
+    source_retries: Vec<(usize, RetryPolicy)>,
+}
+
+impl<'a> FederationBuilder<'a> {
+    /// Override the retry policy for source `source` (an index into the
+    /// services slice). Sources without an override keep their service's
+    /// default — fast dealers can retry harder than slow ones. Repeated
+    /// overrides for the same source: the last one wins. An out-of-range
+    /// index is rejected at [`FederationBuilder::open`].
+    pub fn source_retry(mut self, source: usize, policy: RetryPolicy) -> Self {
+        self.source_retries.push((source, policy));
+        self
+    }
+
+    /// Preflight every source and open the federation. Fails fast if any
+    /// source refuses the request — a federation with a silently missing
+    /// source would return wrong global ranks — or if a
+    /// [`FederationBuilder::source_retry`] override targets a source that
+    /// does not exist (a typoed index must not silently fail fast where
+    /// the caller configured retries).
+    pub fn open(self) -> Result<FederatedSession<'a>, RerankError> {
+        if let Some((i, _)) = self
+            .source_retries
+            .iter()
+            .find(|(i, _)| *i >= self.services.len())
+        {
+            return Err(RerankError::invalid_algorithm(format!(
+                "per-source retry override targets source {i}, but the \
+                 federation has only {} sources",
+                self.services.len()
+            )));
+        }
+        let sessions: Vec<Session<'a>> = self
+            .services
+            .iter()
+            .enumerate()
+            .map(|(i, svc)| {
+                let mut b = svc
+                    .session(self.sel.clone(), Arc::clone(&self.rank))
+                    .algorithm(self.algo);
+                // .rev(): the LAST override for an index wins, as builder
+                // conventions promise.
+                if let Some((_, p)) = self.source_retries.iter().rev().find(|(j, _)| *j == i) {
+                    b = b.retry(p.clone());
+                }
+                b.open()
+            })
+            .collect::<Result<_, _>>()?;
+        let heads = (0..sessions.len()).map(|_| None).collect();
+        let primed = vec![false; sessions.len()];
+        let health = vec![SourceHealth::default(); sessions.len()];
+        Ok(FederatedSession {
+            sessions,
+            heads,
+            primed,
+            emitted: 0,
+            circuit: None,
+            health,
+            executor: None,
+        })
+    }
 }
 
 /// One user query + ranking function over several services, merged exactly.
@@ -71,42 +261,42 @@ pub struct FederatedSession<'a> {
     /// skips tuples of) sources already primed.
     primed: Vec<bool>,
     emitted: usize,
-    /// Consecutive failures after which a source's circuit trips and the
-    /// merge degrades around it. `None` (default) propagates every error.
-    failure_threshold: Option<u32>,
+    /// Circuit-breaker policy. `None` (default) propagates every error.
+    circuit: Option<CircuitPolicy>,
     health: Vec<SourceHealth>,
+    /// Fan per-source pulls (priming, due probes) across this executor.
+    /// `None` (default) pulls serially.
+    executor: Option<Arc<Executor>>,
 }
 
 impl<'a> FederatedSession<'a> {
     /// Open one session per service with the same selection and ranking
     /// function. Fails fast if any source refuses the request (capability
-    /// or algorithm preflight) — a federation with a silently missing
-    /// source would return wrong global ranks.
+    /// or algorithm preflight). Use [`FederatedSession::builder`] for
+    /// per-source retry overrides.
     pub fn open(
         services: &'a [&'a RerankService],
         sel: Query,
         rank: Arc<dyn RankFn>,
         algo: Algorithm,
     ) -> Result<Self, RerankError> {
-        let sessions: Vec<Session<'a>> = services
-            .iter()
-            .map(|svc| {
-                svc.session(sel.clone(), Arc::clone(&rank))
-                    .algorithm(algo)
-                    .open()
-            })
-            .collect::<Result<_, _>>()?;
-        let heads = (0..sessions.len()).map(|_| None).collect();
-        let primed = vec![false; sessions.len()];
-        let health = vec![SourceHealth::default(); sessions.len()];
-        Ok(FederatedSession {
-            sessions,
-            heads,
-            primed,
-            emitted: 0,
-            failure_threshold: None,
-            health,
-        })
+        Self::builder(services, sel, rank, algo).open()
+    }
+
+    /// A builder for federations needing per-source configuration.
+    pub fn builder(
+        services: &'a [&'a RerankService],
+        sel: Query,
+        rank: Arc<dyn RankFn>,
+        algo: Algorithm,
+    ) -> FederationBuilder<'a> {
+        FederationBuilder {
+            services,
+            sel,
+            rank,
+            algo,
+            source_retries: Vec::new(),
+        }
     }
 
     /// Degrade instead of dying: a source whose pulls fail `threshold`
@@ -114,61 +304,137 @@ impl<'a> FederatedSession<'a> {
     /// circuit and leaves the merge; the remaining sources' exact merged
     /// stream continues and [`FederatedSession::report`] carries the typed
     /// per-source post-mortem. `threshold` is clamped to at least 1.
-    pub fn with_failure_threshold(mut self, threshold: u32) -> Self {
-        self.failure_threshold = Some(threshold.max(1));
+    /// Adjusts only the trip threshold: a cool-down already configured via
+    /// [`FederatedSession::with_circuit`] is kept (and absent one, sources
+    /// never probe). Use `with_circuit` directly for full control.
+    pub fn with_failure_threshold(self, threshold: u32) -> Self {
+        let cooldown = self.circuit.and_then(|c| c.cooldown_ms);
+        let mut policy = CircuitPolicy::trip_after(threshold);
+        policy.cooldown_ms = cooldown;
+        self.with_circuit(policy)
+    }
+
+    /// Full circuit-breaker control, including the half-open cool-down
+    /// ([`CircuitPolicy::cooldown`]): a tripped source admits one probe
+    /// pull per elapsed cool-down window and rejoins the merge on success.
+    pub fn with_circuit(mut self, policy: CircuitPolicy) -> Self {
+        self.circuit = Some(policy);
         self
     }
 
-    /// Pull the next tuple from source `i`, tracking circuit state.
-    ///
-    /// Returns `Ok(None)` when the source is exhausted *or* its circuit is
-    /// open. Without a threshold configured, errors propagate untouched
-    /// (the legacy resume-exactly contract). With one, retryable failures
-    /// below the threshold strike and re-pull immediately — the source's
-    /// own session retry policy has already slept through backoff — and
-    /// the loop is bounded by the threshold, so it can never hang. An
-    /// error that an immediate re-pull can never heal
-    /// (`!RerankError::is_retryable()`: capability mismatches, budget
-    /// exhaustion, a session that already burned its whole retry policy)
-    /// trips the circuit on the first strike instead of wasting the
-    /// threshold on deterministic failures.
+    /// Fan per-source pulls (head priming, due half-open probes) across
+    /// `executor` instead of visiting sources serially. Results are
+    /// committed in source order after the fan-out joins, so the merged
+    /// stream is exactly the serial one.
+    pub fn with_executor(mut self, executor: Arc<Executor>) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// Pull the next tuple from source `i` (serial path).
     fn pull(&mut self, i: usize) -> Result<Option<RankedTuple>, RerankError> {
-        loop {
-            if self.health[i].tripped {
-                return Ok(None);
+        pull_source(&mut self.sessions[i], &mut self.health[i], self.circuit)
+    }
+
+    /// Whether source `i` needs a pull before the next merge step: never
+    /// primed, or tripped with its head empty and a half-open probe *due*
+    /// on its service clock. Tripped sources that can never rejoin (no
+    /// cool-down) or are still cooling must not defeat the steady-state
+    /// fast path — one clock read here is far cheaper than a fan-out task
+    /// per merge step. (`pull_source` re-checks the clock; this test only
+    /// gates whether a pull is attempted at all.)
+    fn needs_pull(&self, i: usize) -> bool {
+        if !self.primed[i] {
+            return true;
+        }
+        if self.heads[i].is_some() || !self.health[i].tripped {
+            return false;
+        }
+        match (
+            self.circuit.and_then(|c| c.cooldown_ms),
+            self.health[i].tripped_at_ms,
+        ) {
+            (Some(cd), Some(at)) => {
+                self.sessions[i].svc().clock().now_ms() >= at.saturating_add(cd)
             }
-            match self.sessions[i].next() {
-                Ok(t) => {
-                    self.health[i].consecutive_failures = 0;
-                    return Ok(t);
-                }
-                Err(e) => {
-                    let terminal = !e.is_retryable();
-                    let h = &mut self.health[i];
-                    h.consecutive_failures += 1;
-                    h.last_error = Some(e.clone());
-                    match self.failure_threshold {
-                        None => return Err(e),
-                        Some(t) => {
-                            if terminal || h.consecutive_failures >= t {
-                                h.tripped = true;
-                                return Ok(None);
-                            }
-                        }
-                    }
-                }
-            }
+            _ => false,
         }
     }
 
-    fn prime(&mut self) -> Result<(), RerankError> {
-        for i in 0..self.sessions.len() {
-            if !self.primed[i] {
-                self.heads[i] = self.pull(i)?;
-                self.primed[i] = true;
+    /// Fill every head that needs filling — the initial prime and any due
+    /// half-open probes — serially or fanned across the executor.
+    ///
+    /// Both paths commit results in source order and leave successfully
+    /// pulled heads in place even when another source errors, so no paid
+    /// tuple is ever dropped and a retry after a transient failure
+    /// resumes exactly. (The parallel path may have advanced sources the
+    /// serial path would not have reached before erroring — each source's
+    /// own pull sequence is unchanged either way, and those heads are
+    /// buffered, not lost.)
+    fn fill_heads(&mut self) -> Result<(), RerankError> {
+        let n = self.sessions.len();
+        // Steady state — every head primed, nothing probe-due — is one
+        // allocation-free scan per merge step; the `need` vector is only
+        // materialized (and each source only tested once) when some source
+        // actually wants a pull.
+        let mut need: Option<Vec<bool>> = None;
+        for i in 0..n {
+            if self.needs_pull(i) {
+                need.get_or_insert_with(|| vec![false; n])[i] = true;
             }
         }
-        Ok(())
+        let Some(need) = need else {
+            return Ok(());
+        };
+        let fanout = need.iter().filter(|&&b| b).count() > 1;
+        match self.executor.clone() {
+            Some(exec) if fanout => {
+                let circuit = self.circuit;
+                let pulls: Vec<Option<Result<Option<RankedTuple>, RerankError>>> = {
+                    let sessions = &mut self.sessions;
+                    let health = &mut self.health;
+                    exec.scope(|s| {
+                        let handles: Vec<_> = sessions
+                            .iter_mut()
+                            .zip(health.iter_mut())
+                            .zip(&need)
+                            .map(|((sess, h), &go)| {
+                                go.then(|| s.spawn(move || pull_source(sess, h, circuit)))
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|o| o.map(qrs_exec::TaskHandle::join))
+                            .collect()
+                    })
+                };
+                let mut first_err = None;
+                for (i, pull) in pulls.into_iter().enumerate() {
+                    match pull {
+                        None => {}
+                        Some(Ok(head)) => {
+                            self.heads[i] = head;
+                            self.primed[i] = true;
+                        }
+                        Some(Err(e)) if first_err.is_none() => first_err = Some(e),
+                        Some(Err(_)) => {}
+                    }
+                }
+                match first_err {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            }
+            _ => {
+                for (i, &go) in need.iter().enumerate() {
+                    if go {
+                        self.heads[i] = self.pull(i)?;
+                        self.primed[i] = true;
+                    }
+                }
+                Ok(())
+            }
+        }
     }
 
     /// The globally next-best tuple across all sources.
@@ -185,10 +451,12 @@ impl<'a> FederatedSession<'a> {
     /// method keeps returning the remaining sources' exact merged stream.
     /// The one exception is total failure — *every* source tripped: that
     /// surfaces the last recorded error instead of `Ok(None)`, so a dead
-    /// federation is never mistaken for a legitimately empty result.
+    /// federation is never mistaken for a legitimately empty result (a
+    /// tripped source may still recover through a half-open probe once its
+    /// cool-down elapses, after which this method resumes returning hits).
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<FederatedHit>, RerankError> {
-        self.prime()?;
+        self.fill_heads()?;
         let best = self
             .heads
             .iter()
@@ -244,7 +512,7 @@ impl<'a> FederatedSession<'a> {
     }
 
     /// Typed per-source health report: circuit state, consecutive-failure
-    /// count, and the last error each source produced.
+    /// count, trip/probe tallies, and the last error each source produced.
     pub fn report(&self) -> Vec<SourceReport> {
         self.health
             .iter()
@@ -253,9 +521,20 @@ impl<'a> FederatedSession<'a> {
                 source,
                 consecutive_failures: h.consecutive_failures,
                 tripped: h.tripped,
+                trips: h.trips,
+                probes_admitted: h.probes_admitted,
                 last_error: h.last_error.clone(),
             })
             .collect()
+    }
+
+    /// Per-source session accounting (emitted, queries/attempts/retries
+    /// spent), aligned with the sources passed to
+    /// [`FederatedSession::open`]. Summing `queries_spent` across sources
+    /// reconciles the federation against each backend's ledger — the
+    /// consistency the parallel-vs-serial equivalence tests assert.
+    pub fn session_stats(&self) -> Vec<SessionStats> {
+        self.sessions.iter().map(Session::stats).collect()
     }
 
     /// Indices of sources whose circuit has tripped (dropped from the merge).
@@ -265,6 +544,18 @@ impl<'a> FederatedSession<'a> {
             .enumerate()
             .filter_map(|(i, h)| h.tripped.then_some(i))
             .collect()
+    }
+}
+
+impl std::fmt::Debug for FederatedSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FederatedSession")
+            .field("sources", &self.sessions.len())
+            .field("emitted", &self.emitted)
+            .field("circuit", &self.circuit)
+            .field("tripped", &self.tripped_sources())
+            .field("parallel", &self.executor.is_some())
+            .finish()
     }
 }
 
@@ -571,6 +862,232 @@ mod tests {
         assert_eq!(report[0].consecutive_failures, 0, "success must reset");
         assert!(report[0].last_error.is_some(), "the strike was recorded");
         assert!(got.iter().any(|f| f.source == 0));
+    }
+
+    #[test]
+    fn half_open_circuit_readmits_a_recovered_source() {
+        use qrs_server::{Clock, FaultyServer, MockClock, SearchInterface};
+        // Source 1's backend is down for its first 3 calls, then healthy.
+        // With threshold 2 it trips on the first two; after a cool-down a
+        // probe hits the storm tail and re-trips; after a second cool-down
+        // the probe lands on a healthy backend and the source rejoins.
+        let (a, data_a) = svc(71, 40);
+        let clock = Arc::new(MockClock::new());
+        let inner = Arc::new(SimServer::new(
+            uniform(30, 2, 1, 72),
+            SystemRank::pseudo_random(72),
+            5,
+        ));
+        let flaky = Arc::new(
+            FaultyServer::new(inner as Arc<dyn SearchInterface>).with_storm(
+                0,
+                3,
+                qrs_server::Fault::Outage,
+            ),
+        );
+        let data_b = uniform(30, 2, 1, 72);
+        let flaky_svc = RerankService::new(flaky as Arc<dyn SearchInterface>, 30)
+            .with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        let services = [&a, &flaky_svc];
+        let mut fed = FederatedSession::open(&services, Query::all(), rank(), Algorithm::Auto)
+            .unwrap()
+            .with_circuit(qrs_types::CircuitPolicy::trip_after(2).cooldown(1_000));
+        // Priming trips source 1 (2 consecutive outages, fail-fast retries).
+        let (first, err) = fed.top(5);
+        assert!(err.is_none(), "{err:?}");
+        assert_eq!(first.len(), 5);
+        assert!(first.iter().all(|f| f.source == 0), "source 1 must be out");
+        assert!(fed.report()[1].tripped);
+        assert_eq!(fed.report()[1].trips, 1);
+        // Cool-down passes; the next merge step admits ONE probe. The
+        // storm has 1 fault left, so the first probe fails and re-trips…
+        clock.advance(1_000);
+        let (more, err) = fed.top(3);
+        assert!(err.is_none(), "{err:?}");
+        assert_eq!(more.len(), 3);
+        let r1 = fed.report()[1].clone();
+        assert!(r1.tripped, "probe hit the storm tail: must re-trip");
+        assert_eq!(r1.probes_admitted, 1);
+        assert_eq!(r1.trips, 2);
+        // …and only after another full cool-down does the next probe land
+        // on a healthy backend and close the circuit for good.
+        clock.advance(1_000);
+        let (rest, err) = fed.top(1_000);
+        assert!(err.is_none(), "{err:?}");
+        let r1 = fed.report()[1].clone();
+        assert!(!r1.tripped, "recovered source must close its circuit");
+        assert_eq!(r1.probes_admitted, 2);
+        assert_eq!(r1.consecutive_failures, 0);
+        assert!(
+            rest.iter().any(|f| f.source == 1),
+            "the recovered source must contribute tuples again"
+        );
+        // Everything emitted after recovery is still exactly merged: the
+        // full stream is the sorted union minus what source 0 emitted
+        // while source 1 was out (those went out in source-0 order, which
+        // is globally sorted for source 0 alone).
+        let all: Vec<f64> = first
+            .iter()
+            .chain(more.iter())
+            .chain(rest.iter())
+            .map(|f| f.hit.score)
+            .collect();
+        let r = rank();
+        let mut want: Vec<f64> = data_a
+            .tuples()
+            .iter()
+            .chain(data_b.tuples().iter())
+            .map(|t| r.score(t))
+            .collect();
+        want.sort_by(|x, y| cmp_f64(*x, *y));
+        let mut got_sorted = all.clone();
+        got_sorted.sort_by(|x, y| cmp_f64(*x, *y));
+        assert_eq!(got_sorted, want, "no tuple lost or duplicated end to end");
+    }
+
+    #[test]
+    fn tripped_source_without_cooldown_never_probes() {
+        use qrs_server::{FaultyServer, SearchInterface};
+        let (a, _) = svc(81, 60);
+        let dead_inner = Arc::new(SimServer::new(
+            uniform(40, 2, 1, 82),
+            SystemRank::pseudo_random(82),
+            5,
+        ));
+        let dead = Arc::new(
+            FaultyServer::new(dead_inner as Arc<dyn SearchInterface>).with_permanent_outage_from(0),
+        );
+        let dead_svc = RerankService::new(dead as Arc<dyn SearchInterface>, 40);
+        let services = [&a, &dead_svc];
+        let mut fed = FederatedSession::open(&services, Query::all(), rank(), Algorithm::Auto)
+            .unwrap()
+            .with_failure_threshold(2);
+        let (got, err) = fed.top(30);
+        assert!(err.is_none(), "{err:?}");
+        assert_eq!(got.len(), 30);
+        let r1 = fed.report()[1].clone();
+        assert!(r1.tripped);
+        assert_eq!(r1.probes_admitted, 0, "no cool-down ⇒ no probes, ever");
+        assert_eq!(r1.trips, 1);
+    }
+
+    #[test]
+    fn per_source_retry_policy_overrides_apply_per_source() {
+        use qrs_server::{Clock, Fault, FaultyServer, MockClock, SearchInterface};
+        use qrs_types::RetryPolicy;
+        // Source 0's backend drops two pages in transit mid-stream; its
+        // override policy absorbs them. Source 1 keeps the service default
+        // (fail fast) and never spends a retry.
+        let clock = Arc::new(MockClock::new());
+        let inner = Arc::new(SimServer::new(
+            uniform(60, 2, 1, 91),
+            SystemRank::pseudo_random(91),
+            5,
+        ));
+        let flaky = Arc::new(
+            FaultyServer::new(Arc::clone(&inner) as Arc<dyn SearchInterface>)
+                .with_fault_at(2, Fault::Outage)
+                .with_fault_at(3, Fault::Outage),
+        );
+        let flaky_svc = RerankService::new(flaky as Arc<dyn SearchInterface>, 60)
+            .with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        let (steady, _) = svc(92, 40);
+        let services = [&flaky_svc, &steady];
+        let mut fed = FederatedSession::builder(&services, Query::all(), rank(), Algorithm::Auto)
+            .source_retry(0, RetryPolicy::none().attempts(5).backoff(10, 1_000))
+            .open()
+            .unwrap();
+        let (got, err) = fed.top(40);
+        assert!(err.is_none(), "the override must absorb the storm: {err:?}");
+        assert_eq!(got.len(), 40);
+        let stats = fed.session_stats();
+        assert!(
+            stats[0].retries_spent >= 1,
+            "source 0 had to retry: {stats:?}"
+        );
+        assert_eq!(stats[1].retries_spent, 0, "source 1 stays fail-fast");
+        assert!(
+            !clock.sleeps().is_empty(),
+            "backoff slept on the mock clock"
+        );
+    }
+
+    #[test]
+    fn source_retry_rejects_out_of_range_indices_at_open() {
+        let (a, _) = svc(95, 40);
+        let services = [&a];
+        let err = FederatedSession::builder(&services, Query::all(), rank(), Algorithm::Auto)
+            .source_retry(1, qrs_types::RetryPolicy::standard())
+            .open()
+            .unwrap_err();
+        assert!(
+            matches!(err, RerankError::InvalidAlgorithm { ref reason }
+                if reason.contains("source 1") && reason.contains("1 sources")),
+            "typoed index must be refused, got: {err}"
+        );
+    }
+
+    #[test]
+    fn later_source_retry_overrides_win() {
+        use qrs_server::{Clock, Fault, FaultyServer, MockClock, SearchInterface};
+        use qrs_types::RetryPolicy;
+        // First override says fail fast; the later one absorbs the storm.
+        // The merge only completes if the LAST override is in force.
+        let clock = Arc::new(MockClock::new());
+        let inner = Arc::new(SimServer::new(
+            uniform(50, 2, 1, 96),
+            SystemRank::pseudo_random(96),
+            5,
+        ));
+        let flaky = Arc::new(
+            FaultyServer::new(Arc::clone(&inner) as Arc<dyn SearchInterface>)
+                .with_fault_at(2, Fault::Outage)
+                .with_fault_at(3, Fault::Outage),
+        );
+        let flaky_svc = RerankService::new(flaky as Arc<dyn SearchInterface>, 50)
+            .with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        let services = [&flaky_svc];
+        let mut fed = FederatedSession::builder(&services, Query::all(), rank(), Algorithm::Auto)
+            .source_retry(0, RetryPolicy::none())
+            .source_retry(0, RetryPolicy::none().attempts(5).backoff(10, 1_000))
+            .open()
+            .unwrap();
+        let (got, err) = fed.top(50);
+        assert!(err.is_none(), "the later override must be applied: {err:?}");
+        assert_eq!(got.len(), 50);
+        assert!(fed.session_stats()[0].retries_spent >= 1);
+    }
+
+    #[test]
+    fn parallel_fan_out_matches_the_serial_merge_exactly() {
+        use qrs_exec::Executor;
+        // Same seeds, two stacks: serial vs pooled fan-out must produce
+        // byte-identical streams and identical per-source ledgers.
+        let run = |executor: Option<Arc<Executor>>| {
+            let (a, _) = svc(101, 90);
+            let (b, _) = svc(102, 70);
+            let (c, _) = svc(103, 50);
+            let services = [&a, &b, &c];
+            let mut fed =
+                FederatedSession::open(&services, Query::all(), rank(), Algorithm::Auto).unwrap();
+            if let Some(e) = executor {
+                fed = fed.with_executor(e);
+            }
+            let (got, err) = fed.top(60);
+            assert!(err.is_none(), "{err:?}");
+            let stream: Vec<(usize, usize, u32)> = got
+                .iter()
+                .map(|f| (f.source, f.hit.rank, f.hit.tuple.id.0))
+                .collect();
+            (stream, fed.session_stats())
+        };
+        let (serial_stream, serial_stats) = run(None);
+        let (pool_stream, pool_stats) = run(Some(Arc::new(Executor::pool(4))));
+        let (imm_stream, imm_stats) = run(Some(Arc::new(Executor::immediate(7))));
+        assert_eq!(serial_stream, pool_stream);
+        assert_eq!(serial_stats, pool_stats);
+        assert_eq!(serial_stream, imm_stream);
+        assert_eq!(serial_stats, imm_stats);
     }
 
     #[test]

@@ -24,9 +24,17 @@
 //! * [`federation`] — one preference over *multiple* hidden databases with
 //!   exact score-merged results: the paper's "personalized ranking across
 //!   multiple web databases" application, end to end — with per-source
-//!   circuit-breaker health so one failing dealer degrades the merge
-//!   (typed [`SourceReport`]s) instead of killing it.
+//!   circuit-breaker health (half-open probes after a cool-down on the
+//!   injectable clock, per-source retry policies) so one failing dealer
+//!   degrades the merge (typed [`SourceReport`]s) instead of killing it,
+//!   and optional parallel fan-out of source pulls over a
+//!   [`qrs_exec::Executor`],
+//! * [`batch`] — the concurrent front-end: [`RerankService::serve_batch`]
+//!   runs many sessions in parallel on a `qrs-exec` pool against the
+//!   shared knowledge and budgets, with cooperative cancellation and
+//!   exact per-request accounting.
 
+pub mod batch;
 pub mod budget;
 pub mod federation;
 pub mod profiles;
@@ -35,8 +43,9 @@ pub mod service;
 pub mod session;
 pub mod stats;
 
+pub use batch::{drive, BatchOutcome, BatchRequest};
 pub use budget::QueryBudget;
-pub use federation::{FederatedHit, FederatedSession, SourceReport};
+pub use federation::{FederatedHit, FederatedSession, FederationBuilder, SourceReport};
 pub use profiles::ProfileStore;
 pub use retry::RetryBudget;
 pub use service::{Algorithm, RerankService, SessionBuilder};

@@ -9,6 +9,9 @@ pub struct ServiceStats {
     sessions_started: AtomicU64,
     tuples_emitted: AtomicU64,
     retries_spent: AtomicU64,
+    batches_served: AtomicU64,
+    requests_served: AtomicU64,
+    requests_cancelled: AtomicU64,
 }
 
 /// Point-in-time snapshot.
@@ -19,6 +22,12 @@ pub struct StatsSnapshot {
     /// Retries spent across all sessions (the recovery effort the service
     /// has burned on transient server failures).
     pub retries_spent: u64,
+    /// Concurrent batches accepted by `serve_batch`.
+    pub batches_served: u64,
+    /// Individual batch requests taken off the pool (cancelled included).
+    pub requests_served: u64,
+    /// Batch requests that observed a cancellation token mid-flight.
+    pub requests_cancelled: u64,
 }
 
 impl ServiceStats {
@@ -34,11 +43,26 @@ impl ServiceStats {
         self.retries_spent.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn on_batch(&self) {
+        self.batches_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_request(&self) {
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_cancel(&self) {
+        self.requests_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             sessions_started: self.sessions_started.load(Ordering::Relaxed),
             tuples_emitted: self.tuples_emitted.load(Ordering::Relaxed),
             retries_spent: self.retries_spent.load(Ordering::Relaxed),
+            batches_served: self.batches_served.load(Ordering::Relaxed),
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            requests_cancelled: self.requests_cancelled.load(Ordering::Relaxed),
         }
     }
 }
@@ -56,9 +80,16 @@ mod tests {
         s.on_retry();
         s.on_retry();
         s.on_retry();
+        s.on_batch();
+        s.on_request();
+        s.on_request();
+        s.on_cancel();
         let snap = s.snapshot();
         assert_eq!(snap.sessions_started, 1);
         assert_eq!(snap.tuples_emitted, 2);
         assert_eq!(snap.retries_spent, 3);
+        assert_eq!(snap.batches_served, 1);
+        assert_eq!(snap.requests_served, 2);
+        assert_eq!(snap.requests_cancelled, 1);
     }
 }

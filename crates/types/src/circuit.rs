@@ -1,0 +1,60 @@
+//! Circuit-breaker configuration for federated sources.
+//!
+//! The federation layer in `qrs-service` gives each source consecutive-
+//! failure circuit state: a source that keeps failing *trips* and leaves
+//! the merge. [`CircuitPolicy`] is the declarative half of that machinery
+//! — when to trip, and (optionally) when a tripped source deserves another
+//! chance:
+//!
+//! * **Closed** — healthy; failures increment a consecutive-failure count.
+//! * **Open (tripped)** — the source is skipped by the merge. Without a
+//!   cool-down it stays open forever (the legacy behavior).
+//! * **Half-open** — with [`CircuitPolicy::cooldown_ms`] set, once the
+//!   cool-down has elapsed on the service's injectable clock the source
+//!   admits exactly **one probe pull**: success closes the circuit (the
+//!   source rejoins the merge), failure re-trips it and restarts the
+//!   cool-down — a recovering backend rejoins on its own, a dead one costs
+//!   one query per cool-down window instead of one per merge step.
+
+/// When a federated source's circuit trips, and whether it may half-open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitPolicy {
+    /// Consecutive retryable failures after which the circuit opens.
+    /// Non-retryable failures (capability mismatches, exhausted budgets)
+    /// trip immediately regardless. Clamped to at least 1.
+    pub failure_threshold: u32,
+    /// Cool-down after which an open circuit admits one probe pull, on the
+    /// owning service's clock. `None` = never probe (trip forever).
+    pub cooldown_ms: Option<u64>,
+}
+
+impl CircuitPolicy {
+    /// Trip after `failure_threshold` consecutive failures; never probe.
+    pub fn trip_after(failure_threshold: u32) -> Self {
+        CircuitPolicy {
+            failure_threshold: failure_threshold.max(1),
+            cooldown_ms: None,
+        }
+    }
+
+    /// Builder: admit one probe pull every `ms` milliseconds once tripped.
+    pub fn cooldown(mut self, ms: u64) -> Self {
+        self.cooldown_ms = Some(ms);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_clamps_and_composes() {
+        let p = CircuitPolicy::trip_after(0);
+        assert_eq!(p.failure_threshold, 1);
+        assert_eq!(p.cooldown_ms, None);
+        let p = CircuitPolicy::trip_after(3).cooldown(5_000);
+        assert_eq!(p.failure_threshold, 3);
+        assert_eq!(p.cooldown_ms, Some(5_000));
+    }
+}

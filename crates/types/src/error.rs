@@ -191,6 +191,10 @@ pub enum RerankError {
         limit: u64,
         last: Box<RerankError>,
     },
+    /// The caller cancelled the request (via a cancellation token) before
+    /// it completed. Partial results fetched before the cancellation are
+    /// preserved by batch drivers, mirroring the budget-trip contract.
+    Cancelled,
 }
 
 impl RerankError {
@@ -209,6 +213,9 @@ impl RerankError {
             RerankError::Server(e) => e.is_transient(),
             RerankError::RetriesExhausted { last, .. }
             | RerankError::RetryBudgetExhausted { last, .. } => last.is_transient(),
+            // Re-issuing a cancelled request can succeed, but only the
+            // caller who cancelled it can decide to — not a retry loop.
+            RerankError::Cancelled => true,
             RerankError::UnsupportedCapability(_) | RerankError::InvalidAlgorithm { .. } => false,
         }
     }
@@ -267,6 +274,7 @@ impl fmt::Display for RerankError {
                      recovering from: {last}"
                 )
             }
+            RerankError::Cancelled => write!(f, "request cancelled by the caller"),
         }
     }
 }
@@ -361,6 +369,18 @@ mod tests {
         let e = RerankError::Server(ServerError::invalid_query("bad range"));
         assert!(!e.is_transient());
         assert!(!e.is_retryable());
+    }
+
+    #[test]
+    fn cancelled_is_caller_recoverable_but_never_auto_retried() {
+        let e = RerankError::Cancelled;
+        assert!(e.is_transient(), "the caller may re-issue");
+        assert!(
+            !e.is_retryable(),
+            "the retry loop must not override a cancel"
+        );
+        assert_eq!(e.retry_after_hint(), None);
+        assert!(e.to_string().contains("cancelled"));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! Everything downstream (`qrs-server`, `qrs-core`, …) is written against
 //! these types.
 
+pub mod circuit;
 pub mod dataset;
 pub mod direction;
 pub mod error;
@@ -36,6 +37,7 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
+pub use circuit::CircuitPolicy;
 pub use dataset::Dataset;
 pub use direction::Direction;
 pub use error::{Capability, RerankError, ServerError, TypeError};

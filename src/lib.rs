@@ -9,12 +9,17 @@
 //! * [`server`] — the simulated hidden-database top-k search interface,
 //! * [`datagen`] — synthetic datasets and query workloads,
 //! * [`core`] — the reranking algorithms (1D/MD baseline, binary, RERANK),
-//! * [`service`] — the thread-safe "as a service" facade.
+//! * [`exec`] — dependency-free structured concurrency (scoped thread
+//!   pool, bounded MPMC channels, cancellation, deterministic immediate
+//!   mode),
+//! * [`service`] — the thread-safe "as a service" facade, with the
+//!   concurrent `serve_batch` front-end and parallel federation.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use qrs_core as core;
 pub use qrs_datagen as datagen;
+pub use qrs_exec as exec;
 pub use qrs_ranking as ranking;
 pub use qrs_server as server;
 pub use qrs_service as service;
