@@ -2,6 +2,7 @@
 //! series (and returns them for tests).
 
 pub mod ablation;
+pub mod capability_matrix;
 pub mod md;
 pub mod one_d;
 pub mod online;
@@ -10,11 +11,26 @@ pub mod thm1;
 
 use crate::Scale;
 
-/// All experiment ids, in paper order (plus the post-paper `scaling`
-/// experiment for the concurrent service layer).
-pub const ALL_IDS: [&str; 15] = [
-    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-    "fig17", "thm1", "ablation", "scaling",
+/// All experiment ids, in paper order (plus the post-paper `scaling` and
+/// `capability_matrix` experiments for the concurrent service layer and
+/// the capability-aware planner).
+pub const ALL_IDS: [&str; 16] = [
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "thm1",
+    "ablation",
+    "scaling",
+    "capability_matrix",
 ];
 
 /// Run one experiment by id; `false` if the id is unknown.
@@ -64,6 +80,9 @@ pub fn run(id: &str, scale: Scale) -> bool {
         }
         "scaling" => {
             scaling::run(scale);
+        }
+        "capability_matrix" => {
+            capability_matrix::run(scale);
         }
         _ => return false,
     }

@@ -1,4 +1,4 @@
-//! Region crawler — the [15]-style range-splitting enumerator.
+//! Region crawler — the \[15\]-style range-splitting enumerator.
 //!
 //! Fully enumerates `R(q)` through the top-k interface by recursively
 //! splitting overflowing queries on attribute values observed in their

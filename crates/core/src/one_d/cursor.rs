@@ -18,10 +18,11 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// How to treat equal attribute values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TiePolicy {
     /// Collect every tuple of a value slab before moving on (§5; exact on
-    /// any data).
+    /// any data). The default.
+    #[default]
     Exact,
     /// Assume the general positioning assumption (§2.1): one tuple per
     /// value. Cheaper; exact only when the attribute has no duplicates

@@ -3,12 +3,12 @@
 //! Seeded synthetic datasets and query workloads standing in for the paper's
 //! data sources (see DESIGN.md §3 for the substitution argument):
 //!
-//! * [`flights`] — the DOT on-time dataset (§6.1): 457,013 rows, 8 ranking
+//! * [`mod@flights`] — the DOT on-time dataset (§6.1): 457,013 rows, 8 ranking
 //!   attributes with the published domain sizes, heavy-tailed delays,
 //!   distance↔air-time correlation,
-//! * [`diamonds`] — Blue Nile (§6.1): 117,641 rows, published attribute
+//! * [`mod@diamonds`] — Blue Nile (§6.1): 117,641 rows, published attribute
 //!   domains, power-law price↔carat correlation,
-//! * [`autos`] — Yahoo! Autos (§6.1): 13,169 rows, anti-correlated
+//! * [`mod@autos`] — Yahoo! Autos (§6.1): 13,169 rows, anti-correlated
 //!   price↔mileage,
 //! * [`synthetic`] — uniform / clustered / correlated generators for
 //!   ablations (dense-region stress, Theorem-1-style skew),

@@ -9,7 +9,7 @@
 //! Disconnect semantics mirror the crossbeam/mpsc conventions:
 //!
 //! * all [`Sender`]s dropped ⇒ `recv` drains the buffer, then reports
-//!   [`RecvError::Disconnected`],
+//!   [`RecvError`],
 //! * all [`Receiver`]s dropped ⇒ `send` fails with [`SendError`] carrying
 //!   the rejected value back to the caller.
 

@@ -32,6 +32,7 @@ pub struct SystemClock {
 }
 
 impl SystemClock {
+    /// A wall clock whose epoch is the moment of construction.
     pub fn new() -> Self {
         SystemClock {
             start: Instant::now(),
@@ -65,6 +66,7 @@ pub struct MockClock {
 }
 
 impl MockClock {
+    /// A virtual clock starting at time zero with no recorded sleeps.
     pub fn new() -> Self {
         MockClock::default()
     }

@@ -38,7 +38,10 @@ use std::sync::Arc;
 pub enum Fault {
     /// Refuse with [`ServerError::RateLimited`]; the backend is not reached
     /// and the query is not charged.
-    RateLimit { retry_after_ms: Option<u64> },
+    RateLimit {
+        /// The `Retry-After` hint the refusal carries, if any.
+        retry_after_ms: Option<u64>,
+    },
     /// Refuse with [`ServerError::Unavailable`]; not charged.
     Outage,
     /// Forward the query — the backend answers and charges it — then drop

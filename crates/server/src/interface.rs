@@ -12,7 +12,9 @@
 //! [`Capabilities::require`] and get a typed [`ServerError::Unsupported`]
 //! (never a panic) when a server lacks the feature.
 
-use qrs_types::{AttrId, Capability, Direction, Query, QueryResponse, Schema, ServerError, Tuple};
+use qrs_types::{
+    AttrId, Capability, Direction, FilterSupport, Query, QueryResponse, Schema, ServerError, Tuple,
+};
 use std::sync::Arc;
 
 /// One page of an `ORDER BY` query (§5 extension; supported only by servers
@@ -26,20 +28,40 @@ pub struct OrderedPage {
     pub has_more: bool,
 }
 
-/// The optional features a search interface offers beyond one-shot top-k
-/// queries. Returned by [`SearchInterface::capabilities`]; the single source
-/// of truth for capability negotiation.
+/// The site model: what a search interface offers beyond one-shot top-k
+/// queries, and where it is *more* restricted than the paper's baseline.
+/// Returned by [`SearchInterface::capabilities`]; the single source of
+/// truth for capability negotiation and for the `qrs-service` planner.
+///
+/// The default ([`Capabilities::none`]) is the paper's §2.1 interface:
+/// no paging, no public `ORDER BY`, range predicates on every attribute,
+/// unlimited conjunct arity.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Capabilities {
     /// The interface supports page turns on the system ranking.
     pub paging: bool,
     /// Attributes the interface can publicly `ORDER BY` (§5).
     pub order_by: Vec<AttrId>,
+    /// Deepest result page served per query (`None` = unlimited, given
+    /// [`Capabilities::paging`]). Real sites commonly stop at a fixed
+    /// depth — "showing results 1–1000".
+    pub max_pages: Option<usize>,
+    /// Largest page size (the interface `k`) the site serves, when it
+    /// advertises one. Advisory: planners use it to bound how many tuples
+    /// paging can ever surface (`max_pages · max_page_size`).
+    pub max_page_size: Option<usize>,
+    /// Cap on the number of predicates one conjunctive query may carry
+    /// (`None` = unlimited). Flight sites typically allow only a few
+    /// simultaneous search criteria.
+    pub max_predicates: Option<usize>,
+    /// Per-attribute filter-support overrides, sparse: an attribute absent
+    /// here accepts full range predicates ([`FilterSupport::Range`]).
+    pub filters: Vec<(AttrId, FilterSupport)>,
 }
 
 impl Capabilities {
-    /// A bare top-k interface: no paging, no public `ORDER BY` — the
-    /// paper's baseline assumption and the trait default.
+    /// A bare top-k interface: no paging, no public `ORDER BY`, full range
+    /// filtering — the paper's baseline assumption and the trait default.
     pub fn none() -> Self {
         Capabilities::default()
     }
@@ -56,11 +78,51 @@ impl Capabilities {
         self
     }
 
+    /// Builder: cap paging at `pages` result pages per query.
+    pub fn with_max_pages(mut self, pages: usize) -> Self {
+        self.max_pages = Some(pages);
+        self
+    }
+
+    /// Builder: advertise the interface page size.
+    pub fn with_max_page_size(mut self, k: usize) -> Self {
+        self.max_page_size = Some(k);
+        self
+    }
+
+    /// Builder: cap conjunct arity at `n` predicates per query.
+    pub fn with_max_predicates(mut self, n: usize) -> Self {
+        self.max_predicates = Some(n);
+        self
+    }
+
+    /// Builder: restrict filter support on one attribute (replacing any
+    /// earlier override for the same attribute).
+    pub fn with_filter(mut self, attr: AttrId, support: FilterSupport) -> Self {
+        self.filters.retain(|(a, _)| *a != attr);
+        self.filters.push((attr, support));
+        self
+    }
+
+    /// Filter support advertised for `attr` ([`FilterSupport::Range`] when
+    /// no override is present).
+    pub fn filter_support(&self, attr: AttrId) -> FilterSupport {
+        self.filters
+            .iter()
+            .find(|(a, _)| *a == attr)
+            .map(|(_, s)| *s)
+            .unwrap_or_default()
+    }
+
     /// Does this interface offer `cap`?
     pub fn supports(&self, cap: Capability) -> bool {
         match cap {
             Capability::Paging => self.paging,
             Capability::OrderBy(a) => self.order_by.contains(&a),
+            Capability::RangeFilter(a) => self.filter_support(a).allows_range(),
+            Capability::PointFilter(a) => self.filter_support(a).allows_point(),
+            Capability::PredicateArity(n) => self.max_predicates.is_none_or(|cap| n <= cap),
+            Capability::PageDepth(p) => self.paging && self.max_pages.is_none_or(|cap| p <= cap),
         }
     }
 
@@ -165,6 +227,37 @@ mod tests {
                 .unwrap_err(),
             ServerError::Unsupported(Capability::OrderBy(AttrId(0)))
         );
+    }
+
+    #[test]
+    fn site_model_restrictions_negotiate() {
+        let caps = Capabilities::none()
+            .with_paging()
+            .with_max_pages(20)
+            .with_max_page_size(10)
+            .with_max_predicates(3)
+            .with_filter(AttrId(0), FilterSupport::Point)
+            .with_filter(AttrId(1), FilterSupport::None);
+        // Filter lattice: overridden attrs degrade, others stay Range.
+        assert!(caps.supports(Capability::PointFilter(AttrId(0))));
+        assert!(!caps.supports(Capability::RangeFilter(AttrId(0))));
+        assert!(!caps.supports(Capability::PointFilter(AttrId(1))));
+        assert!(caps.supports(Capability::RangeFilter(AttrId(2))));
+        // Arity cap.
+        assert!(caps.supports(Capability::PredicateArity(3)));
+        assert!(!caps.supports(Capability::PredicateArity(4)));
+        // Page depth requires paging AND a deep-enough cap.
+        assert!(caps.supports(Capability::PageDepth(20)));
+        assert!(!caps.supports(Capability::PageDepth(21)));
+        assert!(!Capabilities::none().supports(Capability::PageDepth(1)));
+        // Unlimited paging supports any depth.
+        assert!(Capabilities::none()
+            .with_paging()
+            .supports(Capability::PageDepth(1_000_000)));
+        // Re-overriding a filter replaces, not appends.
+        let caps = caps.with_filter(AttrId(0), FilterSupport::Range);
+        assert!(caps.supports(Capability::RangeFilter(AttrId(0))));
+        assert_eq!(caps.filters.iter().filter(|(a, _)| a.0 == 0).count(), 1);
     }
 
     #[test]

@@ -29,11 +29,14 @@
 //! [`adversary::AdversaryServer`] implements the query-answering mechanism
 //! from the proof of Theorem 1, so the `n/k` lower bound is executable.
 
+#![deny(missing_docs)]
+
 pub mod adversary;
 pub mod clock;
 pub mod faulty;
 pub mod interface;
 pub mod latency;
+pub mod profiles;
 pub mod sim;
 pub mod system_rank;
 
@@ -42,5 +45,6 @@ pub use clock::{Clock, MockClock, SystemClock};
 pub use faulty::{Fault, FaultyServer};
 pub use interface::{Capabilities, OrderedPage, SearchInterface};
 pub use latency::LatencyServer;
+pub use profiles::SiteProfile;
 pub use sim::SimServer;
 pub use system_rank::SystemRank;

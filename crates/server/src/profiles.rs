@@ -1,0 +1,218 @@
+//! Named restricted-site profiles — reproducible `SimServer` configurations
+//! modeled on the kinds of sites the paper rerank-fronts.
+//!
+//! The paper's evaluation runs against one idealized interface; real
+//! deployments meet a zoo of restrictions (PAPERS.md's hidden-database
+//! sampling line works against exactly these): classifieds whose search
+//! forms are dropdowns (point predicates only), flight sites capping the
+//! number of simultaneous search criteria, storefronts that page but stop
+//! at a fixed depth. A [`SiteProfile`] names one such shape and builds a
+//! [`SimServer`] enforcing it, so experiments (`qrs-bench`'s
+//! `capability_matrix`) and tests sweep the same catalog.
+//!
+//! The catalog ([`SiteProfile::catalog`]) is deliberately diverse: for each
+//! profile the `qrs-service` planner should either find a working algorithm
+//! or fail fast with `RerankError::Unplannable` naming what is missing.
+
+use crate::sim::SimServer;
+use crate::system_rank::SystemRank;
+use qrs_types::{Dataset, FilterSupport};
+
+/// A named, reproducible restricted-site shape.
+///
+/// Build one with a constructor ([`SiteProfile::open_site`],
+/// [`SiteProfile::classifieds`], …), then [`SiteProfile::build`] a
+/// [`SimServer`] over any dataset. The profile's restrictions apply to
+/// *every* ordinal attribute uniformly (per-attribute mixes are built
+/// directly via [`SimServer::with_filter_support`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteProfile {
+    /// Stable identifier, used as the experiment row label.
+    pub name: &'static str,
+    /// Interface page size `k`.
+    pub k: usize,
+    /// Whether the site serves page turns on the system ranking.
+    pub paging: bool,
+    /// Page-depth cap, given `paging` (`None` = unlimited).
+    pub max_pages: Option<usize>,
+    /// Conjunct arity cap per query (`None` = unlimited).
+    pub max_predicates: Option<usize>,
+    /// Filter support applied to every ordinal attribute.
+    pub filter: FilterSupport,
+    /// Whether the site publicly offers `ORDER BY` on every attribute.
+    pub order_by_all: bool,
+}
+
+impl SiteProfile {
+    /// The paper's idealized interface: range filters everywhere, paging,
+    /// no caps. Every algorithm plans here — the matrix baseline.
+    pub fn open_site(k: usize) -> Self {
+        SiteProfile {
+            name: "open_site",
+            k,
+            paging: true,
+            max_pages: None,
+            max_predicates: None,
+            filter: FilterSupport::Range,
+            order_by_all: false,
+        }
+    }
+
+    /// A dropdown-only classifieds site: every attribute accepts point
+    /// predicates only, but paging is unlimited — so the exact fallback is
+    /// paging the whole result down and reranking locally.
+    pub fn classifieds(k: usize) -> Self {
+        SiteProfile {
+            name: "classifieds",
+            k,
+            paging: true,
+            max_pages: None,
+            max_predicates: None,
+            filter: FilterSupport::Point,
+            order_by_all: false,
+        }
+    }
+
+    /// A flight-search site: full range filters but at most three search
+    /// criteria per query, and no page turns (each query answers once).
+    pub fn flight_site(k: usize) -> Self {
+        SiteProfile {
+            name: "flight_site",
+            k,
+            paging: false,
+            max_pages: None,
+            max_predicates: Some(3),
+            filter: FilterSupport::Range,
+            order_by_all: false,
+        }
+    }
+
+    /// A browse-only storefront: no attribute filters at all, public
+    /// `ORDER BY` on every column, paging capped at twenty pages — the
+    /// "showing results 1–N" wall.
+    pub fn storefront(k: usize) -> Self {
+        SiteProfile {
+            name: "storefront",
+            k,
+            paging: true,
+            max_pages: Some(20),
+            max_predicates: None,
+            filter: FilterSupport::None,
+            order_by_all: true,
+        }
+    }
+
+    /// The canonical sweep, in increasing order of restriction. Used by the
+    /// `capability_matrix` experiment and the planning test suite.
+    pub fn catalog(k: usize) -> Vec<SiteProfile> {
+        vec![
+            SiteProfile::open_site(k),
+            SiteProfile::flight_site(k),
+            SiteProfile::classifieds(k),
+            SiteProfile::storefront(k),
+        ]
+    }
+
+    /// Materialize the profile over `dataset` with the given proprietary
+    /// ranking: a [`SimServer`] that both *advertises* and *enforces* the
+    /// profile's restrictions.
+    pub fn build(&self, dataset: Dataset, system_rank: SystemRank) -> SimServer {
+        let order_by = if self.order_by_all {
+            dataset.schema().attr_ids().collect()
+        } else {
+            Vec::new()
+        };
+        let attrs: Vec<_> = dataset.schema().attr_ids().collect();
+        let mut server = SimServer::new(dataset, system_rank, self.k);
+        if self.paging {
+            server = server.with_paging();
+        }
+        if let Some(p) = self.max_pages {
+            server = server.with_max_pages(p);
+        }
+        if let Some(n) = self.max_predicates {
+            server = server.with_max_predicates(n);
+        }
+        if self.filter != FilterSupport::Range {
+            for a in attrs {
+                server = server.with_filter_support(a, self.filter);
+            }
+        }
+        server.with_order_by(order_by)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interface::SearchInterface;
+    use qrs_types::{
+        AttrId, Capability, Interval, OrdinalAttr, Query, Schema, ServerError, Tuple, TupleId,
+    };
+
+    fn dataset() -> Dataset {
+        let schema = Schema::new(
+            vec![
+                OrdinalAttr::new("x", 0.0, 9.0),
+                OrdinalAttr::new("y", 0.0, 9.0),
+            ],
+            vec![],
+        );
+        let tuples = (0..10)
+            .map(|i| Tuple::new(TupleId(i), vec![f64::from(i), f64::from(9 - i)], vec![]))
+            .collect();
+        Dataset::new(schema, tuples).unwrap()
+    }
+
+    #[test]
+    fn catalog_is_diverse_and_self_describing() {
+        let names: Vec<_> = SiteProfile::catalog(5).iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec!["open_site", "flight_site", "classifieds", "storefront"]
+        );
+    }
+
+    #[test]
+    fn built_servers_enforce_what_they_advertise() {
+        let range_q = Query::all().and_range(AttrId(0), Interval::open(1.0, 5.0));
+
+        let open = SiteProfile::open_site(5).build(dataset(), SystemRank::pseudo_random(1));
+        assert!(open.query(&range_q).is_ok());
+        assert!(open.capabilities().supports(Capability::PageDepth(10_000)));
+
+        let classifieds =
+            SiteProfile::classifieds(5).build(dataset(), SystemRank::pseudo_random(1));
+        assert_eq!(
+            classifieds.query(&range_q).unwrap_err(),
+            ServerError::Unsupported(Capability::RangeFilter(AttrId(0)))
+        );
+        assert!(classifieds
+            .query(&Query::all().and_range(AttrId(0), Interval::point(3.0)))
+            .is_ok());
+
+        let storefront = SiteProfile::storefront(5).build(dataset(), SystemRank::pseudo_random(1));
+        assert_eq!(
+            storefront
+                .query(&Query::all().and_range(AttrId(0), Interval::point(3.0)))
+                .unwrap_err(),
+            ServerError::Unsupported(Capability::PointFilter(AttrId(0)))
+        );
+        assert!(storefront
+            .capabilities()
+            .supports(Capability::PageDepth(20)));
+        assert!(!storefront
+            .capabilities()
+            .supports(Capability::PageDepth(21)));
+        assert!(storefront
+            .capabilities()
+            .supports(Capability::OrderBy(AttrId(1))));
+
+        let flight = SiteProfile::flight_site(5).build(dataset(), SystemRank::pseudo_random(1));
+        assert!(!flight.capabilities().supports(Capability::Paging));
+        assert!(!flight
+            .capabilities()
+            .supports(Capability::PredicateArity(4)));
+        assert!(flight.query(&range_q).is_ok());
+    }
+}

@@ -17,8 +17,8 @@ use crate::system_rank::SystemRank;
 use parking_lot::Mutex;
 use qrs_types::value::cmp_f64;
 use qrs_types::{
-    AttrId, Capability, Dataset, Direction, Endpoint, Query, QueryResponse, Schema, ServerError,
-    Tuple,
+    AttrId, Capability, Dataset, Direction, Endpoint, FilterSupport, Query, QueryResponse, Schema,
+    ServerError, Tuple,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -35,6 +35,13 @@ pub struct SimServer {
     counter: AtomicU64,
     paging: bool,
     order_by: Vec<AttrId>,
+    /// Deepest page served per query (None = unlimited, given `paging`).
+    max_pages: Option<usize>,
+    /// Conjunct arity cap per query (None = unlimited).
+    max_predicates: Option<usize>,
+    /// Explicit per-attribute filter-support overrides (sparse; schema
+    /// `point_only` attributes implicitly degrade to `Point`).
+    filters: Vec<(AttrId, FilterSupport)>,
     /// Refuse queries once the counter reaches this (None = unmetered).
     rate_limit: Option<u64>,
     system_rank: SystemRank,
@@ -71,6 +78,9 @@ impl SimServer {
             counter: AtomicU64::new(0),
             paging: false,
             order_by: Vec::new(),
+            max_pages: None,
+            max_predicates: None,
+            filters: Vec::new(),
             rate_limit: None,
             system_rank,
             log: None,
@@ -86,6 +96,35 @@ impl SimServer {
     /// Advertise public `ORDER BY` support on the given attributes (§5).
     pub fn with_order_by(mut self, attrs: Vec<AttrId>) -> Self {
         self.order_by = attrs;
+        self
+    }
+
+    /// Stop serving result pages past `pages` per query ("showing results
+    /// 1–1000"). Deeper page turns are refused, uncharged, with
+    /// [`ServerError::Unsupported`]`(`[`Capability::PageDepth`]`)`.
+    pub fn with_max_pages(mut self, pages: usize) -> Self {
+        assert!(pages >= 1, "a paging site serves at least one page");
+        self.max_pages = Some(pages);
+        self
+    }
+
+    /// Refuse queries carrying more than `n` predicates — the typical
+    /// flight-site cap on simultaneous search criteria. Refusals are
+    /// uncharged and typed ([`Capability::PredicateArity`]).
+    pub fn with_max_predicates(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a searchable site accepts at least one predicate");
+        self.max_predicates = Some(n);
+        self
+    }
+
+    /// Restrict filter support on one attribute: [`FilterSupport::Point`]
+    /// models a dropdown (point predicates only), [`FilterSupport::None`] a
+    /// browse-only column. Violations are refused, uncharged, with
+    /// [`Capability::RangeFilter`]/[`Capability::PointFilter`] named in the
+    /// error.
+    pub fn with_filter_support(mut self, attr: AttrId, support: FilterSupport) -> Self {
+        self.filters.retain(|(a, _)| *a != attr);
+        self.filters.push((attr, support));
         self
     }
 
@@ -131,6 +170,7 @@ impl SimServer {
     /// charged: the backend rejected them before doing any work.
     fn charge(&self, q: &Query) -> Result<(), ServerError> {
         self.validate_point_only(q)?;
+        self.validate_site_model(q)?;
         match self.rate_limit {
             // Atomic check-and-increment so concurrent queries can never
             // exceed the advertised hard cap.
@@ -175,6 +215,64 @@ impl SimServer {
         Ok(())
     }
 
+    /// Enforce the configured site model: conjunct arity cap and explicit
+    /// per-attribute filter restrictions. Violations are typed capability
+    /// refusals (never charged), so a planner that preflighted correctly
+    /// never sees them.
+    fn validate_site_model(&self, q: &Query) -> Result<(), ServerError> {
+        if let Some(cap) = self.max_predicates {
+            if q.num_predicates() > cap {
+                return Err(ServerError::Unsupported(Capability::PredicateArity(
+                    q.num_predicates(),
+                )));
+            }
+        }
+        for p in q.ranges() {
+            if p.interval.is_all() {
+                continue;
+            }
+            let support = self.effective_filter_support(p.attr);
+            if !support.allows_point() {
+                return Err(ServerError::Unsupported(Capability::PointFilter(p.attr)));
+            }
+            if !support.allows_range() && !p.interval.is_point() {
+                return Err(ServerError::Unsupported(Capability::RangeFilter(p.attr)));
+            }
+        }
+        Ok(())
+    }
+
+    /// The filter support this server actually enforces on `attr`: the
+    /// explicit override (default: full ranges), clamped to at most
+    /// [`FilterSupport::Point`] for schema `point_only` attributes — the
+    /// §5 contract binds regardless of configuration. Both the
+    /// advertisement ([`SearchInterface::capabilities`]) and the
+    /// enforcement ([`SimServer::validate_site_model`]) read this one
+    /// definition, so the server can never advertise what it would refuse.
+    fn effective_filter_support(&self, attr: AttrId) -> FilterSupport {
+        let configured = self
+            .filters
+            .iter()
+            .find(|(a, _)| *a == attr)
+            .map(|(_, s)| *s)
+            .unwrap_or_default();
+        if self.dataset.schema().ordinal(attr).point_only {
+            configured.min(FilterSupport::Point)
+        } else {
+            configured
+        }
+    }
+
+    /// Refuse page turns past the configured depth cap, uncharged.
+    fn validate_page_depth(&self, page: usize) -> Result<(), ServerError> {
+        if let Some(cap) = self.max_pages {
+            if page + 1 > cap {
+                return Err(ServerError::Unsupported(Capability::PageDepth(page + 1)));
+            }
+        }
+        Ok(())
+    }
+
     /// Matching tuples in system-rank order, lazily.
     fn matches_in_system_order<'a>(
         &'a self,
@@ -197,9 +295,26 @@ impl SearchInterface for SimServer {
     }
 
     fn capabilities(&self) -> Capabilities {
+        // Advertise exactly what `validate_site_model` enforces — the
+        // shared `effective_filter_support` definition, which clamps
+        // schema `point_only` attributes to Point even past an explicit
+        // override.
+        let filters = self
+            .dataset
+            .schema()
+            .attr_ids()
+            .filter_map(|attr| {
+                let support = self.effective_filter_support(attr);
+                (support != FilterSupport::Range).then_some((attr, support))
+            })
+            .collect();
         Capabilities {
             paging: self.paging,
             order_by: self.order_by.clone(),
+            max_pages: self.max_pages,
+            max_page_size: Some(self.k),
+            max_predicates: self.max_predicates,
+            filters,
         }
     }
 
@@ -223,6 +338,7 @@ impl SearchInterface for SimServer {
         if !self.paging {
             return Err(ServerError::Unsupported(Capability::Paging));
         }
+        self.validate_page_depth(page)?;
         self.charge(q)?;
         let skip = page * self.k;
         let mut out = Vec::with_capacity(self.k.min(16));
@@ -248,6 +364,7 @@ impl SearchInterface for SimServer {
         if !self.order_by.contains(&attr) {
             return Err(ServerError::Unsupported(Capability::OrderBy(attr)));
         }
+        self.validate_page_depth(page)?;
         self.charge(q)?;
         let idx = &self.attr_order[attr.0];
         let skip = page * self.k;
@@ -396,6 +513,135 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, ServerError::InvalidQuery { .. }));
         assert_eq!(s.queries_issued(), 0);
+    }
+
+    #[test]
+    fn predicate_arity_cap_refuses_wide_queries_uncharged() {
+        let schema = Schema::new(
+            vec![
+                OrdinalAttr::new("x", 0.0, 9.0),
+                OrdinalAttr::new("y", 0.0, 9.0),
+                OrdinalAttr::new("z", 0.0, 9.0),
+            ],
+            vec![],
+        );
+        let tuples = (0..5)
+            .map(|i| Tuple::new(TupleId(i), vec![f64::from(i); 3], vec![]))
+            .collect();
+        let ds = Dataset::new(schema, tuples).unwrap();
+        let s = SimServer::new(ds, SystemRank::pseudo_random(3), 2).with_max_predicates(2);
+        let wide = Query::all()
+            .and_range(AttrId(0), Interval::open(0.0, 5.0))
+            .and_range(AttrId(1), Interval::open(0.0, 5.0))
+            .and_range(AttrId(2), Interval::open(0.0, 5.0));
+        assert_eq!(
+            s.query(&wide).unwrap_err(),
+            ServerError::Unsupported(Capability::PredicateArity(3))
+        );
+        assert_eq!(s.queries_issued(), 0);
+        // Two predicates pass.
+        let narrow = Query::all()
+            .and_range(AttrId(0), Interval::open(0.0, 5.0))
+            .and_range(AttrId(1), Interval::open(0.0, 5.0));
+        assert!(s.query(&narrow).is_ok());
+        assert!(!s.capabilities().supports(Capability::PredicateArity(3)));
+    }
+
+    #[test]
+    fn filter_support_restrictions_refuse_with_the_missing_capability() {
+        let s = server(3)
+            .with_filter_support(AttrId(0), FilterSupport::Point)
+            .with_query_log();
+        // A true range on a point-only filter: refused, names RangeFilter.
+        let err = s
+            .query(&Query::all().and_range(AttrId(0), Interval::open(1.0, 4.0)))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServerError::Unsupported(Capability::RangeFilter(AttrId(0)))
+        );
+        // A point predicate passes.
+        assert!(s
+            .query(&Query::all().and_range(AttrId(0), Interval::point(4.0)))
+            .is_ok());
+        // A browse-only attribute refuses even point predicates.
+        let s = server(3).with_filter_support(AttrId(0), FilterSupport::None);
+        let err = s
+            .query(&Query::all().and_range(AttrId(0), Interval::point(4.0)))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServerError::Unsupported(Capability::PointFilter(AttrId(0)))
+        );
+        // The unconstrained query still works — and nothing was charged
+        // for the refusals.
+        assert!(s.query(&Query::all()).is_ok());
+        assert_eq!(s.queries_issued(), 1);
+    }
+
+    #[test]
+    fn page_depth_cap_refuses_deep_pages_uncharged() {
+        let s = server(3).with_paging().with_max_pages(2);
+        assert!(s.query_page(&Query::all(), 0).is_ok());
+        assert!(s.query_page(&Query::all(), 1).is_ok());
+        assert_eq!(
+            s.query_page(&Query::all(), 2).unwrap_err(),
+            ServerError::Unsupported(Capability::PageDepth(3))
+        );
+        assert_eq!(s.queries_issued(), 2);
+        let caps = s.capabilities();
+        assert!(caps.supports(Capability::PageDepth(2)));
+        assert!(!caps.supports(Capability::PageDepth(3)));
+    }
+
+    #[test]
+    fn capabilities_advertise_the_full_site_model() {
+        let schema = Schema::new(
+            vec![
+                OrdinalAttr::new("price", 0.0, 9.0),
+                OrdinalAttr::point_only("grade", vec![1.0, 2.0, 3.0]),
+            ],
+            vec![],
+        );
+        let ds =
+            Dataset::new(schema, vec![Tuple::new(TupleId(0), vec![1.0, 2.0], vec![])]).unwrap();
+        let s = SimServer::new(ds, SystemRank::pseudo_random(1), 4)
+            .with_paging()
+            .with_max_pages(20)
+            .with_max_predicates(3);
+        let caps = s.capabilities();
+        assert_eq!(caps.max_page_size, Some(4));
+        assert_eq!(caps.max_pages, Some(20));
+        assert_eq!(caps.max_predicates, Some(3));
+        // Schema point_only degrades the advertised filter support.
+        assert_eq!(caps.filter_support(AttrId(1)), FilterSupport::Point);
+        assert_eq!(caps.filter_support(AttrId(0)), FilterSupport::Range);
+    }
+
+    #[test]
+    fn advertisement_never_exceeds_enforcement_on_point_only_attrs() {
+        // A misconfigured Range override on a schema point_only attribute
+        // must not make capabilities() advertise what validate_point_only
+        // would refuse: the advertisement clamps to Point.
+        let schema = Schema::new(
+            vec![OrdinalAttr::point_only("grade", vec![1.0, 2.0, 3.0])],
+            vec![],
+        );
+        let ds = Dataset::new(schema, vec![Tuple::new(TupleId(0), vec![2.0], vec![])]).unwrap();
+        let s = SimServer::new(ds, SystemRank::pseudo_random(1), 2)
+            .with_filter_support(AttrId(0), FilterSupport::Range);
+        assert_eq!(
+            s.capabilities().filter_support(AttrId(0)),
+            FilterSupport::Point
+        );
+        // And the enforcement still refuses the range (schema contract).
+        assert!(s
+            .query(&Query::all().and_range(AttrId(0), Interval::open(0.0, 3.0)))
+            .is_err());
+        // Point predicates keep working.
+        assert!(s
+            .query(&Query::all().and_range(AttrId(0), Interval::point(2.0)))
+            .is_ok());
     }
 
     #[test]

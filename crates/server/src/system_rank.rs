@@ -94,6 +94,7 @@ impl SystemRank {
         (self.score)(t)
     }
 
+    /// Human-readable label (experiment output only).
     pub fn label(&self) -> &str {
         &self.label
     }

@@ -1,6 +1,6 @@
 //! Query-budget accounting.
 //!
-//! §1: "many real-world [databases] enforce stringent rate limits on queries
+//! §1: "many real-world \[databases\] enforce stringent rate limits on queries
 //! from the same IP address or API user (e.g., Google Flight Search API
 //! allows only 50 free queries per user per day)". The service tracks its
 //! spend against such a cap and refuses to start work it cannot finish

@@ -37,6 +37,7 @@
 pub mod batch;
 pub mod budget;
 pub mod federation;
+pub mod planner;
 pub mod profiles;
 pub mod retry;
 pub mod service;
@@ -46,6 +47,7 @@ pub mod stats;
 pub use batch::{drive, BatchOutcome, BatchRequest};
 pub use budget::QueryBudget;
 pub use federation::{FederatedHit, FederatedSession, FederationBuilder, SourceReport};
+pub use planner::{Plan, Planner};
 pub use profiles::ProfileStore;
 pub use retry::RetryBudget;
 pub use service::{Algorithm, RerankService, SessionBuilder};

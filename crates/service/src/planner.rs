@@ -1,0 +1,578 @@
+//! The capability-aware query planner.
+//!
+//! Real restricted sites differ in *which* algorithms can run at all: a 1D
+//! or MD cursor needs range predicates on the attributes it binary-searches,
+//! TA-over-`ORDER BY` needs the public sort plus enough page depth to drain
+//! a stream, and the page-down fallback needs paging deep enough to provably
+//! cover the relation. The [`Planner`] preflights a session's query shape
+//! against the server's advertised [`Capabilities`] and either produces a
+//! [`Plan`] — algorithm choice, the (possibly relaxed) query to send
+//! server-side, and the residual predicate to re-apply client-side — or
+//! fails fast with [`RerankError::Unplannable`] naming the missing
+//! capabilities. A session that opens cleanly never hits a capability
+//! refusal mid-stream, and every plan is **exact**: predicates the site
+//! cannot evaluate are relaxed server-side and re-applied client-side,
+//! which preserves rank order (filtering a ranked stream never reorders
+//! it), and the page-down fallback is only chosen when the advertised page
+//! depth provably drains the result.
+//!
+//! One precondition bounds the mid-stream guarantee: the drain proof for
+//! the paging candidates is relative to the service's `n_estimate`. If the
+//! estimate *under*states the real database (a real adapter can only
+//! estimate `|D|`), a depth-capped site can still refuse a page mid-stream
+//! — the failure stays **typed** (`UnsupportedCapability(PageDepth)` from
+//! the strict cursor; never a silently truncated ranking), but pages
+//! fetched up to the wall are paid for. Prefer a generous estimate on
+//! depth-capped sites; overstating only makes the planner more
+//! conservative.
+//!
+//! Candidate order (most to least query-efficient on the paper's
+//! workloads): the §3/§4 cursor for the ranking arity, then TA over public
+//! `ORDER BY`, then strict page-down.
+
+use crate::service::Algorithm;
+use qrs_core::md::ta::SortedAccess;
+use qrs_core::{MdOptions, OneDStrategy, TiePolicy};
+use qrs_ranking::RankFn;
+use qrs_server::Capabilities;
+use qrs_types::{AttrId, Capability, Query, RerankError, Schema};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// A planned session: which algorithm runs, what the server sees, and what
+/// the session re-checks client-side.
+///
+/// Every plan is exact by construction — see the module docs.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The algorithm the planner selected.
+    pub algorithm: Algorithm,
+    /// The selection actually sent to the server: the user's query with
+    /// every predicate the site cannot evaluate relaxed away.
+    pub server_query: Query,
+    /// Predicates relaxed out of [`Plan::server_query`], re-applied
+    /// client-side by the session before emitting a tuple. `None` when the
+    /// site evaluated the full selection.
+    pub residual: Option<Query>,
+    /// One verdict per considered candidate — why each was rejected, and
+    /// why the winner fits.
+    pub rationale: String,
+}
+
+/// Preflights query shapes against a site's advertised [`Capabilities`].
+///
+/// Obtain one from [`crate::RerankService::planner`], or construct it
+/// directly to plan against a hypothetical site model:
+///
+/// ```
+/// use qrs_service::{Algorithm, Planner};
+/// use qrs_server::Capabilities;
+/// use qrs_ranking::LinearRank;
+/// use qrs_types::{AttrId, FilterSupport, Query, RerankError, Schema, OrdinalAttr};
+/// use std::sync::Arc;
+///
+/// let schema = Arc::new(Schema::new(
+///     vec![OrdinalAttr::new("price", 0.0, 100.0)],
+///     vec![],
+/// ));
+/// let rank = LinearRank::asc(vec![(AttrId(0), 1.0)]);
+///
+/// // A site with a full price slider: the 1D cursor plans.
+/// let open = Planner::new(Capabilities::none(), Arc::clone(&schema), 10, 1_000);
+/// let plan = open.plan(&Query::all(), &rank, Default::default())?;
+/// assert!(matches!(plan.algorithm, Algorithm::OneD(_)));
+///
+/// // A dropdown-only site without paging: nothing fits, and the error
+/// // names what is missing.
+/// let dropdown = Planner::new(
+///     Capabilities::none().with_filter(AttrId(0), FilterSupport::Point),
+///     schema, 10, 1_000,
+/// );
+/// let err = dropdown.plan(&Query::all(), &rank, Default::default()).unwrap_err();
+/// assert!(matches!(err, RerankError::Unplannable { .. }));
+/// # Ok::<(), RerankError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Planner {
+    caps: Capabilities,
+    schema: Arc<Schema>,
+    k: usize,
+    n_estimate: usize,
+}
+
+/// Why one candidate algorithm cannot run, for the rationale trace.
+struct Rejection {
+    candidate: &'static str,
+    missing: Vec<Capability>,
+}
+
+impl Planner {
+    /// A planner for a site advertising `caps`, page size `k`, over a
+    /// database of (estimated) `n_estimate` tuples. The size estimate only
+    /// gates the paging-based fallbacks — how many pages provably drain
+    /// the relation — so it must be an *upper bound* on `|D|` for the
+    /// no-mid-stream-refusal guarantee to hold on depth-capped sites (see
+    /// the module docs; an underestimate degrades to a typed, never
+    /// silent, mid-stream `PageDepth` refusal).
+    pub fn new(caps: Capabilities, schema: Arc<Schema>, k: usize, n_estimate: usize) -> Self {
+        Planner {
+            caps,
+            schema,
+            k: k.max(1),
+            n_estimate: n_estimate.max(1),
+        }
+    }
+
+    /// The filter capability an algorithm needs to constrain `attr`: a
+    /// point-only attribute (with its value list in the schema) is driven
+    /// by point probes, anything else by range binary search.
+    fn filter_req(&self, attr: AttrId) -> Capability {
+        if self.schema.ordinal(attr).point_only {
+            Capability::PointFilter(attr)
+        } else {
+            Capability::RangeFilter(attr)
+        }
+    }
+
+    /// Page depth that provably drains any result set on this site.
+    fn depth_to_drain(&self) -> usize {
+        self.n_estimate.div_ceil(self.k)
+    }
+
+    /// Plan a session for selection `sel` under ranking `rank` with tie
+    /// policy `tie`.
+    ///
+    /// # Errors
+    /// [`RerankError::Unplannable`] when no candidate algorithm fits,
+    /// carrying the deduplicated missing capabilities in candidate order.
+    pub fn plan(
+        &self,
+        sel: &Query,
+        rank: &dyn RankFn,
+        tie: TiePolicy,
+    ) -> Result<Plan, RerankError> {
+        let mut rationale = String::new();
+        let mut rejections: Vec<Rejection> = Vec::new();
+
+        for candidate in self.candidates(rank, tie) {
+            match self.try_candidate(&candidate, sel) {
+                Ok((server_query, residual)) => {
+                    let _ = write!(
+                        rationale,
+                        "{}: fits{}",
+                        candidate.name,
+                        match &residual {
+                            Some(r) =>
+                                format!(" (relaxed `{r}` server-side; re-applied client-side)"),
+                            None => String::new(),
+                        }
+                    );
+                    for r in &rejections {
+                        let _ = write!(rationale, "; rejected {}: ", r.candidate);
+                        push_caps(&mut rationale, &r.missing);
+                    }
+                    return Ok(Plan {
+                        algorithm: candidate.algorithm,
+                        server_query,
+                        residual,
+                        rationale,
+                    });
+                }
+                Err(missing) => rejections.push(Rejection {
+                    candidate: candidate.name,
+                    missing,
+                }),
+            }
+        }
+
+        let mut reason = String::new();
+        let mut missing: Vec<Capability> = Vec::new();
+        for (i, r) in rejections.iter().enumerate() {
+            if i > 0 {
+                reason.push_str("; ");
+            }
+            let _ = write!(reason, "{} needs ", r.candidate);
+            push_caps(&mut reason, &r.missing);
+            for c in &r.missing {
+                if !missing.contains(c) {
+                    missing.push(*c);
+                }
+            }
+        }
+        Err(RerankError::unplannable(missing, reason))
+    }
+
+    /// The candidate algorithms for this ranking arity, most query-efficient
+    /// first.
+    fn candidates(&self, rank: &dyn RankFn, tie: TiePolicy) -> Vec<Candidate> {
+        let rank_attrs: Vec<AttrId> = rank.attrs().to_vec();
+        let all_attrs: BTreeSet<AttrId> = self.schema.attr_ids().collect();
+        let mut out = Vec::new();
+        if rank.dims() == 1 {
+            // Exact tie handling may sub-crawl a value slab over the other
+            // attributes, so it conservatively needs filters on all of
+            // them; AssumeDistinct only binary-searches the ranking
+            // attribute.
+            let constrained = match tie {
+                TiePolicy::Exact => all_attrs.clone(),
+                TiePolicy::AssumeDistinct => rank_attrs.iter().copied().collect(),
+            };
+            out.push(Candidate {
+                name: "1d-rerank",
+                algorithm: Algorithm::OneD(OneDStrategy::Rerank),
+                constrained,
+                order_by: Vec::new(),
+            });
+        } else {
+            // The MD cursor box-partitions the ranking space and, for
+            // exact duplicate handling, may sub-crawl cells over the
+            // remaining attributes: conservatively all of them.
+            out.push(Candidate {
+                name: "md-rerank",
+                algorithm: Algorithm::Md(MdOptions::rerank()),
+                constrained: all_attrs,
+                order_by: Vec::new(),
+            });
+        }
+        out.push(Candidate {
+            name: "ta-order-by",
+            algorithm: Algorithm::Ta(SortedAccess::PublicOrderBy),
+            constrained: BTreeSet::new(),
+            order_by: rank_attrs,
+        });
+        out.push(Candidate {
+            name: "page-down",
+            algorithm: Algorithm::PageDown {
+                max_pages: self.caps.max_pages.unwrap_or(usize::MAX),
+            },
+            constrained: BTreeSet::new(),
+            order_by: Vec::new(),
+        });
+        out
+    }
+
+    /// Check one candidate: collect its missing capabilities, or shape the
+    /// selection it will run with (server-side query + client-side
+    /// residual).
+    #[allow(clippy::type_complexity)]
+    fn try_candidate(
+        &self,
+        c: &Candidate,
+        sel: &Query,
+    ) -> Result<(Query, Option<Query>), Vec<Capability>> {
+        let mut missing = Vec::new();
+
+        // Paging-driven candidates (TA streams, page-down) must be able to
+        // drain a worst-case result within the advertised page depth —
+        // otherwise they would fail (typed, but mid-stream) or go inexact.
+        match c.algorithm {
+            Algorithm::PageDown { .. } => {
+                let depth = self.depth_to_drain();
+                if !self.caps.paging {
+                    missing.push(Capability::Paging);
+                } else if !self.caps.supports(Capability::PageDepth(depth)) {
+                    missing.push(Capability::PageDepth(depth));
+                }
+            }
+            Algorithm::Ta(_) => {
+                // TA pages via public ORDER BY, which the depth cap also
+                // governs (the `paging` flag itself does not: ORDER BY
+                // paging is a separate site feature).
+                let depth = self.depth_to_drain();
+                if self.caps.max_pages.is_some_and(|m| depth > m) {
+                    missing.push(Capability::PageDepth(depth));
+                }
+            }
+            _ => {}
+        }
+        for &a in &c.order_by {
+            if !self.caps.supports(Capability::OrderBy(a)) {
+                missing.push(Capability::OrderBy(a));
+            }
+        }
+        // Filters on every attribute the cursor itself constrains.
+        for &a in &c.constrained {
+            let req = self.filter_req(a);
+            if !self.caps.supports(req) {
+                missing.push(req);
+            }
+        }
+        if !missing.is_empty() {
+            return Err(missing);
+        }
+
+        // Shape the selection: relax predicates the site cannot evaluate
+        // (wrong filter level) or will not accept (arity cap), re-applied
+        // client-side. Predicates on cursor-constrained attributes are
+        // always expressible here — the filter requirements above passed.
+        let mut server_query = Query::all();
+        let mut residual = Query::all();
+        let mut relaxed = false;
+        for p in sel.ranges() {
+            if p.interval.is_all() {
+                continue;
+            }
+            let sup = self.caps.filter_support(p.attr);
+            let expressible = sup.allows_range() || (sup.allows_point() && p.interval.is_point());
+            if expressible {
+                server_query.add_range(p.attr, p.interval);
+            } else {
+                residual.add_range(p.attr, p.interval);
+                relaxed = true;
+            }
+        }
+        for p in sel.cats() {
+            server_query.add_cat(p.clone());
+        }
+
+        // Conjunct arity: the cursor's own predicates plus whatever of the
+        // selection survived. Relax optional selection predicates (those
+        // not on cursor-constrained attributes) until the worst-case query
+        // fits; if the cursor's intrinsic arity alone exceeds the cap, the
+        // candidate cannot run.
+        if let Some(cap) = self.caps.max_predicates {
+            let intrinsic = c.constrained.len();
+            if intrinsic > cap {
+                return Err(vec![Capability::PredicateArity(intrinsic)]);
+            }
+            let arity = |q: &Query| -> usize {
+                let attrs: BTreeSet<AttrId> = q
+                    .ranges()
+                    .iter()
+                    .map(|p| p.attr)
+                    .chain(c.constrained.iter().copied())
+                    .collect();
+                attrs.len() + q.cats().len()
+            };
+            while arity(&server_query) > cap {
+                // Prefer relaxing a range predicate on an attribute the
+                // cursor does not need, then categorical predicates.
+                let victim = server_query
+                    .ranges()
+                    .iter()
+                    .find(|p| !c.constrained.contains(&p.attr))
+                    .map(|p| (p.attr, p.interval));
+                if let Some((attr, iv)) = victim {
+                    residual.add_range(attr, iv);
+                    relaxed = true;
+                    server_query = strip_range(&server_query, attr);
+                } else if let Some(p) = server_query.cats().last().cloned() {
+                    residual.add_cat(p.clone());
+                    relaxed = true;
+                    server_query = strip_cat(&server_query, p.attr);
+                } else {
+                    // Nothing left to relax: the cursor's own predicates
+                    // plus mandatory selection predicates exceed the cap.
+                    return Err(vec![Capability::PredicateArity(arity(&server_query))]);
+                }
+            }
+        }
+
+        Ok((server_query, relaxed.then_some(residual)))
+    }
+}
+
+/// One candidate algorithm and the capabilities it leans on.
+struct Candidate {
+    name: &'static str,
+    algorithm: Algorithm,
+    /// Ordinal attributes the cursor itself will put predicates on.
+    constrained: BTreeSet<AttrId>,
+    /// Attributes that must be publicly `ORDER BY`-able.
+    order_by: Vec<AttrId>,
+}
+
+/// Rebuild `q` without its range predicate on `attr`.
+fn strip_range(q: &Query, attr: AttrId) -> Query {
+    let mut out = Query::all();
+    for p in q.ranges() {
+        if p.attr != attr {
+            out.add_range(p.attr, p.interval);
+        }
+    }
+    for p in q.cats() {
+        out.add_cat(p.clone());
+    }
+    out
+}
+
+/// Rebuild `q` without its categorical predicate on `attr`.
+fn strip_cat(q: &Query, attr: qrs_types::CatId) -> Query {
+    let mut out = Query::all();
+    for p in q.ranges() {
+        out.add_range(p.attr, p.interval);
+    }
+    for p in q.cats() {
+        if p.attr != attr {
+            out.add_cat(p.clone());
+        }
+    }
+    out
+}
+
+/// Append a human-readable capability list.
+fn push_caps(buf: &mut String, caps: &[Capability]) {
+    for (i, cap) in caps.iter().enumerate() {
+        if i > 0 {
+            buf.push_str(", ");
+        }
+        let _ = write!(buf, "{cap}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrs_ranking::LinearRank;
+    use qrs_types::{CatPredicate, FilterSupport, Interval, OrdinalAttr};
+
+    fn schema2() -> Arc<Schema> {
+        Arc::new(Schema::new(
+            vec![
+                OrdinalAttr::new("x", 0.0, 10.0),
+                OrdinalAttr::new("y", 0.0, 10.0),
+            ],
+            vec![
+                qrs_types::CatAttr::new("color", 4),
+                qrs_types::CatAttr::new("brand", 4),
+            ],
+        ))
+    }
+
+    fn rank1() -> LinearRank {
+        LinearRank::asc(vec![(AttrId(0), 1.0)])
+    }
+
+    fn rank2() -> LinearRank {
+        LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)])
+    }
+
+    #[test]
+    fn open_site_plans_the_paper_cursors() {
+        let p = Planner::new(Capabilities::none(), schema2(), 5, 1_000);
+        let plan = p.plan(&Query::all(), &rank1(), TiePolicy::Exact).unwrap();
+        assert!(matches!(plan.algorithm, Algorithm::OneD(_)));
+        assert!(plan.residual.is_none());
+        let plan = p.plan(&Query::all(), &rank2(), TiePolicy::Exact).unwrap();
+        assert!(matches!(plan.algorithm, Algorithm::Md(_)));
+    }
+
+    #[test]
+    fn point_only_site_falls_back_to_page_down_when_paging_drains() {
+        let caps = Capabilities::none()
+            .with_paging()
+            .with_filter(AttrId(0), FilterSupport::Point)
+            .with_filter(AttrId(1), FilterSupport::Point);
+        let p = Planner::new(caps, schema2(), 5, 100);
+        let plan = p.plan(&Query::all(), &rank2(), TiePolicy::Exact).unwrap();
+        assert!(matches!(
+            plan.algorithm,
+            Algorithm::PageDown {
+                max_pages: usize::MAX
+            }
+        ));
+        assert!(plan.rationale.contains("rejected md-rerank"));
+    }
+
+    #[test]
+    fn unplannable_names_every_missing_capability() {
+        // Point filters, no paging, no order-by: nothing can run.
+        let caps = Capabilities::none()
+            .with_filter(AttrId(0), FilterSupport::Point)
+            .with_filter(AttrId(1), FilterSupport::Point);
+        let p = Planner::new(caps, schema2(), 5, 100);
+        let err = p
+            .plan(&Query::all(), &rank2(), TiePolicy::Exact)
+            .unwrap_err();
+        match err {
+            RerankError::Unplannable { missing, reason } => {
+                assert!(missing.contains(&Capability::RangeFilter(AttrId(0))));
+                assert!(missing.contains(&Capability::OrderBy(AttrId(0))));
+                assert!(missing.contains(&Capability::Paging));
+                assert!(reason.contains("md-rerank"));
+                assert!(reason.contains("page-down"));
+            }
+            other => panic!("expected Unplannable, got {other}"),
+        }
+    }
+
+    #[test]
+    fn page_depth_cap_gates_the_paging_fallbacks() {
+        // 20-page cap at k = 5 covers 100 tuples — not 10 000.
+        let caps = Capabilities::none()
+            .with_paging()
+            .with_max_pages(20)
+            .with_filter(AttrId(0), FilterSupport::None)
+            .with_filter(AttrId(1), FilterSupport::None);
+        let deep = Planner::new(caps.clone(), schema2(), 5, 10_000);
+        let err = deep
+            .plan(&Query::all(), &rank2(), TiePolicy::Exact)
+            .unwrap_err();
+        assert!(matches!(err, RerankError::Unplannable { ref missing, .. }
+            if missing.contains(&Capability::PageDepth(2_000))));
+        // A shallow database fits inside the cap.
+        let shallow = Planner::new(caps, schema2(), 5, 100);
+        let plan = shallow
+            .plan(&Query::all(), &rank2(), TiePolicy::Exact)
+            .unwrap();
+        assert!(matches!(
+            plan.algorithm,
+            Algorithm::PageDown { max_pages: 20 }
+        ));
+    }
+
+    #[test]
+    fn order_by_site_plans_ta_with_residual_filters() {
+        let caps = Capabilities::none()
+            .with_paging()
+            .with_order_by(vec![AttrId(0), AttrId(1)])
+            .with_filter(AttrId(0), FilterSupport::None)
+            .with_filter(AttrId(1), FilterSupport::None);
+        let p = Planner::new(caps, schema2(), 5, 100);
+        let sel = Query::all().and_range(AttrId(0), Interval::open(1.0, 9.0));
+        let plan = p.plan(&sel, &rank2(), TiePolicy::Exact).unwrap();
+        assert!(matches!(
+            plan.algorithm,
+            Algorithm::Ta(SortedAccess::PublicOrderBy)
+        ));
+        // The inexpressible range went client-side.
+        assert!(plan.server_query.ranges().is_empty());
+        let residual = plan.residual.expect("range must be relaxed");
+        assert_eq!(residual.ranges().len(), 1);
+    }
+
+    #[test]
+    fn arity_cap_relaxes_optional_predicates_in_order() {
+        // Flight-style: 3 predicates max, range filters everywhere.
+        let caps = Capabilities::none().with_max_predicates(3);
+        let p = Planner::new(caps, schema2(), 5, 1_000);
+        // MD constrains both ordinal attributes (2); sel adds a cat (3) and
+        // nothing must be relaxed.
+        let sel = Query::all().and_cat(CatPredicate::eq(qrs_types::CatId(0), 1));
+        let plan = p.plan(&sel, &rank2(), TiePolicy::Exact).unwrap();
+        assert!(plan.residual.is_none());
+        assert_eq!(plan.server_query.cats().len(), 1);
+        // A predicate on a second cat attribute exceeds the cap: it goes
+        // residual (the range on a cursor-constrained attribute stays).
+        let sel = sel
+            .and_range(AttrId(0), Interval::open(0.0, 9.0))
+            .and_cat(CatPredicate::one_of(qrs_types::CatId(1), vec![1, 2]));
+        let plan = p.plan(&sel, &rank2(), TiePolicy::Exact).unwrap();
+        let residual = plan.residual.expect("cat must be relaxed");
+        assert_eq!(residual.cats().len(), 1);
+        assert_eq!(plan.server_query.cats().len(), 1);
+        assert_eq!(plan.server_query.ranges().len(), 1);
+    }
+
+    #[test]
+    fn arity_cap_below_cursor_needs_is_unplannable_for_cursors() {
+        // 1 predicate max: MD (needs 2 attrs) cannot run; with paging the
+        // page-down fallback takes over.
+        let caps = Capabilities::none().with_max_predicates(1).with_paging();
+        let p = Planner::new(caps, schema2(), 5, 100);
+        let plan = p.plan(&Query::all(), &rank2(), TiePolicy::Exact).unwrap();
+        assert!(matches!(plan.algorithm, Algorithm::PageDown { .. }));
+        assert!(plan.rationale.contains("rejected md-rerank"));
+    }
+}

@@ -1,8 +1,9 @@
 //! The retry/backoff engine behind `Session::next`.
 //!
 //! [`qrs_types::RetryPolicy`] is the declarative config; this module is the
-//! machinery: [`RetryRunner`] owns the deterministic jitter RNG and the
-//! per-session retry cap, [`RetryBudget`] meters retries *service-wide* so
+//! machinery: the crate-private `RetryRunner` owns the deterministic jitter
+//! RNG and the per-session retry cap, [`RetryBudget`] meters retries
+//! *service-wide* so
 //! a storm of failing sessions cannot burn unbounded backoff time.
 //!
 //! Delay selection, in priority order:

@@ -8,6 +8,7 @@
 //! [`RerankError`] at open time, never as a panic deep inside an algorithm.
 
 use crate::budget::QueryBudget;
+use crate::planner::{Plan, Planner};
 use crate::retry::RetryBudget;
 use crate::session::Session;
 use crate::stats::ServiceStats;
@@ -33,6 +34,16 @@ pub enum Algorithm {
     /// [`SortedAccess::PublicOrderBy`] the server must advertise `ORDER BY`
     /// on every ranking attribute (checked at [`SessionBuilder::open`]).
     Ta(SortedAccess),
+    /// Strict page-down: page the system ranking to the end of `R(q)` and
+    /// rerank locally. The exact fallback for sites whose filters are too
+    /// weak for the cursor algorithms; requires [`Capability::Paging`] and
+    /// errors (typed) instead of going approximate if `max_pages` runs out
+    /// before the result drains. The planner only selects it when the
+    /// advertised depth provably suffices.
+    PageDown {
+        /// Deepest page the cursor may request (`usize::MAX` = unlimited).
+        max_pages: usize,
+    },
 }
 
 /// A third-party reranking service fronting one client-server database.
@@ -142,6 +153,20 @@ impl RerankService {
         &self.stats
     }
 
+    /// A capability-aware [`Planner`] for this service's server: preflight
+    /// query shapes against the site model without opening a session.
+    /// [`SessionBuilder::open`] runs the same planner for
+    /// [`Algorithm::Auto`] sessions.
+    pub fn planner(&self) -> Planner {
+        let n_estimate = self.state.lock().params.n as usize;
+        Planner::new(
+            self.server.capabilities(),
+            Arc::clone(self.server.schema()),
+            self.server.k(),
+            n_estimate,
+        )
+    }
+
     /// The service-wide query budget — inspect spend or open a new
     /// accounting window via [`QueryBudget::reset`].
     pub fn budget(&self) -> &QueryBudget {
@@ -191,6 +216,34 @@ impl std::fmt::Debug for RerankService {
 ///
 /// Defaults: [`Algorithm::Auto`], [`TiePolicy::Exact`], no per-session
 /// budget (the service-wide budget still applies).
+///
+/// ```
+/// use qrs_ranking::LinearRank;
+/// use qrs_server::{SimServer, SystemRank};
+/// use qrs_service::RerankService;
+/// use qrs_types::{AttrId, Query};
+/// use std::sync::Arc;
+///
+/// let data = qrs_datagen::synthetic::uniform(200, 2, 1, 7);
+/// let server = SimServer::new(data, SystemRank::pseudo_random(1), 5);
+/// let service = RerankService::new(Arc::new(server), 200);
+///
+/// // Preflighted open: the capability-aware planner picks the algorithm;
+/// // misuse surfaces as a typed error here, never as a panic mid-stream.
+/// let rank = Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)]));
+/// let mut session = service
+///     .session(Query::all(), rank)
+///     .budget(500) // per-session query cap, on top of the service budget
+///     .open()?;
+///
+/// // `top` keeps everything already paid for: on a budget trip or server
+/// // failure you get the partial batch *and* the error.
+/// let (hits, err) = session.top(5);
+/// assert!(err.is_none());
+/// assert_eq!(hits.len(), 5);
+/// assert!(hits.windows(2).all(|w| w[0].score <= w[1].score));
+/// # Ok::<(), qrs_types::RerankError>(())
+/// ```
 #[must_use = "a session builder does nothing until .open() is called"]
 pub struct SessionBuilder<'a> {
     svc: &'a RerankService,
@@ -242,25 +295,37 @@ impl<'a> SessionBuilder<'a> {
         self
     }
 
-    /// Validate the request and open the session.
+    /// Dry-run the decision [`SessionBuilder::open`] will execute, without
+    /// opening a session or touching the server.
     ///
-    /// # Errors
-    /// * [`RerankError::InvalidAlgorithm`] — a 1D algorithm with a
-    ///   multi-attribute ranking function.
-    /// * [`RerankError::UnsupportedCapability`] — `Ta(PublicOrderBy)`
-    ///   against a server whose [`qrs_server::Capabilities`] lack `ORDER
-    ///   BY` on a ranking attribute.
-    pub fn open(self) -> Result<Session<'a>, RerankError> {
-        let algo = match self.algo {
-            Algorithm::Auto => {
-                if self.rank.dims() == 1 {
-                    Algorithm::OneD(OneDStrategy::Rerank)
-                } else {
-                    Algorithm::Md(MdOptions::rerank())
-                }
+    /// Under [`Algorithm::Auto`] this runs the capability-aware
+    /// [`Planner`]; with an explicit [`SessionBuilder::algorithm`] choice
+    /// it returns that choice verbatim (full selection, no residual) after
+    /// the same hard-requirement preflights `open` performs — so what
+    /// `plan` reports is always what `open` runs.
+    pub fn plan(&self) -> Result<Plan, RerankError> {
+        match self.algo {
+            Algorithm::Auto => self
+                .svc
+                .planner()
+                .plan(&self.sel, self.rank.as_ref(), self.tie),
+            explicit => {
+                self.preflight(explicit)?;
+                Ok(Plan {
+                    algorithm: explicit,
+                    server_query: self.sel.clone(),
+                    residual: None,
+                    rationale: "explicit algorithm choice: planner bypassed, the caller \
+                                takes responsibility; hard requirements preflighted"
+                        .to_string(),
+                })
             }
-            other => other,
-        };
+        }
+    }
+
+    /// The classic hard-requirement preflights, run for every session
+    /// regardless of how its algorithm was chosen.
+    fn preflight(&self, algo: Algorithm) -> Result<(), RerankError> {
         if matches!(algo, Algorithm::OneD(_)) && self.rank.dims() != 1 {
             return Err(RerankError::invalid_algorithm(format!(
                 "1D algorithms require a single-attribute ranking function, \
@@ -274,6 +339,41 @@ impl<'a> SessionBuilder<'a> {
                 caps.require(Capability::OrderBy(a))?;
             }
         }
+        if let Algorithm::PageDown { .. } = algo {
+            self.svc
+                .server()
+                .capabilities()
+                .require(Capability::Paging)?;
+        }
+        Ok(())
+    }
+
+    /// Validate the request and open the session.
+    ///
+    /// Under [`Algorithm::Auto`] the capability-aware [`Planner`] picks the
+    /// algorithm from the server's advertised site model, relaxing
+    /// predicates the site cannot evaluate (they are re-applied
+    /// client-side — exactness is preserved). An explicit algorithm choice
+    /// skips the planner: the caller takes responsibility for the pairing,
+    /// and only the classic preflights run. Either way the executed plan
+    /// is exactly what [`SessionBuilder::plan`] reports.
+    ///
+    /// # Errors
+    /// * [`RerankError::Unplannable`] — [`Algorithm::Auto`] and no
+    ///   algorithm fits the site's capabilities; the error names what is
+    ///   missing.
+    /// * [`RerankError::InvalidAlgorithm`] — a 1D algorithm with a
+    ///   multi-attribute ranking function.
+    /// * [`RerankError::UnsupportedCapability`] — `Ta(PublicOrderBy)`
+    ///   against a server whose [`qrs_server::Capabilities`] lack `ORDER
+    ///   BY` on a ranking attribute, or `PageDown` against one that does
+    ///   not page.
+    pub fn open(self) -> Result<Session<'a>, RerankError> {
+        let plan = self.plan()?;
+        // Defense in depth: planner-produced algorithms satisfy these by
+        // construction, but the check is cheap and keeps the invariant
+        // local.
+        self.preflight(plan.algorithm)?;
         self.svc.stats_ref().on_session();
         let mut retry = self
             .retry
@@ -287,13 +387,14 @@ impl<'a> SessionBuilder<'a> {
         retry.seed ^= nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Ok(Session::new(
             self.svc,
-            self.sel,
+            plan.server_query,
             self.rank,
-            algo,
+            plan.algorithm,
             self.tie,
             self.budget,
             retry,
             self.retry_limit,
+            plan.residual,
         ))
     }
 }

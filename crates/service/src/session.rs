@@ -25,6 +25,7 @@
 
 use crate::retry::RetryRunner;
 use crate::service::{Algorithm, RerankService};
+use qrs_core::baselines::PageDownCursor;
 use qrs_core::md::ta::TaCursor;
 use qrs_core::{MdCursor, OneDCursor, OneDSpec, TiePolicy};
 use qrs_ranking::RankFn;
@@ -43,6 +44,18 @@ enum Cursor {
     OneD(OneDCursor),
     Md(MdCursor),
     Ta(TaCursor),
+    PageDown(PageDownCursor),
+}
+
+/// What one locked cursor step produced.
+enum Step {
+    /// A tuple surfaced (still subject to the residual filter).
+    Emitted(Arc<Tuple>),
+    /// The stream is exhausted.
+    Exhausted,
+    /// Paid work happened (e.g. one page-down fetch) but no tuple is ready
+    /// yet: loop again, re-checking the budget gates first.
+    Progress,
 }
 
 /// Point-in-time accounting for one session, exact under retries and
@@ -84,6 +97,10 @@ pub struct Session<'a> {
     retries: u64,
     /// Retry policy + jitter RNG + per-session retry cap.
     retry: RetryRunner,
+    /// Predicates the planner relaxed out of the server-side query (the
+    /// site could not evaluate them); re-checked here before emitting, so
+    /// exactness survives the relaxation.
+    residual: Option<Query>,
 }
 
 impl<'a> Session<'a> {
@@ -97,6 +114,7 @@ impl<'a> Session<'a> {
         budget_limit: Option<u64>,
         retry_policy: RetryPolicy,
         retry_limit: Option<u64>,
+        residual: Option<Query>,
     ) -> Self {
         let schema = svc.server().schema();
         let cursor = match algo {
@@ -113,6 +131,9 @@ impl<'a> Session<'a> {
                 schema,
                 &svc.server().capabilities(),
             )),
+            Algorithm::PageDown { max_pages } => {
+                Cursor::PageDown(PageDownCursor::new(sel, Arc::clone(&rank), max_pages))
+            }
             Algorithm::Auto => unreachable!("resolved by SessionBuilder::open"),
         };
         Session {
@@ -125,6 +146,7 @@ impl<'a> Session<'a> {
             attempts: 0,
             retries: 0,
             retry: RetryRunner::new(retry_policy, retry_limit),
+            residual,
         }
     }
 
@@ -160,17 +182,32 @@ impl<'a> Session<'a> {
                 }
             }
             let err = match self.step() {
-                Ok(t) => {
-                    return Ok(t.map(|tuple| {
-                        self.emitted += 1;
-                        self.svc.stats_ref().on_emit();
-                        RankedTuple {
-                            rank: self.emitted,
-                            score: self.rank.score(&tuple),
-                            tuple,
+                Ok(Step::Emitted(tuple)) => {
+                    if let Some(r) = &self.residual {
+                        if !r.matches(&tuple) {
+                            // Paid for but filtered client-side: the
+                            // planner relaxed a predicate the site could
+                            // not evaluate, and this tuple fails it. Rank
+                            // order is unaffected — keep pulling.
+                            retries_this_step = 0;
+                            continue;
                         }
-                    }))
+                    }
+                    self.emitted += 1;
+                    self.svc.stats_ref().on_emit();
+                    return Ok(Some(RankedTuple {
+                        rank: self.emitted,
+                        score: self.rank.score(&tuple),
+                        tuple,
+                    }));
                 }
+                Ok(Step::Progress) => {
+                    // Partial work (one page fetched): loop to re-check
+                    // the budget gates before paying for more.
+                    retries_this_step = 0;
+                    continue;
+                }
+                Ok(Step::Exhausted) => return Ok(None),
                 Err(e) => e,
             };
             if !err.is_retryable() || !self.retry.policy().retries_enabled() {
@@ -219,14 +256,29 @@ impl<'a> Session<'a> {
     /// spend counters update *before* the error propagates — a failed
     /// attempt that paid for queries (e.g. a page truncated in transit)
     /// still charges this session.
-    fn step(&mut self) -> Result<Option<Arc<Tuple>>, RerankError> {
+    fn step(&mut self) -> Result<Step, RerankError> {
         let server = Arc::clone(self.svc.server());
         let mut st = self.svc.state().lock();
         let before = server.queries_issued();
+        let emitted = |o: Option<Arc<Tuple>>| match o {
+            Some(t) => Step::Emitted(t),
+            None => Step::Exhausted,
+        };
         let t = match &mut self.cursor {
-            Cursor::OneD(c) => c.next(server.as_ref(), &mut st),
-            Cursor::Md(c) => c.next(server.as_ref(), &mut st),
-            Cursor::Ta(c) => c.next(server.as_ref(), &mut st),
+            Cursor::OneD(c) => c.next(server.as_ref(), &mut st).map(emitted),
+            Cursor::Md(c) => c.next(server.as_ref(), &mut st).map(emitted),
+            Cursor::Ta(c) => c.next(server.as_ref(), &mut st).map(emitted),
+            // Page-down is driven one page per step so the budget gates in
+            // `next` fire between pages and the state lock is released —
+            // a long drain never bypasses a cap or starves other sessions.
+            Cursor::PageDown(c) => {
+                if c.drained() {
+                    Ok(emitted(c.emit_next()))
+                } else {
+                    c.fetch_next_page(server.as_ref(), &mut st)
+                        .map(|_| Step::Progress)
+                }
+            }
         };
         self.attempts += 1;
         self.spent += server.queries_issued() - before;
@@ -435,6 +487,27 @@ mod tests {
         );
         // No session was counted for the refused open.
         assert_eq!(svc.stats().sessions_started, 0);
+    }
+
+    #[test]
+    fn plan_reflects_explicit_algorithm_choice() {
+        let svc = service(50, 5);
+        // Explicit choice: plan() reports it verbatim, full selection.
+        let builder = svc
+            .session(Query::all(), rank2())
+            .algorithm(Algorithm::Md(qrs_core::MdOptions::rerank()));
+        let plan = builder.plan().unwrap();
+        assert!(matches!(plan.algorithm, Algorithm::Md(_)));
+        assert!(plan.residual.is_none());
+        assert!(plan.rationale.contains("explicit"));
+        // And plan() fails exactly where open() would: an explicit TA over
+        // public ORDER BY on a server that lacks it.
+        let err = svc
+            .session(Query::all(), rank2())
+            .algorithm(Algorithm::Ta(qrs_core::md::ta::SortedAccess::PublicOrderBy))
+            .plan()
+            .unwrap_err();
+        assert!(matches!(err, RerankError::UnsupportedCapability(_)));
     }
 
     #[test]

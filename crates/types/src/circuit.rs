@@ -17,6 +17,18 @@
 //!   one query per cool-down window instead of one per merge step.
 
 /// When a federated source's circuit trips, and whether it may half-open.
+///
+/// ```
+/// use qrs_types::CircuitPolicy;
+///
+/// // Trip after 3 consecutive failures; admit one probe pull per 500 ms.
+/// let policy = CircuitPolicy::trip_after(3).cooldown(500);
+/// assert_eq!(policy.failure_threshold, 3);
+/// assert_eq!(policy.cooldown_ms, Some(500));
+///
+/// // Without a cooldown a tripped source stays out of the merge forever.
+/// assert_eq!(CircuitPolicy::trip_after(1).cooldown_ms, None);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CircuitPolicy {
     /// Consecutive retryable failures after which the circuit opens.

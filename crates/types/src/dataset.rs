@@ -64,6 +64,7 @@ impl Dataset {
         }
     }
 
+    /// The dataset's schema.
     #[inline]
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
@@ -75,16 +76,19 @@ impl Dataset {
         self.tuples.len()
     }
 
+    /// Whether the dataset holds no tuples.
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.tuples.is_empty()
     }
 
+    /// All tuples, in storage order.
     #[inline]
     pub fn tuples(&self) -> &[Arc<Tuple>] {
         &self.tuples
     }
 
+    /// Look up a tuple by id.
     #[inline]
     pub fn get(&self, id: TupleId) -> Option<&Arc<Tuple>> {
         // TupleIds assigned by generators are positional; fall back to scan

@@ -26,13 +26,26 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TypeError {
     /// A tuple's ordinal arity does not match the schema.
-    OrdinalArityMismatch { expected: usize, got: usize },
+    OrdinalArityMismatch {
+        /// Ordinal arity the schema declares.
+        expected: usize,
+        /// Ordinal arity the tuple carries.
+        got: usize,
+    },
     /// A tuple's categorical arity does not match the schema.
-    CategoricalArityMismatch { expected: usize, got: usize },
+    CategoricalArityMismatch {
+        /// Categorical arity the schema declares.
+        expected: usize,
+        /// Categorical arity the tuple carries.
+        got: usize,
+    },
     /// A categorical code is out of the attribute's declared cardinality.
     CategoricalCodeOutOfRange {
+        /// Index of the offending categorical attribute.
         attr: usize,
+        /// The out-of-range code.
         code: u32,
+        /// The attribute's declared cardinality.
         cardinality: u32,
     },
 }
@@ -80,6 +93,18 @@ pub enum Capability {
     Paging,
     /// Public `ORDER BY` paging on the given attribute.
     OrderBy(AttrId),
+    /// Range predicates `Ai ∈ (v, v')` on the given attribute (a site with
+    /// only a dropdown offers point predicates at best).
+    RangeFilter(AttrId),
+    /// Point predicates `Ai = v` on the given attribute (a browse-only
+    /// storefront may offer no attribute filter at all).
+    PointFilter(AttrId),
+    /// Conjunctive queries carrying this many predicates (flight sites
+    /// commonly cap the number of simultaneous search criteria).
+    PredicateArity(usize),
+    /// Paging down to this many result pages under one query (many sites
+    /// stop serving pages past a fixed depth).
+    PageDepth(usize),
 }
 
 impl fmt::Display for Capability {
@@ -87,6 +112,10 @@ impl fmt::Display for Capability {
         match self {
             Capability::Paging => write!(f, "page turns on the system ranking"),
             Capability::OrderBy(a) => write!(f, "public ORDER BY on attribute {a}"),
+            Capability::RangeFilter(a) => write!(f, "range predicates on attribute {a}"),
+            Capability::PointFilter(a) => write!(f, "point predicates on attribute {a}"),
+            Capability::PredicateArity(n) => write!(f, "queries with {n} predicates"),
+            Capability::PageDepth(p) => write!(f, "paging down to page {p}"),
         }
     }
 }
@@ -100,14 +129,23 @@ impl fmt::Display for Capability {
 pub enum ServerError {
     /// The backend refused the query (quota, throttling). `retry_after_ms`
     /// is the backend's hint, when it gave one.
-    RateLimited { retry_after_ms: Option<u64> },
+    RateLimited {
+        /// The backend's `Retry-After` hint in milliseconds, if any.
+        retry_after_ms: Option<u64>,
+    },
     /// Transient failure: network error, 5xx, timeout.
-    Unavailable { reason: String },
+    Unavailable {
+        /// Human-readable failure description.
+        reason: String,
+    },
     /// The interface does not offer the requested capability.
     Unsupported(Capability),
     /// The query violates the interface contract (e.g. a range predicate on
     /// an attribute that only accepts point predicates, §5).
-    InvalidQuery { reason: String },
+    InvalidQuery {
+        /// Human-readable contract-violation description.
+        reason: String,
+    },
 }
 
 impl ServerError {
@@ -167,40 +205,74 @@ impl std::error::Error for ServerError {}
 pub enum RerankError {
     /// The query budget ran out. Results fetched before the trip are
     /// retained by the caller (see `Session::top`).
-    BudgetExhausted { spent: u64, limit: u64 },
+    BudgetExhausted {
+        /// Queries spent inside the tripped budget window.
+        spent: u64,
+        /// The budget cap that tripped.
+        limit: u64,
+    },
     /// The backing server does not offer a capability the chosen algorithm
     /// requires.
     UnsupportedCapability(Capability),
     /// The requested algorithm cannot serve the requested ranking function
     /// (e.g. a 1D algorithm with a multi-attribute ranking function).
-    InvalidAlgorithm { reason: String },
+    InvalidAlgorithm {
+        /// Human-readable mismatch description.
+        reason: String,
+    },
     /// The backing server failed.
     Server(ServerError),
     /// A transient server failure persisted through every attempt the
     /// session's retry policy allows. Carries the attempt count and the
     /// last underlying error so budget attribution stays exact.
     RetriesExhausted {
+        /// Attempts consumed, the first included.
         attempts: u32,
+        /// The last underlying failure.
         last: Box<RerankError>,
     },
     /// The per-session or service-wide *retry* budget ran out while
     /// recovering from the carried error. Distinct from
     /// [`RerankError::BudgetExhausted`], which meters queries, not retries.
     RetryBudgetExhausted {
+        /// Retries spent inside the tripped budget window.
         retries_spent: u64,
+        /// The retry cap that tripped.
         limit: u64,
+        /// The last underlying failure.
         last: Box<RerankError>,
     },
     /// The caller cancelled the request (via a cancellation token) before
     /// it completed. Partial results fetched before the cancellation are
     /// preserved by batch drivers, mirroring the budget-trip contract.
     Cancelled,
+    /// No reranking algorithm fits the site's advertised capabilities for
+    /// this query shape. `missing` names the capabilities that would have
+    /// unblocked a candidate algorithm; `reason` narrates the planner's
+    /// per-candidate verdicts. Raised at preflight (`Planner::plan` /
+    /// `SessionBuilder::open`), never mid-stream — a session that opens
+    /// cleanly has a working plan.
+    Unplannable {
+        /// Capabilities that would have let some candidate algorithm run,
+        /// deduplicated, in planner preference order.
+        missing: Vec<Capability>,
+        /// Human-readable planning trace (one verdict per candidate).
+        reason: String,
+    },
 }
 
 impl RerankError {
     /// Convenience constructor for algorithm/ranking mismatches.
     pub fn invalid_algorithm(reason: impl Into<String>) -> Self {
         RerankError::InvalidAlgorithm {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for planner dead ends.
+    pub fn unplannable(missing: Vec<Capability>, reason: impl Into<String>) -> Self {
+        RerankError::Unplannable {
+            missing,
             reason: reason.into(),
         }
     }
@@ -216,7 +288,9 @@ impl RerankError {
             // Re-issuing a cancelled request can succeed, but only the
             // caller who cancelled it can decide to — not a retry loop.
             RerankError::Cancelled => true,
-            RerankError::UnsupportedCapability(_) | RerankError::InvalidAlgorithm { .. } => false,
+            RerankError::UnsupportedCapability(_)
+            | RerankError::InvalidAlgorithm { .. }
+            | RerankError::Unplannable { .. } => false,
         }
     }
 
@@ -275,6 +349,20 @@ impl fmt::Display for RerankError {
                 )
             }
             RerankError::Cancelled => write!(f, "request cancelled by the caller"),
+            RerankError::Unplannable { missing, reason } => {
+                write!(f, "no algorithm fits the site's capabilities: {reason}")?;
+                if !missing.is_empty() {
+                    write!(f, " (missing: ")?;
+                    for (i, c) in missing.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, "; ")?;
+                        }
+                        write!(f, "{c}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -381,6 +469,22 @@ mod tests {
         );
         assert_eq!(e.retry_after_hint(), None);
         assert!(e.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn unplannable_is_terminal_and_names_the_capability() {
+        let e = RerankError::unplannable(
+            vec![Capability::RangeFilter(AttrId(0)), Capability::Paging],
+            "1D needs range predicates; page-down needs paging",
+        );
+        assert!(!e.is_transient());
+        assert!(!e.is_retryable());
+        let s = e.to_string();
+        assert!(s.contains("range predicates on attribute A1"));
+        assert!(s.contains("page turns"));
+        // An empty missing list still renders the reason.
+        let e = RerankError::unplannable(vec![], "nothing fits");
+        assert!(e.to_string().contains("nothing fits"));
     }
 
     #[test]

@@ -48,7 +48,9 @@ impl Endpoint {
 /// want to treat an exhausted search region.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interval {
+    /// Lower endpoint.
     pub lo: Endpoint,
+    /// Upper endpoint.
     pub hi: Endpoint,
 }
 
@@ -138,6 +140,23 @@ impl Interval {
     #[inline]
     pub fn point(v: f64) -> Self {
         Interval::closed(v, v)
+    }
+
+    /// Is this the degenerate point interval `[v, v]` — the only range a
+    /// point-predicate-only interface (§5) accepts?
+    pub fn is_point(&self) -> bool {
+        match (self.lo, self.hi) {
+            (Endpoint::Closed(a), Endpoint::Closed(b)) => cmp_f64(a, b) == Ordering::Equal,
+            _ => false,
+        }
+    }
+
+    /// Is this the unconstrained interval `(-∞, ∞)` (no predicate at all)?
+    pub fn is_all(&self) -> bool {
+        matches!(
+            (self.lo, self.hi),
+            (Endpoint::Unbounded, Endpoint::Unbounded)
+        )
     }
 
     /// Does the interval contain `v`?

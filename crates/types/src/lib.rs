@@ -24,6 +24,9 @@
 //! Everything downstream (`qrs-server`, `qrs-core`, …) is written against
 //! these types.
 
+#![deny(missing_docs)]
+
+pub mod capability;
 pub mod circuit;
 pub mod dataset;
 pub mod direction;
@@ -37,6 +40,7 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
+pub use capability::FilterSupport;
 pub use circuit::CircuitPolicy;
 pub use dataset::Dataset;
 pub use direction::Direction;

@@ -8,15 +8,19 @@ use crate::tuple::Tuple;
 /// `Ai ∈ I` for an ordinal attribute.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RangePredicate {
+    /// The constrained ordinal attribute.
     pub attr: AttrId,
+    /// The accepted value range.
     pub interval: Interval,
 }
 
 impl RangePredicate {
+    /// The predicate `attr ∈ interval`.
     pub fn new(attr: AttrId, interval: Interval) -> Self {
         RangePredicate { attr, interval }
     }
 
+    /// Does `t` satisfy the predicate?
     #[inline]
     pub fn matches(&self, t: &Tuple) -> bool {
         self.interval.contains(t.ord(self.attr))
@@ -26,6 +30,7 @@ impl RangePredicate {
 /// `Bj ∈ {codes…}` for a categorical attribute (equality when a single code).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CatPredicate {
+    /// The constrained categorical attribute.
     pub attr: CatId,
     /// Accepted codes, kept sorted and deduplicated.
     codes: Vec<u32>,
@@ -47,11 +52,13 @@ impl CatPredicate {
         CatPredicate { attr, codes }
     }
 
+    /// Does `t` satisfy the predicate?
     #[inline]
     pub fn matches(&self, t: &Tuple) -> bool {
         self.codes.binary_search(&t.cat(self.attr)).is_ok()
     }
 
+    /// Accepted codes, sorted ascending.
     #[inline]
     pub fn codes(&self) -> &[u32] {
         &self.codes
@@ -72,6 +79,7 @@ impl CatPredicate {
         }
     }
 
+    /// Whether the accepted code set is empty (no tuple can match).
     #[inline]
     pub fn is_unsatisfiable(&self) -> bool {
         self.codes.is_empty()

@@ -24,10 +24,13 @@ pub struct QueryResponse {
     /// Returned tuples, in the *system* ranking order (which the reranker
     /// must treat as arbitrary).
     pub tuples: Vec<Arc<Tuple>>,
+    /// Which side of the underflow / valid / overflow trichotomy this
+    /// response landed on.
     pub outcome: QueryOutcome,
 }
 
 impl QueryResponse {
+    /// An empty response (`|R(q)| = 0`).
     pub fn underflow() -> Self {
         QueryResponse {
             tuples: Vec::new(),
@@ -35,6 +38,8 @@ impl QueryResponse {
         }
     }
 
+    /// A response classified from its payload: empty ⇒ underflow, else
+    /// `overflow` decides between overflow and valid.
     pub fn new(tuples: Vec<Arc<Tuple>>, overflow: bool) -> Self {
         let outcome = if tuples.is_empty() {
             QueryOutcome::Underflow
@@ -46,16 +51,19 @@ impl QueryResponse {
         QueryResponse { tuples, outcome }
     }
 
+    /// `|R(q)| = 0`: no tuple matched.
     #[inline]
     pub fn is_underflow(&self) -> bool {
         self.outcome == QueryOutcome::Underflow
     }
 
+    /// `1 ≤ |R(q)| ≤ k`: every matching tuple is in the response.
     #[inline]
     pub fn is_valid(&self) -> bool {
         self.outcome == QueryOutcome::Valid
     }
 
+    /// `|R(q)| > k`: only the system's top `k` came back.
     #[inline]
     pub fn is_overflow(&self) -> bool {
         self.outcome == QueryOutcome::Overflow

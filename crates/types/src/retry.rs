@@ -24,6 +24,26 @@
 /// An exhausted policy surfaces [`RetriesExhausted`] carrying the attempt
 /// count and the last underlying error, so callers keep full attribution.
 ///
+/// ```
+/// use qrs_types::RetryPolicy;
+///
+/// // 6 attempts per step, 50 ms doubling backoff capped at 5 s, up to
+/// // 25 ms of seeded jitter.
+/// let policy = RetryPolicy::standard()
+///     .attempts(6)
+///     .backoff(50, 5_000)
+///     .jitter(25)
+///     .seed(42);
+/// assert!(policy.retries_enabled());
+/// assert_eq!(policy.max_attempts, 6);
+/// // Pure exponential schedule (before jitter): 50, 100, 200, …
+/// assert_eq!(policy.base_delay_ms(1), 50);
+/// assert_eq!(policy.base_delay_ms(3), 200);
+///
+/// // The default is fail-fast: retries are an explicit opt-in.
+/// assert!(!RetryPolicy::none().retries_enabled());
+/// ```
+///
 /// Backoff for the `i`-th retry (1-based) is
 /// `min(max_backoff_ms, base_backoff_ms * 2^(i-1))` plus a uniform jitter
 /// draw from `[0, jitter_ms]` — except when the server supplied

@@ -30,6 +30,7 @@ impl fmt::Display for CatId {
 /// An ordinal (rankable, range-searchable) attribute.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OrdinalAttr {
+    /// Human-readable attribute name (unique within a schema).
     pub name: String,
     /// Smallest domain value `v0`.
     pub min: f64,
@@ -84,12 +85,14 @@ impl OrdinalAttr {
 /// A categorical attribute, usable only in equality/membership filters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CatAttr {
+    /// Human-readable attribute name (unique within a schema).
     pub name: String,
     /// Number of distinct values; values are encoded as `0..cardinality`.
     pub cardinality: u32,
 }
 
 impl CatAttr {
+    /// A categorical attribute with `cardinality` distinct codes.
     pub fn new(name: impl Into<String>, cardinality: u32) -> Self {
         CatAttr {
             name: name.into(),
@@ -106,6 +109,7 @@ pub struct Schema {
 }
 
 impl Schema {
+    /// A schema over the given ordinal and categorical attributes.
     pub fn new(ordinal: Vec<OrdinalAttr>, categorical: Vec<CatAttr>) -> Self {
         Schema {
             ordinal,
@@ -125,11 +129,13 @@ impl Schema {
         self.categorical.len()
     }
 
+    /// The ordinal attribute with index `id`.
     #[inline]
     pub fn ordinal(&self, id: AttrId) -> &OrdinalAttr {
         &self.ordinal[id.0]
     }
 
+    /// The categorical attribute with index `id`.
     #[inline]
     pub fn categorical(&self, id: CatId) -> &CatAttr {
         &self.categorical[id.0]

@@ -19,12 +19,14 @@ impl fmt::Display for TupleId {
 /// A database tuple: ordinal values (rankable) + categorical codes (filters).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tuple {
+    /// Stable identifier (positional for generated datasets).
     pub id: TupleId,
     ord: Box<[f64]>,
     cat: Box<[u32]>,
 }
 
 impl Tuple {
+    /// A tuple with the given ordinal values and categorical codes.
     pub fn new(id: TupleId, ord: Vec<f64>, cat: Vec<u32>) -> Self {
         Tuple {
             id,
