@@ -114,12 +114,15 @@ fn workloads() -> Vec<Workload> {
 }
 
 fn algorithm_label(a: &Algorithm) -> &'static str {
+    use qrs_core::strategy::names;
     match a {
-        Algorithm::Auto => "auto",
-        Algorithm::OneD(_) => "1d-rerank",
-        Algorithm::Md(_) => "md-rerank",
-        Algorithm::Ta(_) => "ta-order-by",
-        Algorithm::PageDown { .. } => "page-down",
+        Algorithm::Auto => names::AUTO,
+        Algorithm::OneD(_) => names::ONE_D,
+        Algorithm::Md(_) => names::MD,
+        Algorithm::Ta(qrs_core::md::ta::SortedAccess::PublicOrderBy) => names::TA_ORDER_BY,
+        Algorithm::Ta(qrs_core::md::ta::SortedAccess::OneD(_)) => names::TA_OVER_1D,
+        Algorithm::PageDown { .. } => names::PAGE_DOWN,
+        Algorithm::Custom => names::CUSTOM,
     }
 }
 
@@ -245,8 +248,11 @@ mod tests {
                 }
             }
         }
-        // 4 profiles × 2 sizes × 3 workloads.
-        assert_eq!(cells.len(), 24);
+        // Every profile × 2 sizes × every workload.
+        assert_eq!(
+            cells.len(),
+            SiteProfile::catalog(p.k).len() * 2 * workloads().len()
+        );
         let planned: Vec<_> = cells
             .iter()
             .filter_map(|c| match &c.outcome {

@@ -6,15 +6,16 @@ pub mod capability_matrix;
 pub mod md;
 pub mod one_d;
 pub mod online;
+pub mod planner_cost;
 pub mod scaling;
 pub mod thm1;
 
 use crate::Scale;
 
-/// All experiment ids, in paper order (plus the post-paper `scaling` and
-/// `capability_matrix` experiments for the concurrent service layer and
-/// the capability-aware planner).
-pub const ALL_IDS: [&str; 16] = [
+/// All experiment ids, in paper order (plus the post-paper `scaling`,
+/// `capability_matrix` and `planner_cost` experiments for the concurrent
+/// service layer and the cost-aware capability planner).
+pub const ALL_IDS: [&str; 17] = [
     "fig6",
     "fig7",
     "fig8",
@@ -31,6 +32,7 @@ pub const ALL_IDS: [&str; 16] = [
     "ablation",
     "scaling",
     "capability_matrix",
+    "planner_cost",
 ];
 
 /// Run one experiment by id; `false` if the id is unknown.
@@ -83,6 +85,9 @@ pub fn run(id: &str, scale: Scale) -> bool {
         }
         "capability_matrix" => {
             capability_matrix::run(scale);
+        }
+        "planner_cost" => {
+            planner_cost::run(scale);
         }
         _ => return false,
     }

@@ -44,9 +44,14 @@ pub mod md;
 pub mod norm;
 pub mod one_d;
 pub mod params;
+pub mod strategy;
 
 pub use ctx::SharedState;
 pub use md::{MdAlgo, MdCursor, MdOptions, TaCursor};
 pub use norm::{NormBox, NormView};
 pub use one_d::{OneDCursor, OneDSpec, OneDStrategy, TiePolicy};
 pub use params::RerankParams;
+pub use strategy::{
+    CostEstimate, MdCursorStrategy, OneDCursorStrategy, PageDownStrategy, PlanContext,
+    RerankStrategy, StrategyIo, StrategyStep, TaCursorStrategy,
+};

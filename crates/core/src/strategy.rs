@@ -1,0 +1,685 @@
+//! The pluggable execution API: reranking algorithms as strategy objects.
+//!
+//! Every exact-reranking algorithm in this crate — the §3 1D cursor, the
+//! §4 MD cursor, TA over public `ORDER BY`, the strict page-down fallback —
+//! is a *pull state machine*: ask it for the next step and it either emits
+//! the next-ranked tuple, reports paid progress, or declares the stream
+//! exhausted, issuing typed queries against the restricted interface along
+//! the way. [`RerankStrategy`] names that contract so the `qrs-service`
+//! session loop can drive *any* algorithm — the four built-in families
+//! (wrapped here as [`OneDCursorStrategy`], [`MdCursorStrategy`],
+//! [`TaCursorStrategy`], [`PageDownStrategy`]) or a user-registered custom
+//! one — through one `Box<dyn RerankStrategy>` without matching on an
+//! algorithm enum.
+//!
+//! Strategies are **sans-session**: they never see the service's locks,
+//! budgets or retry machinery. Each [`RerankStrategy::next_step`] call
+//! receives a [`StrategyIo`] — the typed request surface (top-k, page
+//! turn, `ORDER BY` page) plus the shared knowledge state — and must issue
+//! at most a bounded burst of requests before returning, so the driver can
+//! re-check budget gates and release locks between steps. Everything a
+//! strategy pays for goes through the ledger the driver meters.
+//!
+//! Strategies also carry their own *cost estimator*
+//! ([`RerankStrategy::estimate`]): given a [`PlanContext`] (site
+//! capabilities including the advertised [`CostModel`], database size
+//! estimate, pull horizon), predict the spend of running to the horizon.
+//! The planner ranks feasible candidates by these estimates — prediction
+//! and billing share the site's price list, so the comparison is in the
+//! currency the ledger will actually charge.
+
+use crate::baselines::PageDownCursor;
+use crate::ctx::SharedState;
+use crate::md::cursor::MdCursor;
+use crate::md::ta::{SortedAccess, TaCursor};
+use crate::one_d::cursor::{OneDCursor, TiePolicy};
+use crate::one_d::primitives::OneDSpec;
+use crate::one_d::OneDStrategy;
+use qrs_ranking::RankFn;
+use qrs_server::{Capabilities, OrderedPage, SearchInterface};
+use qrs_types::{
+    AttrId, CostModel, Direction, Interval, Query, QueryResponse, RequestKind, RerankError, Schema,
+    Tuple,
+};
+use std::sync::Arc;
+
+/// The canonical strategy-name vocabulary: one table shared by the
+/// strategy objects' [`RerankStrategy::name`] impls, the planner's
+/// candidate names, and experiment row labels — rename here or nowhere.
+pub mod names {
+    /// The §3 1D cursor.
+    pub const ONE_D: &str = "1d-rerank";
+    /// The §4 MD box-partitioning cursor.
+    pub const MD: &str = "md-rerank";
+    /// TA paging the site's public `ORDER BY` (§5).
+    pub const TA_ORDER_BY: &str = "ta-order-by";
+    /// TA over per-attribute 1D-RERANK sorted access (§4.1).
+    pub const TA_OVER_1D: &str = "ta-over-1d";
+    /// The strict page-down drain.
+    pub const PAGE_DOWN: &str = "page-down";
+    /// A user-registered custom strategy object.
+    pub const CUSTOM: &str = "custom";
+    /// Automatic (planner) choice — not a runnable strategy itself.
+    pub const AUTO: &str = "auto";
+}
+
+/// What one [`RerankStrategy::next_step`] call produced.
+#[derive(Debug, Clone)]
+pub enum StrategyStep {
+    /// The next-ranked tuple surfaced (the driver may still filter it
+    /// against a residual predicate before handing it to the user).
+    Emit(Arc<Tuple>),
+    /// Paid work happened (e.g. one page fetched) but no tuple is ready
+    /// yet: the driver re-checks its budget gates and calls again.
+    Progress,
+    /// The stream is exhausted; further calls keep returning this.
+    Exhausted,
+}
+
+/// Planner-time context for [`RerankStrategy::estimate`]: everything known
+/// about the site and the request before any query is spent.
+#[derive(Debug, Clone)]
+pub struct PlanContext {
+    /// The site model the server advertised (including its [`CostModel`]).
+    pub caps: Capabilities,
+    /// Schema of the hidden database.
+    pub schema: Arc<Schema>,
+    /// The interface page size `k`.
+    pub k: usize,
+    /// Estimated database size `|D|`.
+    pub n_estimate: usize,
+    /// How many tuples the caller expects to pull (the `h` of top-`h`).
+    pub horizon: usize,
+    /// The selection as it will be sent to the server (inexpressible
+    /// predicates already relaxed away by the planner).
+    pub server_query: Query,
+    /// Attributes of the user ranking function, in rank order.
+    pub rank_attrs: Vec<AttrId>,
+}
+
+impl PlanContext {
+    /// `max(1, ceil(h / k))`: result pages the horizon spans.
+    pub fn horizon_pages(&self) -> u64 {
+        (self.horizon.max(1) as u64).div_ceil(self.k.max(1) as u64)
+    }
+
+    /// `ceil(n / k)`: pages that provably drain the whole database.
+    pub fn drain_pages(&self) -> u64 {
+        (self.n_estimate.max(1) as u64).div_ceil(self.k.max(1) as u64)
+    }
+}
+
+/// Predicted spend for driving a strategy to the plan horizon: request
+/// count and its weighted price under the site's advertised [`CostModel`].
+///
+/// Estimates are heuristics, not guarantees — the planner only needs them
+/// to *rank* candidates, and the `planner_cost` experiment in `qrs-bench`
+/// checks the ranking against actually-charged ledgers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostEstimate {
+    /// Predicted charged requests.
+    pub queries: u64,
+    /// Predicted weighted cost units ([`CostModel::charge`] applied to the
+    /// strategy's representative query shape, times the request count).
+    pub cost_units: u64,
+}
+
+impl CostEstimate {
+    /// An estimate of `queries` requests, each priced as `shape` through
+    /// the `kind` entry point under `model`.
+    pub fn priced(queries: u64, model: &CostModel, shape: &Query, kind: RequestKind) -> Self {
+        CostEstimate {
+            queries,
+            cost_units: queries.saturating_mul(model.charge(shape, kind)),
+        }
+    }
+}
+
+impl std::fmt::Display for CostEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "≈{} units ({} queries)", self.cost_units, self.queries)
+    }
+}
+
+/// The typed I/O surface a strategy drives: every request a restricted
+/// site offers, plus the shared knowledge state. Handed to
+/// [`RerankStrategy::next_step`] by the session driver — strategies never
+/// own a server reference, so the driver stays in charge of locking,
+/// budgets and ledger attribution.
+///
+/// The typed helpers ([`StrategyIo::top_k`], [`StrategyIo::page`]) record
+/// successful responses into the shared query history automatically, so a
+/// custom strategy's paid-for tuples amortize future sessions exactly like
+/// the built-in algorithms' do. (`ORDER BY` pages are recorded tuple by
+/// tuple.)
+pub struct StrategyIo<'a> {
+    server: &'a dyn SearchInterface,
+    state: &'a mut SharedState,
+}
+
+impl<'a> StrategyIo<'a> {
+    /// Bind the typed request surface to one server and its shared state.
+    pub fn new(server: &'a dyn SearchInterface, state: &'a mut SharedState) -> Self {
+        StrategyIo { server, state }
+    }
+
+    /// Issue a one-shot top-`k` query; the response is recorded into the
+    /// shared history.
+    pub fn top_k(&mut self, q: &Query) -> Result<QueryResponse, RerankError> {
+        let resp = self.server.query(q)?;
+        self.state.history.record_response(&resp);
+        Ok(resp)
+    }
+
+    /// Fetch page `page` (0-based) of the system ranking for `q`; recorded
+    /// into the shared history.
+    pub fn page(&mut self, q: &Query, page: usize) -> Result<QueryResponse, RerankError> {
+        let resp = self.server.query_page(q, page)?;
+        self.state.history.record_response(&resp);
+        Ok(resp)
+    }
+
+    /// Fetch page `page` of `R(q)` publicly ordered by `attr` in `dir`;
+    /// tuples are recorded into the shared history.
+    pub fn ordered(
+        &mut self,
+        q: &Query,
+        attr: AttrId,
+        dir: Direction,
+        page: usize,
+    ) -> Result<OrderedPage, RerankError> {
+        let p = self.server.query_ordered(q, attr, dir, page)?;
+        for t in &p.tuples {
+            self.state.history.record(t);
+        }
+        Ok(p)
+    }
+
+    /// The interface page size `k`.
+    pub fn k(&self) -> usize {
+        self.server.k()
+    }
+
+    /// The site model the server advertises.
+    pub fn capabilities(&self) -> Capabilities {
+        self.server.capabilities()
+    }
+
+    /// Schema of the hidden database.
+    pub fn schema(&self) -> &Arc<Schema> {
+        self.server.schema()
+    }
+
+    /// The raw server + shared-state pair. Escape hatch for strategies
+    /// (like the built-in cursor wrappers) whose machinery predates the
+    /// typed surface; prefer the typed helpers in new code — they keep the
+    /// history recording invariant for you.
+    pub fn raw(&mut self) -> (&'a dyn SearchInterface, &mut SharedState) {
+        (self.server, self.state)
+    }
+}
+
+impl std::fmt::Debug for StrategyIo<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StrategyIo")
+            .field("k", &self.server.k())
+            .field("history", &self.state.history.len())
+            .finish()
+    }
+}
+
+/// An exact reranking algorithm as a pluggable pull state machine.
+///
+/// The `qrs-service` session drives one `Box<dyn RerankStrategy>` per
+/// session: [`RerankStrategy::next_step`] until [`StrategyStep::Exhausted`],
+/// with budget gates re-checked and locks released between steps. Register
+/// custom implementations via `SessionBuilder::strategy(..)`.
+///
+/// Contract:
+/// * **Bounded steps** — each `next_step` call issues at most a small,
+///   bounded burst of requests (ideally one) before returning
+///   [`StrategyStep::Progress`]; long drains must be resumable.
+/// * **Resume after `Err`** — state survives an error; retrying re-enters
+///   where the failure struck, never re-paying answered queries.
+/// * **Exactness is yours** — the driver re-applies residual predicates
+///   but trusts the emission *order*; emit in nondecreasing user-rank
+///   order or document otherwise.
+///
+/// ```
+/// use qrs_core::strategy::{
+///     CostEstimate, PlanContext, RerankStrategy, StrategyIo, StrategyStep,
+/// };
+/// use qrs_types::{Query, RequestKind, RerankError};
+///
+/// /// A toy strategy: report the size of the first page, then stop.
+/// struct FirstPageProbe {
+///     sel: Query,
+///     fetched: std::collections::VecDeque<std::sync::Arc<qrs_types::Tuple>>,
+///     done: bool,
+/// }
+///
+/// impl RerankStrategy for FirstPageProbe {
+///     fn name(&self) -> &str {
+///         "first-page-probe"
+///     }
+///     fn estimate(&self, ctx: &PlanContext) -> CostEstimate {
+///         // One top-k request, priced under the site's model.
+///         CostEstimate::priced(1, &ctx.caps.cost, &self.sel, RequestKind::TopK)
+///     }
+///     fn next_step(&mut self, io: &mut StrategyIo<'_>) -> Result<StrategyStep, RerankError> {
+///         if !self.done {
+///             self.done = true;
+///             self.fetched = io.top_k(&self.sel)?.tuples.into_iter().collect();
+///             return Ok(StrategyStep::Progress);
+///         }
+///         Ok(match self.fetched.pop_front() {
+///             Some(t) => StrategyStep::Emit(t),
+///             None => StrategyStep::Exhausted,
+///         })
+///     }
+/// }
+/// ```
+pub trait RerankStrategy: Send {
+    /// Short stable name, used in plans, rationales and experiment rows.
+    fn name(&self) -> &str;
+
+    /// Predict the spend of driving this strategy to `ctx.horizon` tuples.
+    /// Used by the planner to rank feasible candidates; heuristic, but
+    /// priced under the site's advertised cost model.
+    fn estimate(&self, ctx: &PlanContext) -> CostEstimate;
+
+    /// Advance the state machine by one bounded step.
+    fn next_step(&mut self, io: &mut StrategyIo<'_>) -> Result<StrategyStep, RerankError>;
+}
+
+fn step_from(t: Option<Arc<Tuple>>) -> StrategyStep {
+    match t {
+        Some(t) => StrategyStep::Emit(t),
+        None => StrategyStep::Exhausted,
+    }
+}
+
+/// `ceil(log2(n))`, floored at 1 — the binary-search depth estimates lean
+/// on.
+fn log2_ceil(n: u64) -> u64 {
+    (64 - n.max(2).saturating_sub(1).leading_zeros() as u64).max(1)
+}
+
+/// A non-degenerate predicate shape on `attr` for pricing: point for
+/// point-only attributes (that is what the cursor will send), a true range
+/// otherwise.
+fn pricing_predicate(schema: &Schema, attr: AttrId) -> Interval {
+    let a = schema.ordinal(attr);
+    if a.point_only {
+        Interval::point(a.min)
+    } else {
+        Interval::open(a.min, a.max)
+    }
+}
+
+/// The §3 1D cursor ([`OneDCursor`]) as a strategy object.
+#[derive(Debug)]
+pub struct OneDCursorStrategy {
+    cursor: OneDCursor,
+}
+
+impl OneDCursorStrategy {
+    /// Wrap a 1D cursor for `spec` with the given primitive strategy and
+    /// tie policy.
+    pub fn new(spec: OneDSpec, strategy: OneDStrategy, tie: TiePolicy) -> Self {
+        OneDCursorStrategy {
+            cursor: OneDCursor::new(spec, strategy, tie),
+        }
+    }
+
+    /// The 1D cursor's cost heuristic, usable at plan time without
+    /// constructing the cursor: one binary-search descent (`log2 n`) plus
+    /// roughly one query per emitted tuple — the shared dense index
+    /// amortizes later descents — priced as a range-filtered top-`k` on
+    /// the ranking attribute.
+    pub fn estimate_in(ctx: &PlanContext) -> CostEstimate {
+        let h = ctx.horizon.max(1) as u64;
+        let n = ctx.n_estimate.max(1) as u64;
+        let queries = h + log2_ceil(n);
+        let mut shape = ctx.server_query.clone();
+        if let Some(&attr) = ctx.rank_attrs.first() {
+            shape.add_range(attr, pricing_predicate(&ctx.schema, attr));
+        }
+        CostEstimate::priced(queries, &ctx.caps.cost, &shape, RequestKind::TopK)
+    }
+}
+
+impl RerankStrategy for OneDCursorStrategy {
+    fn name(&self) -> &str {
+        names::ONE_D
+    }
+
+    fn estimate(&self, ctx: &PlanContext) -> CostEstimate {
+        Self::estimate_in(ctx)
+    }
+
+    fn next_step(&mut self, io: &mut StrategyIo<'_>) -> Result<StrategyStep, RerankError> {
+        let (server, st) = io.raw();
+        self.cursor.next(server, st).map(step_from)
+    }
+}
+
+/// The §4 MD box-partitioning cursor ([`MdCursor`]) as a strategy object.
+pub struct MdCursorStrategy {
+    cursor: MdCursor,
+}
+
+impl MdCursorStrategy {
+    /// Wrap an MD cursor for `sel` ranked by `rank`.
+    pub fn new(rank: Arc<dyn RankFn>, sel: Query, opts: crate::MdOptions, schema: &Schema) -> Self {
+        MdCursorStrategy {
+            cursor: MdCursor::new(rank, sel, opts, schema),
+        }
+    }
+
+    /// The MD cursor's cost heuristic: the 1D shape scaled by the ranking
+    /// arity (each dimension contributes binary partitioning work), priced
+    /// as a top-`k` constrained on every ordinal attribute — the box
+    /// queries the cursor actually sends.
+    pub fn estimate_in(ctx: &PlanContext) -> CostEstimate {
+        let h = ctx.horizon.max(1) as u64;
+        let n = ctx.n_estimate.max(1) as u64;
+        let m = ctx.rank_attrs.len().max(1) as u64;
+        let queries = h + m * (1 + ctx.horizon_pages()) * log2_ceil(n);
+        let mut shape = ctx.server_query.clone();
+        for attr in ctx.schema.attr_ids() {
+            shape.add_range(attr, pricing_predicate(&ctx.schema, attr));
+        }
+        CostEstimate::priced(queries, &ctx.caps.cost, &shape, RequestKind::TopK)
+    }
+}
+
+impl RerankStrategy for MdCursorStrategy {
+    fn name(&self) -> &str {
+        names::MD
+    }
+
+    fn estimate(&self, ctx: &PlanContext) -> CostEstimate {
+        Self::estimate_in(ctx)
+    }
+
+    fn next_step(&mut self, io: &mut StrategyIo<'_>) -> Result<StrategyStep, RerankError> {
+        let (server, st) = io.raw();
+        self.cursor.next(server, st).map(step_from)
+    }
+}
+
+/// TA over sorted access ([`TaCursor`]) as a strategy object.
+pub struct TaCursorStrategy {
+    cursor: TaCursor,
+    public: bool,
+}
+
+impl TaCursorStrategy {
+    /// Wrap a TA cursor negotiating `access` against the server's
+    /// advertised capabilities (attributes without public `ORDER BY` fall
+    /// back to 1D-RERANK sorted access).
+    pub fn new(
+        rank: Arc<dyn RankFn>,
+        sel: Query,
+        access: SortedAccess,
+        schema: &Schema,
+        caps: &Capabilities,
+    ) -> Self {
+        TaCursorStrategy {
+            cursor: TaCursor::with_server_caps(rank, sel, access, schema, caps),
+            public: matches!(access, SortedAccess::PublicOrderBy),
+        }
+    }
+
+    /// TA's cost heuristic for public-`ORDER BY` sorted access; see
+    /// [`TaCursorStrategy::estimate_with_access`].
+    pub fn estimate_in(ctx: &PlanContext) -> CostEstimate {
+        Self::estimate_with_access(ctx, true)
+    }
+
+    /// TA's cost heuristic: the threshold stops once each of the `m`
+    /// streams has drained `≈ (h · n^(m-1))^(1/m)` tuples (for `m = 1` the
+    /// single ordered stream *is* the answer order: depth `h`; for `m = 2`
+    /// the classic `sqrt(h·n)`). With public `ORDER BY` access that is
+    /// `⌈depth/k⌉` ordered pages per stream, priced as `ORDER BY` pages of
+    /// the server query; with 1D-RERANK sorted access
+    /// ([`SortedAccess::OneD`]) each stream instead issues range-filtered
+    /// top-`k` probes — roughly one per drained tuple plus one
+    /// binary-search descent — priced in *that* request class, since the
+    /// server never sees an `ORDER BY`.
+    pub fn estimate_with_access(ctx: &PlanContext, public_order_by: bool) -> CostEstimate {
+        let h = ctx.horizon.max(1) as u64;
+        let n = ctx.n_estimate.max(1) as u64;
+        let m = ctx.rank_attrs.len().max(1) as u64;
+        let k = ctx.k.max(1) as u64;
+        let depth = (((h as f64) * (n as f64).powi(m as i32 - 1))
+            .powf(1.0 / m as f64)
+            .ceil() as u64)
+            .clamp(1, n);
+        if public_order_by {
+            let pages_per_stream = depth.div_ceil(k).clamp(1, ctx.drain_pages());
+            CostEstimate::priced(
+                m * pages_per_stream,
+                &ctx.caps.cost,
+                &ctx.server_query,
+                RequestKind::Ordered,
+            )
+        } else {
+            let mut shape = ctx.server_query.clone();
+            if let Some(&attr) = ctx.rank_attrs.first() {
+                shape.add_range(attr, pricing_predicate(&ctx.schema, attr));
+            }
+            CostEstimate::priced(
+                m * (depth + log2_ceil(n)),
+                &ctx.caps.cost,
+                &shape,
+                RequestKind::TopK,
+            )
+        }
+    }
+}
+
+impl RerankStrategy for TaCursorStrategy {
+    fn name(&self) -> &str {
+        if self.public {
+            names::TA_ORDER_BY
+        } else {
+            names::TA_OVER_1D
+        }
+    }
+
+    fn estimate(&self, ctx: &PlanContext) -> CostEstimate {
+        Self::estimate_with_access(ctx, self.public)
+    }
+
+    fn next_step(&mut self, io: &mut StrategyIo<'_>) -> Result<StrategyStep, RerankError> {
+        let (server, st) = io.raw();
+        self.cursor.next(server, st).map(step_from)
+    }
+}
+
+/// The strict page-down fallback ([`PageDownCursor`]) as a strategy
+/// object. Fetches one page per step (so the driver's budget gates fire
+/// between pages), then emits the locally reranked drain.
+#[derive(Debug)]
+pub struct PageDownStrategy {
+    cursor: PageDownCursor,
+}
+
+impl PageDownStrategy {
+    /// Wrap a strict page-down cursor for `sel` reranked by `rank`,
+    /// allowed at most `max_pages` page turns.
+    pub fn new(sel: Query, rank: Arc<dyn RankFn>, max_pages: usize) -> Self {
+        PageDownStrategy {
+            cursor: PageDownCursor::new(sel, rank, max_pages),
+        }
+    }
+
+    /// Page-down's cost is not a heuristic: draining `R(q)` takes exactly
+    /// `ceil(n/k)` page turns (under the planner's `n_estimate`), priced
+    /// as page requests of the server query. Emission afterwards is free.
+    pub fn estimate_in(ctx: &PlanContext) -> CostEstimate {
+        CostEstimate::priced(
+            ctx.drain_pages(),
+            &ctx.caps.cost,
+            &ctx.server_query,
+            RequestKind::Page,
+        )
+    }
+}
+
+impl RerankStrategy for PageDownStrategy {
+    fn name(&self) -> &str {
+        "page-down"
+    }
+
+    fn estimate(&self, ctx: &PlanContext) -> CostEstimate {
+        Self::estimate_in(ctx)
+    }
+
+    fn next_step(&mut self, io: &mut StrategyIo<'_>) -> Result<StrategyStep, RerankError> {
+        let (server, st) = io.raw();
+        if self.cursor.drained() {
+            Ok(step_from(self.cursor.emit_next()))
+        } else {
+            self.cursor
+                .fetch_next_page(server, st)
+                .map(|_| StrategyStep::Progress)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::RerankParams;
+    use qrs_datagen::synthetic::uniform;
+    use qrs_ranking::LinearRank;
+    use qrs_server::{SimServer, SystemRank};
+
+    fn ctx(n: usize, k: usize, horizon: usize, dims: usize, cost: CostModel) -> PlanContext {
+        let data = uniform(16, 2, 1, 1);
+        PlanContext {
+            caps: Capabilities::none().with_cost_model(cost),
+            schema: Arc::clone(data.schema()),
+            k,
+            n_estimate: n,
+            horizon,
+            server_query: Query::all(),
+            rank_attrs: (0..dims).map(AttrId).collect(),
+        }
+    }
+
+    #[test]
+    fn page_down_estimate_is_the_exact_drain() {
+        let c = ctx(100, 5, 8, 2, CostModel::flat());
+        let e = PageDownStrategy::estimate_in(&c);
+        assert_eq!(e.queries, 20);
+        assert_eq!(e.cost_units, 20);
+        // A paged surcharge prices every turn.
+        let c = ctx(100, 5, 8, 2, CostModel::flat().with_paged_cost(3));
+        assert_eq!(PageDownStrategy::estimate_in(&c).cost_units, 80);
+    }
+
+    #[test]
+    fn estimates_order_cursors_before_drains_on_deep_databases() {
+        let c = ctx(10_000, 5, 5, 1, CostModel::flat());
+        let one_d = OneDCursorStrategy::estimate_in(&c);
+        let drain = PageDownStrategy::estimate_in(&c);
+        assert!(
+            one_d.cost_units < drain.cost_units,
+            "1d {one_d} vs drain {drain}"
+        );
+        let c = ctx(10_000, 5, 5, 2, CostModel::flat());
+        let md = MdCursorStrategy::estimate_in(&c);
+        assert!(md.cost_units < PageDownStrategy::estimate_in(&c).cost_units);
+        // Estimates grow with the horizon.
+        let deep = ctx(10_000, 5, 50, 2, CostModel::flat());
+        assert!(MdCursorStrategy::estimate_in(&deep).cost_units > md.cost_units);
+    }
+
+    #[test]
+    fn cost_model_reprices_without_changing_query_counts() {
+        let flat = ctx(1_000, 5, 5, 2, CostModel::flat());
+        let metered = ctx(
+            1_000,
+            5,
+            5,
+            2,
+            CostModel::flat().with_range_cost(1).with_ordered_cost(2),
+        );
+        let (f, m) = (
+            MdCursorStrategy::estimate_in(&flat),
+            MdCursorStrategy::estimate_in(&metered),
+        );
+        assert_eq!(f.queries, m.queries);
+        // Two range predicates at +1 each: 3 units per query.
+        assert_eq!(m.cost_units, 3 * m.queries);
+        let (f, m) = (
+            TaCursorStrategy::estimate_in(&flat),
+            TaCursorStrategy::estimate_in(&metered),
+        );
+        assert_eq!(f.queries, m.queries);
+        assert_eq!(m.cost_units, 3 * f.cost_units);
+    }
+
+    #[test]
+    fn built_in_strategies_stream_identically_to_their_cursors() {
+        let n = 60;
+        let k = 5;
+        let data = uniform(n, 2, 1, 77);
+        let rank: Arc<dyn RankFn> =
+            Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)]));
+        let server_a = SimServer::new(data.clone(), SystemRank::pseudo_random(3), k);
+        let server_b = SimServer::new(data.clone(), SystemRank::pseudo_random(3), k);
+        let mut st_a = SharedState::new(data.schema(), RerankParams::paper_defaults(n, k));
+        let mut st_b = SharedState::new(data.schema(), RerankParams::paper_defaults(n, k));
+
+        let mut cursor = MdCursor::new(
+            Arc::clone(&rank),
+            Query::all(),
+            crate::MdOptions::rerank(),
+            data.schema(),
+        );
+        let mut strategy = MdCursorStrategy::new(
+            Arc::clone(&rank),
+            Query::all(),
+            crate::MdOptions::rerank(),
+            data.schema(),
+        );
+        for _ in 0..10 {
+            let want = cursor.next(&server_a, &mut st_a).unwrap().map(|t| t.id);
+            let got = loop {
+                let mut io = StrategyIo::new(&server_b, &mut st_b);
+                match strategy.next_step(&mut io).unwrap() {
+                    StrategyStep::Emit(t) => break Some(t.id),
+                    StrategyStep::Exhausted => break None,
+                    StrategyStep::Progress => continue,
+                }
+            };
+            assert_eq!(want, got);
+            assert_eq!(server_a.queries_issued(), server_b.queries_issued());
+            if want.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_io_typed_helpers_record_history() {
+        let n = 30;
+        let data = uniform(n, 2, 1, 79);
+        let server = SimServer::new(data.clone(), SystemRank::pseudo_random(5), 5).with_paging();
+        let mut st = SharedState::new(data.schema(), RerankParams::paper_defaults(n, 5));
+        let mut io = StrategyIo::new(&server, &mut st);
+        assert_eq!(io.k(), 5);
+        let resp = io.top_k(&Query::all()).unwrap();
+        assert_eq!(resp.tuples.len(), 5);
+        let resp = io.page(&Query::all(), 1).unwrap();
+        assert_eq!(resp.tuples.len(), 5);
+        assert!(io.capabilities().paging);
+        let _ = io;
+        assert_eq!(st.history.len(), 10);
+    }
+}

@@ -304,6 +304,10 @@ impl SearchInterface for FaultyServer {
         self.inner.queries_issued()
     }
 
+    fn cost_units_issued(&self) -> u64 {
+        self.inner.cost_units_issued()
+    }
+
     fn query_page(&self, q: &Query, page: usize) -> Result<QueryResponse, ServerError> {
         match self.decide() {
             Decision::Refuse(e) => Err(e),

@@ -13,7 +13,8 @@
 //! (never a panic) when a server lacks the feature.
 
 use qrs_types::{
-    AttrId, Capability, Direction, FilterSupport, Query, QueryResponse, Schema, ServerError, Tuple,
+    AttrId, Capability, CostModel, Direction, FilterSupport, Query, QueryResponse, Schema,
+    ServerError, Tuple,
 };
 use std::sync::Arc;
 
@@ -57,6 +58,11 @@ pub struct Capabilities {
     /// Per-attribute filter-support overrides, sparse: an attribute absent
     /// here accepts full range predicates ([`FilterSupport::Range`]).
     pub filters: Vec<(AttrId, FilterSupport)>,
+    /// How the site meters queries: per-query-class unit costs the server
+    /// *charges by* and the planner ranks feasible algorithms with. The
+    /// default ([`CostModel::flat`]) prices every query at one unit —
+    /// weighted cost equals the paper's raw query count.
+    pub cost: CostModel,
 }
 
 impl Capabilities {
@@ -101,6 +107,12 @@ impl Capabilities {
     pub fn with_filter(mut self, attr: AttrId, support: FilterSupport) -> Self {
         self.filters.retain(|(a, _)| *a != attr);
         self.filters.push((attr, support));
+        self
+    }
+
+    /// Builder: advertise a non-flat query cost model.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
         self
     }
 
@@ -166,6 +178,15 @@ pub trait SearchInterface: Send + Sync {
 
     /// Total number of queries issued so far — the cost metric of §2.2.
     fn queries_issued(&self) -> u64;
+
+    /// Total weighted cost units charged so far, under the advertised
+    /// [`CostModel`] ([`Capabilities::cost`]). Defaults to the raw query
+    /// count — exactly right for servers on the flat model; metered
+    /// servers (and decorators wrapping them) override to forward their
+    /// weighted ledger.
+    fn cost_units_issued(&self) -> u64 {
+        self.queries_issued()
+    }
 
     /// Page `page` (0-based) of the system-ranked answer to `q`.
     ///

@@ -77,6 +77,10 @@ impl SearchInterface for LatencyServer {
         self.inner.queries_issued()
     }
 
+    fn cost_units_issued(&self) -> u64 {
+        self.inner.cost_units_issued()
+    }
+
     fn query_page(&self, q: &Query, page: usize) -> Result<QueryResponse, ServerError> {
         self.delay();
         self.inner.query_page(q, page)

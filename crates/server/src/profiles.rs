@@ -16,7 +16,7 @@
 
 use crate::sim::SimServer;
 use crate::system_rank::SystemRank;
-use qrs_types::{Dataset, FilterSupport};
+use qrs_types::{CostModel, Dataset, FilterSupport};
 
 /// A named, reproducible restricted-site shape.
 ///
@@ -41,6 +41,10 @@ pub struct SiteProfile {
     pub filter: FilterSupport,
     /// Whether the site publicly offers `ORDER BY` on every attribute.
     pub order_by_all: bool,
+    /// How the site meters queries: advertised through capabilities and
+    /// charged by the built server's weighted ledger. Flat for sites that
+    /// bill every query the same.
+    pub cost: CostModel,
 }
 
 impl SiteProfile {
@@ -55,6 +59,7 @@ impl SiteProfile {
             max_predicates: None,
             filter: FilterSupport::Range,
             order_by_all: false,
+            cost: CostModel::flat(),
         }
     }
 
@@ -70,11 +75,14 @@ impl SiteProfile {
             max_predicates: None,
             filter: FilterSupport::Point,
             order_by_all: false,
+            cost: CostModel::flat(),
         }
     }
 
     /// A flight-search site: full range filters but at most three search
     /// criteria per query, and no page turns (each query answers once).
+    /// Filtered searches are the metered path: each range criterion adds a
+    /// unit on top of the base fare query.
     pub fn flight_site(k: usize) -> Self {
         SiteProfile {
             name: "flight_site",
@@ -84,12 +92,15 @@ impl SiteProfile {
             max_predicates: Some(3),
             filter: FilterSupport::Range,
             order_by_all: false,
+            cost: CostModel::flat().with_range_cost(1),
         }
     }
 
     /// A browse-only storefront: no attribute filters at all, public
     /// `ORDER BY` on every column, paging capped at twenty pages — the
-    /// "showing results 1–N" wall.
+    /// "showing results 1–N" wall. The `ORDER BY` view is the expensive
+    /// code path (2 extra units per sorted page), so plain page turns are
+    /// the cheap way in when the inventory is shallow enough to drain.
     pub fn storefront(k: usize) -> Self {
         SiteProfile {
             name: "storefront",
@@ -99,14 +110,35 @@ impl SiteProfile {
             max_predicates: None,
             filter: FilterSupport::None,
             order_by_all: true,
+            cost: CostModel::flat().with_ordered_cost(2),
         }
     }
 
-    /// The canonical sweep, in increasing order of restriction. Used by the
-    /// `capability_matrix` experiment and the planning test suite.
+    /// A full-featured aggregator: range filters, public `ORDER BY`,
+    /// unlimited paging — every algorithm family is *feasible*, so only
+    /// the cost model separates them. Deep paging is throttled hard
+    /// (3 extra units per page turn): draining the system ranking is the
+    /// one thing this site makes expensive.
+    pub fn aggregator(k: usize) -> Self {
+        SiteProfile {
+            name: "aggregator",
+            k,
+            paging: true,
+            max_pages: None,
+            max_predicates: None,
+            filter: FilterSupport::Range,
+            order_by_all: true,
+            cost: CostModel::flat().with_paged_cost(3),
+        }
+    }
+
+    /// The canonical sweep, in increasing order of restriction. Used by
+    /// the `capability_matrix` and `planner_cost` experiments and the
+    /// planning test suite.
     pub fn catalog(k: usize) -> Vec<SiteProfile> {
         vec![
             SiteProfile::open_site(k),
+            SiteProfile::aggregator(k),
             SiteProfile::flight_site(k),
             SiteProfile::classifieds(k),
             SiteProfile::storefront(k),
@@ -138,7 +170,9 @@ impl SiteProfile {
                 server = server.with_filter_support(a, self.filter);
             }
         }
-        server.with_order_by(order_by)
+        server
+            .with_order_by(order_by)
+            .with_cost_model(self.cost.clone())
     }
 }
 
@@ -169,8 +203,34 @@ mod tests {
         let names: Vec<_> = SiteProfile::catalog(5).iter().map(|p| p.name).collect();
         assert_eq!(
             names,
-            vec!["open_site", "flight_site", "classifieds", "storefront"]
+            vec![
+                "open_site",
+                "aggregator",
+                "flight_site",
+                "classifieds",
+                "storefront"
+            ]
         );
+    }
+
+    #[test]
+    fn built_servers_charge_by_the_profile_cost_model() {
+        let storefront = SiteProfile::storefront(5).build(dataset(), SystemRank::pseudo_random(1));
+        assert_eq!(storefront.capabilities().cost.ordered, 2);
+        // One ordered page: base 1 + ordered 2.
+        storefront
+            .query_ordered(&Query::all(), AttrId(0), qrs_types::Direction::Asc, 0)
+            .unwrap();
+        assert_eq!(storefront.cost_units_issued(), 3);
+        assert_eq!(storefront.queries_issued(), 1);
+
+        let aggregator = SiteProfile::aggregator(5).build(dataset(), SystemRank::pseudo_random(1));
+        assert!(aggregator.capabilities().supports(Capability::Paging));
+        assert!(aggregator
+            .capabilities()
+            .supports(Capability::OrderBy(AttrId(0))));
+        aggregator.query_page(&Query::all(), 0).unwrap();
+        assert_eq!(aggregator.cost_units_issued(), 4);
     }
 
     #[test]

@@ -17,8 +17,8 @@ use crate::system_rank::SystemRank;
 use parking_lot::Mutex;
 use qrs_types::value::cmp_f64;
 use qrs_types::{
-    AttrId, Capability, Dataset, Direction, Endpoint, FilterSupport, Query, QueryResponse, Schema,
-    ServerError, Tuple,
+    AttrId, Capability, CostModel, Dataset, Direction, Endpoint, FilterSupport, Query,
+    QueryResponse, RequestKind, Schema, ServerError, Tuple,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -44,6 +44,11 @@ pub struct SimServer {
     filters: Vec<(AttrId, FilterSupport)>,
     /// Refuse queries once the counter reaches this (None = unmetered).
     rate_limit: Option<u64>,
+    /// How charged queries are priced; the weighted ledger accumulates in
+    /// `cost_counter`. Flat by default (cost ≡ query count).
+    cost_model: CostModel,
+    /// Weighted cost units charged so far, under `cost_model`.
+    cost_counter: AtomicU64,
     system_rank: SystemRank,
     /// Log of issued queries (enabled in tests/debug experiments only).
     log: Option<Mutex<Vec<Query>>>,
@@ -82,9 +87,20 @@ impl SimServer {
             max_predicates: None,
             filters: Vec::new(),
             rate_limit: None,
+            cost_model: CostModel::flat(),
+            cost_counter: AtomicU64::new(0),
             system_rank,
             log: None,
         }
+    }
+
+    /// Meter queries by `model`: the server advertises it through
+    /// [`SearchInterface::capabilities`] and charges its weighted ledger
+    /// ([`SearchInterface::cost_units_issued`]) by it — prediction and
+    /// billing share one price list.
+    pub fn with_cost_model(mut self, model: CostModel) -> Self {
+        self.cost_model = model;
+        self
     }
 
     /// Enable page turns on the system ranking (real sites' "next page").
@@ -153,9 +169,10 @@ impl SimServer {
         &self.system_rank
     }
 
-    /// Reset the query counter (between experiment runs).
+    /// Reset the query and cost ledgers (between experiment runs).
     pub fn reset_counter(&self) {
         self.counter.store(0, Ordering::Relaxed);
+        self.cost_counter.store(0, Ordering::Relaxed);
     }
 
     /// Drain the query log (requires [`SimServer::with_query_log`]).
@@ -167,8 +184,10 @@ impl SimServer {
     }
 
     /// Admit (and charge) a query, or refuse it. Refused queries are not
-    /// charged: the backend rejected them before doing any work.
-    fn charge(&self, q: &Query) -> Result<(), ServerError> {
+    /// charged — to either ledger: the backend rejected them before doing
+    /// any work. Admitted ones charge the raw counter by 1 and the
+    /// weighted ledger by the cost model's price for `(q, kind)`.
+    fn charge(&self, q: &Query, kind: RequestKind) -> Result<(), ServerError> {
         self.validate_point_only(q)?;
         self.validate_site_model(q)?;
         match self.rate_limit {
@@ -187,6 +206,8 @@ impl SimServer {
                 self.counter.fetch_add(1, Ordering::Relaxed);
             }
         }
+        self.cost_counter
+            .fetch_add(self.cost_model.charge(q, kind), Ordering::Relaxed);
         if let Some(log) = &self.log {
             log.lock().push(q.clone());
         }
@@ -315,11 +336,12 @@ impl SearchInterface for SimServer {
             max_page_size: Some(self.k),
             max_predicates: self.max_predicates,
             filters,
+            cost: self.cost_model.clone(),
         }
     }
 
     fn query(&self, q: &Query) -> Result<QueryResponse, ServerError> {
-        self.charge(q)?;
+        self.charge(q, RequestKind::TopK)?;
         let mut out = Vec::with_capacity(self.k.min(16));
         for t in self.matches_in_system_order(q) {
             if out.len() == self.k {
@@ -334,12 +356,16 @@ impl SearchInterface for SimServer {
         self.counter.load(Ordering::Relaxed)
     }
 
+    fn cost_units_issued(&self) -> u64 {
+        self.cost_counter.load(Ordering::Relaxed)
+    }
+
     fn query_page(&self, q: &Query, page: usize) -> Result<QueryResponse, ServerError> {
         if !self.paging {
             return Err(ServerError::Unsupported(Capability::Paging));
         }
         self.validate_page_depth(page)?;
-        self.charge(q)?;
+        self.charge(q, RequestKind::Page)?;
         let skip = page * self.k;
         let mut out = Vec::with_capacity(self.k.min(16));
         for (i, t) in self.matches_in_system_order(q).enumerate() {
@@ -365,7 +391,7 @@ impl SearchInterface for SimServer {
             return Err(ServerError::Unsupported(Capability::OrderBy(attr)));
         }
         self.validate_page_depth(page)?;
-        self.charge(q)?;
+        self.charge(q, RequestKind::Ordered)?;
         let idx = &self.attr_order[attr.0];
         let skip = page * self.k;
         let mut out = Vec::with_capacity(self.k.min(16));
@@ -642,6 +668,52 @@ mod tests {
         assert!(s
             .query(&Query::all().and_range(AttrId(0), Interval::point(2.0)))
             .is_ok());
+    }
+
+    #[test]
+    fn cost_model_is_advertised_and_charged_by() {
+        use qrs_types::CostModel;
+        let s = server(3)
+            .with_paging()
+            .with_order_by(vec![AttrId(0)])
+            .with_cost_model(
+                CostModel::flat()
+                    .with_range_cost(2)
+                    .with_paged_cost(1)
+                    .with_ordered_cost(4),
+            );
+        assert_eq!(s.capabilities().cost.range_predicate, 2);
+        // Plain top-k: base 1.
+        s.query(&Query::all()).unwrap();
+        assert_eq!(s.cost_units_issued(), 1);
+        // Range-filtered: 1 + 2.
+        s.query(&Query::all().and_range(AttrId(0), Interval::open(1.0, 5.0)))
+            .unwrap();
+        assert_eq!(s.cost_units_issued(), 4);
+        // Page turn: 1 + 1. Ordered page: 1 + 4.
+        s.query_page(&Query::all(), 1).unwrap();
+        assert_eq!(s.cost_units_issued(), 6);
+        s.query_ordered(&Query::all(), AttrId(0), Direction::Asc, 0)
+            .unwrap();
+        assert_eq!(s.cost_units_issued(), 11);
+        // The raw ledger still counts queries; refusals charge neither.
+        assert_eq!(s.queries_issued(), 4);
+        assert!(s
+            .query_ordered(&Query::all(), AttrId(1), Direction::Asc, 0)
+            .is_err());
+        assert_eq!(s.cost_units_issued(), 11);
+        s.reset_counter();
+        assert_eq!((s.queries_issued(), s.cost_units_issued()), (0, 0));
+    }
+
+    #[test]
+    fn flat_default_keeps_cost_equal_to_query_count() {
+        let s = server(3);
+        assert!(s.capabilities().cost.is_flat());
+        s.query(&Query::all()).unwrap();
+        s.query(&Query::all().and_range(AttrId(0), Interval::open(1.0, 5.0)))
+            .unwrap();
+        assert_eq!(s.cost_units_issued(), s.queries_issued());
     }
 
     #[test]

@@ -107,6 +107,7 @@ fn run_one(svc: &RerankService, req: BatchRequest, cancel: &CancelToken) -> Batc
     let empty = SessionStats {
         emitted: 0,
         queries_spent: 0,
+        cost_units_spent: 0,
         attempts_made: 0,
         retries_spent: 0,
         budget_limit: req.budget,

@@ -88,6 +88,11 @@ pub struct SourceReport {
     pub probes_admitted: u64,
     /// The most recent error this source produced, if any.
     pub last_error: Option<RerankError>,
+    /// The source session's full accounting snapshot — emitted tuples,
+    /// raw queries *and* weighted cost units spent — so a federation
+    /// post-mortem reads what each source actually billed, not just
+    /// whether it tripped.
+    pub stats: SessionStats,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -512,18 +517,22 @@ impl<'a> FederatedSession<'a> {
     }
 
     /// Typed per-source health report: circuit state, consecutive-failure
-    /// count, trip/probe tallies, and the last error each source produced.
+    /// count, trip/probe tallies, the last error each source produced, and
+    /// the source session's spend accounting (queries and weighted cost
+    /// units).
     pub fn report(&self) -> Vec<SourceReport> {
         self.health
             .iter()
+            .zip(&self.sessions)
             .enumerate()
-            .map(|(source, h)| SourceReport {
+            .map(|(source, (h, sess))| SourceReport {
                 source,
                 consecutive_failures: h.consecutive_failures,
                 tripped: h.tripped,
                 trips: h.trips,
                 probes_admitted: h.probes_admitted,
                 last_error: h.last_error.clone(),
+                stats: sess.stats(),
             })
             .collect()
     }
@@ -624,6 +633,46 @@ mod tests {
         assert_eq!(got.len(), 40);
         assert!(fed.next().unwrap().is_none());
         assert_eq!(fed.emitted(), 40);
+    }
+
+    #[test]
+    fn report_carries_weighted_spend_per_source() {
+        use qrs_types::CostModel;
+        // Source 0 is flat; source 1 meters page turns — a post-mortem
+        // must show each source's weighted bill, not just query counts.
+        let (flat, _) = svc(31, 40);
+        let metered_data = uniform(40, 2, 1, 32);
+        let metered_server = SimServer::new(
+            metered_data,
+            SystemRank::linear("anti", vec![(AttrId(0), -1.0), (AttrId(1), -1.0)]),
+            5,
+        )
+        .with_cost_model(CostModel::flat().with_range_cost(2));
+        let metered = RerankService::new(Arc::new(metered_server), 40);
+        let services = [&flat, &metered];
+        let mut fed =
+            FederatedSession::open(&services, Query::all(), rank(), Algorithm::Auto).unwrap();
+        let (got, err) = fed.top(10);
+        assert!(err.is_none());
+        assert_eq!(got.len(), 10);
+        let report = fed.report();
+        let stats = fed.session_stats();
+        for (r, s) in report.iter().zip(&stats) {
+            assert_eq!(r.stats, *s, "report and session_stats must agree");
+        }
+        // Flat source: cost == queries. Metered source: range-filtered MD
+        // box queries cost more than their raw count.
+        assert_eq!(
+            report[0].stats.cost_units_spent,
+            report[0].stats.queries_spent
+        );
+        assert!(report[1].stats.queries_spent > 0);
+        assert!(report[1].stats.cost_units_spent > report[1].stats.queries_spent);
+        // Per-source attribution reconciles against each backend's ledger.
+        assert_eq!(
+            report[1].stats.cost_units_spent,
+            metered.server().cost_units_issued()
+        );
     }
 
     #[test]

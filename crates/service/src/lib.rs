@@ -47,9 +47,12 @@ pub mod stats;
 pub use batch::{drive, BatchOutcome, BatchRequest};
 pub use budget::QueryBudget;
 pub use federation::{FederatedHit, FederatedSession, FederationBuilder, SourceReport};
-pub use planner::{Plan, Planner};
+pub use planner::{Plan, Planner, RankedCandidate};
 pub use profiles::ProfileStore;
 pub use retry::RetryBudget;
 pub use service::{Algorithm, RerankService, SessionBuilder};
 pub use session::{RankedTuple, Session, SessionStats};
 pub use stats::ServiceStats;
+// The strategy vocabulary sessions are driven by — re-exported so callers
+// registering a custom strategy need only this crate.
+pub use qrs_core::strategy::{CostEstimate, PlanContext, RerankStrategy, StrategyIo, StrategyStep};

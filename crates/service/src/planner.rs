@@ -26,12 +26,23 @@
 //! depth-capped sites; overstating only makes the planner more
 //! conservative.
 //!
-//! Candidate order (most to least query-efficient on the paper's
-//! workloads): the §3/§4 cursor for the ranking arity, then TA over public
-//! `ORDER BY`, then strict page-down.
+//! Among the *feasible* candidates — the §3/§4 cursor for the ranking
+//! arity, TA over public `ORDER BY`, strict page-down — the planner does
+//! not follow a fixed preference order: each candidate is cost-estimated
+//! under the site's advertised [`qrs_types::CostModel`] (its own
+//! [`qrs_core::RerankStrategy::estimate`] heuristic, priced by the same
+//! model the server's ledger charges by) and the cheapest wins.
+//! [`Plan::candidates`] reports the full ranking; equal-cost ties keep the
+//! paper's order (cursor, then TA, then page-down). The `planner_cost`
+//! experiment in `qrs-bench` sweeps this choice against actually-charged
+//! ledgers across the site-profile catalog.
 
 use crate::service::Algorithm;
 use qrs_core::md::ta::SortedAccess;
+use qrs_core::strategy::{
+    names, CostEstimate, MdCursorStrategy, OneDCursorStrategy, PageDownStrategy, PlanContext,
+    TaCursorStrategy,
+};
 use qrs_core::{MdOptions, OneDStrategy, TiePolicy};
 use qrs_ranking::RankFn;
 use qrs_server::Capabilities;
@@ -40,13 +51,32 @@ use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+/// One *feasible* candidate algorithm, with its predicted spend under the
+/// site's advertised cost model. Produced by [`Planner::plan`] in
+/// cheapest-first order.
+#[derive(Debug, Clone)]
+pub struct RankedCandidate {
+    /// Stable candidate name (`"1d-rerank"`, `"ta-order-by"`, …; a custom
+    /// strategy's own name when one was registered).
+    pub name: String,
+    /// The algorithm this candidate runs.
+    pub algorithm: Algorithm,
+    /// Predicted spend to the plan horizon, priced under the advertised
+    /// [`qrs_types::CostModel`].
+    pub estimate: CostEstimate,
+    /// Whether this candidate needs predicates relaxed server-side (and
+    /// re-applied client-side).
+    pub relaxed: bool,
+}
+
 /// A planned session: which algorithm runs, what the server sees, and what
 /// the session re-checks client-side.
 ///
 /// Every plan is exact by construction — see the module docs.
 #[derive(Debug, Clone)]
 pub struct Plan {
-    /// The algorithm the planner selected.
+    /// The algorithm the planner selected — the cheapest feasible
+    /// candidate by predicted cost (first entry of [`Plan::candidates`]).
     pub algorithm: Algorithm,
     /// The selection actually sent to the server: the user's query with
     /// every predicate the site cannot evaluate relaxed away.
@@ -55,8 +85,15 @@ pub struct Plan {
     /// client-side by the session before emitting a tuple. `None` when the
     /// site evaluated the full selection.
     pub residual: Option<Query>,
-    /// One verdict per considered candidate — why each was rejected, and
-    /// why the winner fits.
+    /// Predicted spend of the chosen candidate.
+    pub estimate: CostEstimate,
+    /// Every feasible candidate, ranked cheapest-first under the site's
+    /// advertised cost model; `candidates[0]` is the chosen one. Explicit
+    /// [`crate::SessionBuilder::algorithm`] overrides and custom
+    /// strategies produce a single-entry list.
+    pub candidates: Vec<RankedCandidate>,
+    /// One verdict per considered candidate — the cost ranking of the
+    /// feasible ones, and why each infeasible one was rejected.
     pub rationale: String,
 }
 
@@ -78,10 +115,13 @@ pub struct Plan {
 /// ));
 /// let rank = LinearRank::asc(vec![(AttrId(0), 1.0)]);
 ///
-/// // A site with a full price slider: the 1D cursor plans.
+/// // A site with a full price slider: the 1D cursor plans, and the plan
+/// // carries its predicted spend under the site's advertised cost model.
 /// let open = Planner::new(Capabilities::none(), Arc::clone(&schema), 10, 1_000);
 /// let plan = open.plan(&Query::all(), &rank, Default::default())?;
 /// assert!(matches!(plan.algorithm, Algorithm::OneD(_)));
+/// assert!(plan.estimate.cost_units > 0);
+/// assert_eq!(plan.candidates[0].name, "1d-rerank");
 ///
 /// // A dropdown-only site without paging: nothing fits, and the error
 /// // names what is missing.
@@ -99,6 +139,9 @@ pub struct Planner {
     schema: Arc<Schema>,
     k: usize,
     n_estimate: usize,
+    /// Tuples the caller expects to pull — the horizon cost estimates are
+    /// computed for. Defaults to `k` (one page of answers).
+    horizon: usize,
 }
 
 /// Why one candidate algorithm cannot run, for the rationale trace.
@@ -121,7 +164,18 @@ impl Planner {
             schema,
             k: k.max(1),
             n_estimate: n_estimate.max(1),
+            horizon: k.max(1),
         }
+    }
+
+    /// Estimate costs for pulling `h` tuples instead of the default one
+    /// page (`k`). The horizon only scales the per-candidate
+    /// [`CostEstimate`]s — feasibility is horizon-independent — but it can
+    /// flip the ranking: drains (page-down) cost the same for any `h`,
+    /// cursors pay per tuple.
+    pub fn with_horizon(mut self, h: usize) -> Self {
+        self.horizon = h.max(1);
+        self
     }
 
     /// The filter capability an algorithm needs to constrain `attr`: a
@@ -140,8 +194,44 @@ impl Planner {
         self.n_estimate.div_ceil(self.k)
     }
 
+    /// The [`PlanContext`] cost estimates run in, for the given (possibly
+    /// relaxed) server-side query shape.
+    fn plan_context(&self, server_query: Query, rank_attrs: Vec<AttrId>) -> PlanContext {
+        PlanContext {
+            caps: self.caps.clone(),
+            schema: Arc::clone(&self.schema),
+            k: self.k,
+            n_estimate: self.n_estimate,
+            horizon: self.horizon,
+            server_query,
+            rank_attrs,
+        }
+    }
+
+    /// Predicted spend of running `algo` in `ctx` — the built-in
+    /// strategies' own estimators, the same ones
+    /// [`qrs_core::RerankStrategy::estimate`] exposes on the constructed
+    /// objects.
+    pub(crate) fn estimate_for(algo: &Algorithm, ctx: &PlanContext) -> CostEstimate {
+        match algo {
+            Algorithm::OneD(_) => OneDCursorStrategy::estimate_in(ctx),
+            Algorithm::Md(_) => MdCursorStrategy::estimate_in(ctx),
+            Algorithm::Ta(access) => TaCursorStrategy::estimate_with_access(
+                ctx,
+                matches!(access, SortedAccess::PublicOrderBy),
+            ),
+            Algorithm::PageDown { .. } => PageDownStrategy::estimate_in(ctx),
+            Algorithm::Auto | Algorithm::Custom => {
+                unreachable!("estimate_for is only called on concrete built-in algorithms")
+            }
+        }
+    }
+
     /// Plan a session for selection `sel` under ranking `rank` with tie
-    /// policy `tie`.
+    /// policy `tie`: every feasible candidate is cost-estimated under the
+    /// site's advertised [`qrs_types::CostModel`] and the cheapest one is
+    /// chosen ([`Plan::candidates`] carries the full ranking). Ties keep
+    /// the paper's preference order (cursor, then TA, then page-down).
     ///
     /// # Errors
     /// [`RerankError::Unplannable`] when no candidate algorithm fits,
@@ -152,31 +242,26 @@ impl Planner {
         rank: &dyn RankFn,
         tie: TiePolicy,
     ) -> Result<Plan, RerankError> {
-        let mut rationale = String::new();
+        struct Feasible {
+            name: &'static str,
+            algorithm: Algorithm,
+            server_query: Query,
+            residual: Option<Query>,
+            estimate: CostEstimate,
+        }
+        let mut feasible: Vec<Feasible> = Vec::new();
         let mut rejections: Vec<Rejection> = Vec::new();
 
         for candidate in self.candidates(rank, tie) {
             match self.try_candidate(&candidate, sel) {
                 Ok((server_query, residual)) => {
-                    let _ = write!(
-                        rationale,
-                        "{}: fits{}",
-                        candidate.name,
-                        match &residual {
-                            Some(r) =>
-                                format!(" (relaxed `{r}` server-side; re-applied client-side)"),
-                            None => String::new(),
-                        }
-                    );
-                    for r in &rejections {
-                        let _ = write!(rationale, "; rejected {}: ", r.candidate);
-                        push_caps(&mut rationale, &r.missing);
-                    }
-                    return Ok(Plan {
+                    let ctx = self.plan_context(server_query.clone(), rank.attrs().to_vec());
+                    feasible.push(Feasible {
+                        name: candidate.name,
                         algorithm: candidate.algorithm,
                         server_query,
                         residual,
-                        rationale,
+                        estimate: Self::estimate_for(&candidate.algorithm, &ctx),
                     });
                 }
                 Err(missing) => rejections.push(Rejection {
@@ -186,21 +271,69 @@ impl Planner {
             }
         }
 
-        let mut reason = String::new();
-        let mut missing: Vec<Capability> = Vec::new();
-        for (i, r) in rejections.iter().enumerate() {
-            if i > 0 {
-                reason.push_str("; ");
-            }
-            let _ = write!(reason, "{} needs ", r.candidate);
-            push_caps(&mut reason, &r.missing);
-            for c in &r.missing {
-                if !missing.contains(c) {
-                    missing.push(*c);
+        if feasible.is_empty() {
+            let mut reason = String::new();
+            let mut missing: Vec<Capability> = Vec::new();
+            for (i, r) in rejections.iter().enumerate() {
+                if i > 0 {
+                    reason.push_str("; ");
+                }
+                let _ = write!(reason, "{} needs ", r.candidate);
+                push_caps(&mut reason, &r.missing);
+                for c in &r.missing {
+                    if !missing.contains(c) {
+                        missing.push(*c);
+                    }
                 }
             }
+            return Err(RerankError::unplannable(missing, reason));
         }
-        Err(RerankError::unplannable(missing, reason))
+
+        // Cheapest predicted cost wins; the sort is stable, so equal-cost
+        // candidates keep the paper's preference order.
+        feasible.sort_by_key(|f| f.estimate.cost_units);
+
+        let mut rationale = String::new();
+        let _ = write!(
+            rationale,
+            "{}: cheapest feasible at {}{}",
+            feasible[0].name,
+            feasible[0].estimate,
+            match &feasible[0].residual {
+                Some(r) => format!(" (relaxed `{r}` server-side; re-applied client-side)"),
+                None => String::new(),
+            }
+        );
+        if feasible.len() > 1 {
+            rationale.push_str("; ranked");
+            for f in &feasible {
+                let _ = write!(rationale, " {} {},", f.name, f.estimate);
+            }
+            rationale.pop();
+        }
+        for r in &rejections {
+            let _ = write!(rationale, "; rejected {}: ", r.candidate);
+            push_caps(&mut rationale, &r.missing);
+        }
+
+        let candidates = feasible
+            .iter()
+            .map(|f| RankedCandidate {
+                name: f.name.to_string(),
+                algorithm: f.algorithm,
+                estimate: f.estimate,
+                relaxed: f.residual.is_some(),
+            })
+            .collect();
+        let chosen = feasible.swap_remove(0);
+        Ok(Plan {
+            algorithm: chosen.algorithm,
+            server_query: chosen.server_query,
+            residual: chosen.residual,
+            estimate: chosen.estimate,
+            candidates,
+            rationale,
+        })
     }
 
     /// The candidate algorithms for this ranking arity, most query-efficient
@@ -219,7 +352,7 @@ impl Planner {
                 TiePolicy::AssumeDistinct => rank_attrs.iter().copied().collect(),
             };
             out.push(Candidate {
-                name: "1d-rerank",
+                name: names::ONE_D,
                 algorithm: Algorithm::OneD(OneDStrategy::Rerank),
                 constrained,
                 order_by: Vec::new(),
@@ -229,20 +362,20 @@ impl Planner {
             // exact duplicate handling, may sub-crawl cells over the
             // remaining attributes: conservatively all of them.
             out.push(Candidate {
-                name: "md-rerank",
+                name: names::MD,
                 algorithm: Algorithm::Md(MdOptions::rerank()),
                 constrained: all_attrs,
                 order_by: Vec::new(),
             });
         }
         out.push(Candidate {
-            name: "ta-order-by",
+            name: names::TA_ORDER_BY,
             algorithm: Algorithm::Ta(SortedAccess::PublicOrderBy),
             constrained: BTreeSet::new(),
             order_by: rank_attrs,
         });
         out.push(Candidate {
-            name: "page-down",
+            name: names::PAGE_DOWN,
             algorithm: Algorithm::PageDown {
                 max_pages: self.caps.max_pages.unwrap_or(usize::MAX),
             },

@@ -8,13 +8,16 @@
 //! [`RerankError`] at open time, never as a panic deep inside an algorithm.
 
 use crate::budget::QueryBudget;
-use crate::planner::{Plan, Planner};
+use crate::planner::{Plan, Planner, RankedCandidate};
 use crate::retry::RetryBudget;
 use crate::session::Session;
 use crate::stats::ServiceStats;
 use parking_lot::Mutex;
 use qrs_core::md::ta::SortedAccess;
-use qrs_core::{MdOptions, OneDStrategy, RerankParams, SharedState, TiePolicy};
+use qrs_core::strategy::{
+    MdCursorStrategy, OneDCursorStrategy, PageDownStrategy, RerankStrategy, TaCursorStrategy,
+};
+use qrs_core::{MdOptions, OneDSpec, OneDStrategy, RerankParams, SharedState, TiePolicy};
 use qrs_ranking::RankFn;
 use qrs_server::{Clock, SearchInterface, SystemClock};
 use qrs_types::{Capability, Query, RerankError, RetryPolicy};
@@ -44,6 +47,11 @@ pub enum Algorithm {
         /// Deepest page the cursor may request (`usize::MAX` = unlimited).
         max_pages: usize,
     },
+    /// A user-registered [`RerankStrategy`] object, supplied via
+    /// [`SessionBuilder::strategy`]. The planner is bypassed (the strategy
+    /// object itself is the plan); budgets, retries and ledger attribution
+    /// apply exactly as for the built-in algorithms.
+    Custom,
 }
 
 /// A third-party reranking service fronting one client-server database.
@@ -132,6 +140,8 @@ impl RerankService {
             budget: None,
             retry: None,
             retry_limit: None,
+            horizon: None,
+            custom: None,
         }
     }
 
@@ -158,13 +168,18 @@ impl RerankService {
     /// [`SessionBuilder::open`] runs the same planner for
     /// [`Algorithm::Auto`] sessions.
     pub fn planner(&self) -> Planner {
-        let n_estimate = self.state.lock().params.n as usize;
         Planner::new(
             self.server.capabilities(),
             Arc::clone(self.server.schema()),
             self.server.k(),
-            n_estimate,
+            self.n_estimate(),
         )
+    }
+
+    /// The database-size estimate the service was built with (drives the
+    /// planner's drain proofs and cost estimates).
+    pub(crate) fn n_estimate(&self) -> usize {
+        self.state.lock().params.n as usize
     }
 
     /// The service-wide query budget — inspect spend or open a new
@@ -254,12 +269,43 @@ pub struct SessionBuilder<'a> {
     budget: Option<u64>,
     retry: Option<RetryPolicy>,
     retry_limit: Option<u64>,
+    /// Pull-horizon hint for cost estimation (`None` = one page, `k`).
+    horizon: Option<usize>,
+    /// A user-registered strategy object; when set, the session drives it
+    /// instead of a planner- or caller-chosen built-in algorithm.
+    custom: Option<Box<dyn RerankStrategy>>,
 }
 
 impl<'a> SessionBuilder<'a> {
     /// Pick the reranking algorithm (default [`Algorithm::Auto`]).
     pub fn algorithm(mut self, algo: Algorithm) -> Self {
         self.algo = algo;
+        self
+    }
+
+    /// Hint how many tuples this session expects to pull (the `h` of
+    /// top-`h`). Only cost estimation reads it — feasibility never does —
+    /// but it can flip the planner's ranking: a page-down drain costs the
+    /// same for any horizon, cursors pay per tuple. Defaults to one page
+    /// (`k`). The `planner_cost` experiment validates the ranking at the
+    /// horizon it runs, so sessions that state theirs get the validated
+    /// choice.
+    pub fn horizon(mut self, h: usize) -> Self {
+        self.horizon = Some(h);
+        self
+    }
+
+    /// Register a custom [`RerankStrategy`] for this session: the session
+    /// drives the supplied object instead of a built-in algorithm. The
+    /// planner is bypassed — [`SessionBuilder::plan`] reports
+    /// [`Algorithm::Custom`] with the strategy's own
+    /// [`RerankStrategy::estimate`] — but everything else applies
+    /// unchanged: per-session and service budgets gate every step, retries
+    /// absorb transient failures, and the queries the strategy issues are
+    /// charged to this session's ledger. Exactness (emission order) is the
+    /// strategy's own responsibility.
+    pub fn strategy(mut self, strategy: Box<dyn RerankStrategy>) -> Self {
+        self.custom = Some(strategy);
         self
     }
 
@@ -295,26 +341,77 @@ impl<'a> SessionBuilder<'a> {
         self
     }
 
+    /// The cost-estimation context for this request: the server's
+    /// advertised site model, the service's size estimate, a one-page
+    /// horizon.
+    fn plan_context(&self) -> qrs_core::strategy::PlanContext {
+        let server = self.svc.server();
+        qrs_core::strategy::PlanContext {
+            caps: server.capabilities(),
+            schema: Arc::clone(server.schema()),
+            k: server.k(),
+            n_estimate: self.svc.n_estimate(),
+            horizon: self.horizon.unwrap_or(server.k()).max(1),
+            server_query: self.sel.clone(),
+            rank_attrs: self.rank.attrs().to_vec(),
+        }
+    }
+
     /// Dry-run the decision [`SessionBuilder::open`] will execute, without
     /// opening a session or touching the server.
     ///
     /// Under [`Algorithm::Auto`] this runs the capability-aware
-    /// [`Planner`]; with an explicit [`SessionBuilder::algorithm`] choice
-    /// it returns that choice verbatim (full selection, no residual) after
-    /// the same hard-requirement preflights `open` performs — so what
-    /// `plan` reports is always what `open` runs.
+    /// [`Planner`], which cost-ranks every feasible candidate under the
+    /// site's advertised cost model; with an explicit
+    /// [`SessionBuilder::algorithm`] choice it returns that choice
+    /// verbatim (full selection, no residual) after the same
+    /// hard-requirement preflights `open` performs — so what `plan`
+    /// reports is always what `open` runs. A registered
+    /// [`SessionBuilder::strategy`] reports [`Algorithm::Custom`] with the
+    /// strategy's own estimate.
     pub fn plan(&self) -> Result<Plan, RerankError> {
+        if let Some(custom) = &self.custom {
+            let estimate = custom.estimate(&self.plan_context());
+            return Ok(Plan {
+                algorithm: Algorithm::Custom,
+                server_query: self.sel.clone(),
+                residual: None,
+                estimate,
+                candidates: vec![RankedCandidate {
+                    name: custom.name().to_string(),
+                    algorithm: Algorithm::Custom,
+                    estimate,
+                    relaxed: false,
+                }],
+                rationale: format!(
+                    "user-registered strategy `{}`: planner bypassed, the caller \
+                     takes responsibility for exactness",
+                    custom.name()
+                ),
+            });
+        }
         match self.algo {
-            Algorithm::Auto => self
-                .svc
-                .planner()
-                .plan(&self.sel, self.rank.as_ref(), self.tie),
+            Algorithm::Auto => {
+                let mut planner = self.svc.planner();
+                if let Some(h) = self.horizon {
+                    planner = planner.with_horizon(h);
+                }
+                planner.plan(&self.sel, self.rank.as_ref(), self.tie)
+            }
             explicit => {
                 self.preflight(explicit)?;
+                let estimate = Planner::estimate_for(&explicit, &self.plan_context());
                 Ok(Plan {
                     algorithm: explicit,
                     server_query: self.sel.clone(),
                     residual: None,
+                    estimate,
+                    candidates: vec![RankedCandidate {
+                        name: algorithm_name(&explicit).to_string(),
+                        algorithm: explicit,
+                        estimate,
+                        relaxed: false,
+                    }],
                     rationale: "explicit algorithm choice: planner bypassed, the caller \
                                 takes responsibility; hard requirements preflighted"
                         .to_string(),
@@ -333,6 +430,12 @@ impl<'a> SessionBuilder<'a> {
                 self.rank.dims()
             )));
         }
+        if matches!(algo, Algorithm::Custom) && self.custom.is_none() {
+            return Err(RerankError::invalid_algorithm(
+                "Algorithm::Custom requires a strategy object; register one \
+                 via SessionBuilder::strategy",
+            ));
+        }
         if let Algorithm::Ta(SortedAccess::PublicOrderBy) = algo {
             let caps = self.svc.server().capabilities();
             for &a in self.rank.attrs() {
@@ -346,6 +449,36 @@ impl<'a> SessionBuilder<'a> {
                 .require(Capability::Paging)?;
         }
         Ok(())
+    }
+
+    /// Construct the strategy object the session will drive, from a plan's
+    /// algorithm and (possibly relaxed) server-side query.
+    fn build_strategy(&self, plan: &Plan) -> Box<dyn RerankStrategy> {
+        let server = self.svc.server();
+        let sel = plan.server_query.clone();
+        let rank = Arc::clone(&self.rank);
+        match plan.algorithm {
+            Algorithm::OneD(strategy) => Box::new(OneDCursorStrategy::new(
+                OneDSpec::new(rank.attrs()[0], rank.directions()[0], sel),
+                strategy,
+                self.tie,
+            )),
+            Algorithm::Md(opts) => {
+                Box::new(MdCursorStrategy::new(rank, sel, opts, server.schema()))
+            }
+            Algorithm::Ta(access) => Box::new(TaCursorStrategy::new(
+                rank,
+                sel,
+                access,
+                server.schema(),
+                &server.capabilities(),
+            )),
+            Algorithm::PageDown { max_pages } => {
+                Box::new(PageDownStrategy::new(sel, rank, max_pages))
+            }
+            Algorithm::Auto => unreachable!("resolved by the planner"),
+            Algorithm::Custom => unreachable!("custom strategies are supplied, not built"),
+        }
     }
 
     /// Validate the request and open the session.
@@ -368,12 +501,16 @@ impl<'a> SessionBuilder<'a> {
     ///   against a server whose [`qrs_server::Capabilities`] lack `ORDER
     ///   BY` on a ranking attribute, or `PageDown` against one that does
     ///   not page.
-    pub fn open(self) -> Result<Session<'a>, RerankError> {
+    pub fn open(mut self) -> Result<Session<'a>, RerankError> {
         let plan = self.plan()?;
         // Defense in depth: planner-produced algorithms satisfy these by
         // construction, but the check is cheap and keeps the invariant
         // local.
         self.preflight(plan.algorithm)?;
+        let strategy = match self.custom.take() {
+            Some(custom) => custom,
+            None => self.build_strategy(&plan),
+        };
         self.svc.stats_ref().on_session();
         let mut retry = self
             .retry
@@ -387,14 +524,28 @@ impl<'a> SessionBuilder<'a> {
         retry.seed ^= nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Ok(Session::new(
             self.svc,
-            plan.server_query,
             self.rank,
-            plan.algorithm,
-            self.tie,
+            strategy,
             self.budget,
             retry,
             self.retry_limit,
             plan.residual,
         ))
+    }
+}
+
+/// Stable display name of a built-in algorithm — the shared
+/// [`qrs_core::strategy::names`] vocabulary, so plans, strategy objects
+/// and experiment rows can never drift apart.
+pub(crate) fn algorithm_name(algo: &Algorithm) -> &'static str {
+    use qrs_core::strategy::names;
+    match algo {
+        Algorithm::Auto => names::AUTO,
+        Algorithm::OneD(_) => names::ONE_D,
+        Algorithm::Md(_) => names::MD,
+        Algorithm::Ta(SortedAccess::PublicOrderBy) => names::TA_ORDER_BY,
+        Algorithm::Ta(SortedAccess::OneD(_)) => names::TA_OVER_1D,
+        Algorithm::PageDown { .. } => names::PAGE_DOWN,
+        Algorithm::Custom => names::CUSTOM,
     }
 }

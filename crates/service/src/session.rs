@@ -24,10 +24,8 @@
 //! attribution stays exact even for steps that ultimately fail.
 
 use crate::retry::RetryRunner;
-use crate::service::{Algorithm, RerankService};
-use qrs_core::baselines::PageDownCursor;
-use qrs_core::md::ta::TaCursor;
-use qrs_core::{MdCursor, OneDCursor, OneDSpec, TiePolicy};
+use crate::service::RerankService;
+use qrs_core::strategy::{RerankStrategy, StrategyIo, StrategyStep};
 use qrs_ranking::RankFn;
 use qrs_types::{Query, RerankError, RetryPolicy, Tuple};
 use std::sync::Arc;
@@ -38,24 +36,6 @@ pub struct RankedTuple {
     pub rank: usize,
     pub score: f64,
     pub tuple: Arc<Tuple>,
-}
-
-enum Cursor {
-    OneD(OneDCursor),
-    Md(MdCursor),
-    Ta(TaCursor),
-    PageDown(PageDownCursor),
-}
-
-/// What one locked cursor step produced.
-enum Step {
-    /// A tuple surfaced (still subject to the residual filter).
-    Emitted(Arc<Tuple>),
-    /// The stream is exhausted.
-    Exhausted,
-    /// Paid work happened (e.g. one page-down fetch) but no tuple is ready
-    /// yet: loop again, re-checking the budget gates first.
-    Progress,
 }
 
 /// Point-in-time accounting for one session, exact under retries and
@@ -69,6 +49,10 @@ pub struct SessionStats {
     /// that ultimately failed (e.g. a page truncated in transit was paid
     /// for even though no result arrived).
     pub queries_spent: u64,
+    /// Weighted cost units charged to this session under the server's
+    /// advertised cost model. Equals `queries_spent` on flat-model sites;
+    /// the number a metered site actually bills for.
+    pub cost_units_spent: u64,
     /// Cursor-step attempts made, successful and failed alike.
     pub attempts_made: u64,
     /// Retries spent (attempts beyond the first for a given step).
@@ -82,12 +66,18 @@ pub struct SessionStats {
 pub struct Session<'a> {
     svc: &'a RerankService,
     rank: Arc<dyn RankFn>,
-    cursor: Cursor,
+    /// The pull state machine this session drives — a built-in cursor
+    /// wrapper or a user-registered custom strategy; the session loop is
+    /// oblivious to which.
+    strategy: Box<dyn RerankStrategy>,
     emitted: usize,
-    /// Queries issued inside this session's own cursor calls. Counted under
-    /// the shared-state lock, so interleaved queries from concurrent
+    /// Queries issued inside this session's own strategy steps. Counted
+    /// under the shared-state lock, so interleaved queries from concurrent
     /// sessions are never misattributed.
     spent: u64,
+    /// Weighted cost units charged by those same steps, metered in-lock
+    /// alongside `spent` from the server's weighted ledger.
+    cost_spent: u64,
     /// Per-session cap on `spent` (the service-wide budget still applies).
     budget_limit: Option<u64>,
     /// Cursor-step attempts, counted in-lock alongside `spent` so failed
@@ -104,44 +94,22 @@ pub struct Session<'a> {
 }
 
 impl<'a> Session<'a> {
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         svc: &'a RerankService,
-        sel: Query,
         rank: Arc<dyn RankFn>,
-        algo: Algorithm,
-        tie: TiePolicy,
+        strategy: Box<dyn RerankStrategy>,
         budget_limit: Option<u64>,
         retry_policy: RetryPolicy,
         retry_limit: Option<u64>,
         residual: Option<Query>,
     ) -> Self {
-        let schema = svc.server().schema();
-        let cursor = match algo {
-            Algorithm::OneD(strategy) => Cursor::OneD(OneDCursor::new(
-                OneDSpec::new(rank.attrs()[0], rank.directions()[0], sel),
-                strategy,
-                tie,
-            )),
-            Algorithm::Md(opts) => Cursor::Md(MdCursor::new(Arc::clone(&rank), sel, opts, schema)),
-            Algorithm::Ta(access) => Cursor::Ta(TaCursor::with_server_caps(
-                Arc::clone(&rank),
-                sel,
-                access,
-                schema,
-                &svc.server().capabilities(),
-            )),
-            Algorithm::PageDown { max_pages } => {
-                Cursor::PageDown(PageDownCursor::new(sel, Arc::clone(&rank), max_pages))
-            }
-            Algorithm::Auto => unreachable!("resolved by SessionBuilder::open"),
-        };
         Session {
             svc,
             rank,
-            cursor,
+            strategy,
             emitted: 0,
             spent: 0,
+            cost_spent: 0,
             budget_limit,
             attempts: 0,
             retries: 0,
@@ -182,7 +150,12 @@ impl<'a> Session<'a> {
                 }
             }
             let err = match self.step() {
-                Ok(Step::Emitted(tuple)) => {
+                Ok(StrategyStep::Emit(tuple)) => {
+                    // A successful step re-anchors the decorrelated
+                    // backoff chain: escalation from an earlier storm
+                    // must not inflate sleeps for later, unrelated
+                    // failures.
+                    self.retry.reset_backoff();
                     if let Some(r) = &self.residual {
                         if !r.matches(&tuple) {
                             // Paid for but filtered client-side: the
@@ -201,13 +174,14 @@ impl<'a> Session<'a> {
                         tuple,
                     }));
                 }
-                Ok(Step::Progress) => {
+                Ok(StrategyStep::Progress) => {
                     // Partial work (one page fetched): loop to re-check
                     // the budget gates before paying for more.
+                    self.retry.reset_backoff();
                     retries_this_step = 0;
                     continue;
                 }
-                Ok(Step::Exhausted) => return Ok(None),
+                Ok(StrategyStep::Exhausted) => return Ok(None),
                 Err(e) => e,
             };
             if !err.is_retryable() || !self.retry.policy().retries_enabled() {
@@ -248,40 +222,30 @@ impl<'a> Session<'a> {
         }
     }
 
-    /// One cursor step under the shared-state lock.
+    /// One strategy step under the shared-state lock.
     ///
     /// Exact per-session attribution: every service query happens inside a
-    /// cursor call while the state lock is held, so the counter delta
-    /// across this call is exactly this session's spend. The attempt and
-    /// spend counters update *before* the error propagates — a failed
-    /// attempt that paid for queries (e.g. a page truncated in transit)
-    /// still charges this session.
-    fn step(&mut self) -> Result<Step, RerankError> {
+    /// strategy step while the state lock is held, so the ledger deltas
+    /// (raw queries *and* weighted cost units) across this call are
+    /// exactly this session's spend. The attempt and spend counters update
+    /// *before* the error propagates — a failed attempt that paid for
+    /// queries (e.g. a page truncated in transit) still charges this
+    /// session.
+    fn step(&mut self) -> Result<StrategyStep, RerankError> {
         let server = Arc::clone(self.svc.server());
         let mut st = self.svc.state().lock();
         let before = server.queries_issued();
-        let emitted = |o: Option<Arc<Tuple>>| match o {
-            Some(t) => Step::Emitted(t),
-            None => Step::Exhausted,
-        };
-        let t = match &mut self.cursor {
-            Cursor::OneD(c) => c.next(server.as_ref(), &mut st).map(emitted),
-            Cursor::Md(c) => c.next(server.as_ref(), &mut st).map(emitted),
-            Cursor::Ta(c) => c.next(server.as_ref(), &mut st).map(emitted),
-            // Page-down is driven one page per step so the budget gates in
-            // `next` fire between pages and the state lock is released —
-            // a long drain never bypasses a cap or starves other sessions.
-            Cursor::PageDown(c) => {
-                if c.drained() {
-                    Ok(emitted(c.emit_next()))
-                } else {
-                    c.fetch_next_page(server.as_ref(), &mut st)
-                        .map(|_| Step::Progress)
-                }
-            }
+        let before_cost = server.cost_units_issued();
+        let t = {
+            let mut io = StrategyIo::new(server.as_ref(), &mut st);
+            self.strategy.next_step(&mut io)
         };
         self.attempts += 1;
-        self.spent += server.queries_issued() - before;
+        let dq = server.queries_issued() - before;
+        let dc = server.cost_units_issued() - before_cost;
+        self.spent += dq;
+        self.cost_spent += dc;
+        self.svc.stats_ref().on_spend(dq, dc);
         drop(st);
         t
     }
@@ -331,6 +295,14 @@ impl<'a> Session<'a> {
         self.spent
     }
 
+    /// Weighted cost units this session has been charged under the
+    /// server's advertised cost model — same in-lock attribution guarantee
+    /// as [`Session::queries_spent`]. On flat-model sites this equals the
+    /// query count.
+    pub fn cost_units_spent(&self) -> u64 {
+        self.cost_spent
+    }
+
     /// This session's query cap, if one was set at build time.
     pub fn budget_limit(&self) -> Option<u64> {
         self.budget_limit
@@ -353,6 +325,7 @@ impl<'a> Session<'a> {
         SessionStats {
             emitted: self.emitted,
             queries_spent: self.spent,
+            cost_units_spent: self.cost_spent,
             attempts_made: self.attempts,
             retries_spent: self.retries,
             budget_limit: self.budget_limit,
@@ -363,8 +336,10 @@ impl<'a> Session<'a> {
 impl std::fmt::Debug for Session<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session")
+            .field("strategy", &self.strategy.name())
             .field("emitted", &self.emitted)
             .field("queries_spent", &self.spent)
+            .field("cost_units_spent", &self.cost_spent)
             .field("attempts_made", &self.attempts)
             .field("retries_spent", &self.retries)
             .field("budget_limit", &self.budget_limit)
@@ -375,6 +350,7 @@ impl std::fmt::Debug for Session<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::service::Algorithm;
     use qrs_datagen::synthetic::uniform;
     use qrs_ranking::LinearRank;
     use qrs_server::{SimServer, SystemRank};
@@ -508,6 +484,16 @@ mod tests {
             .plan()
             .unwrap_err();
         assert!(matches!(err, RerankError::UnsupportedCapability(_)));
+        // TA over 1D sorted access carries its own name and is priced in
+        // the top-k request class it actually issues, not as ORDER BY.
+        let plan = svc
+            .session(Query::all(), rank2())
+            .algorithm(Algorithm::Ta(qrs_core::md::ta::SortedAccess::OneD(
+                qrs_core::OneDStrategy::Rerank,
+            )))
+            .plan()
+            .unwrap();
+        assert_eq!(plan.candidates[0].name, "ta-over-1d");
     }
 
     #[test]
@@ -745,6 +731,51 @@ mod tests {
         assert_eq!(stats.queries_spent, s.queries_spent());
         assert_eq!(stats.retries_spent, 2);
         assert!(stats.attempts_made >= 2 + hits.len() as u64);
+    }
+
+    #[test]
+    fn decorrelated_jitter_sleeps_are_bounded_and_seeded_on_the_mock_clock() {
+        use qrs_server::{Clock, Fault, FaultyServer, MockClock, SearchInterface};
+        use qrs_types::RetryPolicy;
+        let run = |policy_seed: u64| -> Vec<u64> {
+            let data = uniform(200, 2, 1, 619);
+            let inner = Arc::new(SimServer::new(
+                data,
+                SystemRank::linear("anti", vec![(AttrId(0), -1.0), (AttrId(1), -1.0)]),
+                3,
+            ));
+            // Five consecutive outages: five decorrelated sleeps.
+            let faulty = FaultyServer::new(Arc::clone(&inner) as Arc<dyn SearchInterface>)
+                .with_storm(1, 5, Fault::Outage);
+            let clock = Arc::new(MockClock::new());
+            let svc = RerankService::new(Arc::new(faulty), 200)
+                .with_retry_policy(
+                    RetryPolicy::decorrelated_jitter(policy_seed)
+                        .attempts(10)
+                        .backoff(100, 1_500),
+                )
+                .with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+            let mut s = svc.session(Query::all(), rank2()).open().unwrap();
+            let (hits, err) = s.top(3);
+            assert!(err.is_none(), "storm should be absorbed: {err:?}");
+            assert_eq!(hits.len(), 3);
+            assert_eq!(s.retries_spent(), 5);
+            clock.sleeps()
+        };
+        let sleeps = run(42);
+        assert_eq!(sleeps.len(), 5);
+        // Bounded: every sleep within [base, cap], and chained below 3x
+        // the previous draw (the decorrelated distribution's support).
+        let mut prev = 100u64;
+        for &ms in &sleeps {
+            assert!((100..=1_500).contains(&ms), "sleep {ms} out of bounds");
+            assert!(ms <= prev.saturating_mul(3).min(1_500));
+            prev = ms;
+        }
+        // Seeded: an identical service replays the identical sequence; a
+        // different policy seed draws a different one.
+        assert_eq!(sleeps, run(42));
+        assert_ne!(sleeps, run(43));
     }
 
     #[test]

@@ -8,6 +8,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct ServiceStats {
     sessions_started: AtomicU64,
     tuples_emitted: AtomicU64,
+    queries_spent: AtomicU64,
+    cost_units_spent: AtomicU64,
     retries_spent: AtomicU64,
     batches_served: AtomicU64,
     requests_served: AtomicU64,
@@ -19,6 +21,14 @@ pub struct ServiceStats {
 pub struct StatsSnapshot {
     pub sessions_started: u64,
     pub tuples_emitted: u64,
+    /// Queries charged through this service's sessions (failed attempts'
+    /// spend included — counted in-lock per cursor step, like the
+    /// per-session `SessionStats`).
+    pub queries_spent: u64,
+    /// Weighted cost units charged through this service's sessions, under
+    /// the server's advertised cost model. Equals `queries_spent` on flat
+    /// sites; the number that matters on metered ones.
+    pub cost_units_spent: u64,
     /// Retries spent across all sessions (the recovery effort the service
     /// has burned on transient server failures).
     pub retries_spent: u64,
@@ -37,6 +47,12 @@ impl ServiceStats {
 
     pub(crate) fn on_emit(&self) {
         self.tuples_emitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn on_spend(&self, queries: u64, cost_units: u64) {
+        self.queries_spent.fetch_add(queries, Ordering::Relaxed);
+        self.cost_units_spent
+            .fetch_add(cost_units, Ordering::Relaxed);
     }
 
     pub(crate) fn on_retry(&self) {
@@ -59,6 +75,8 @@ impl ServiceStats {
         StatsSnapshot {
             sessions_started: self.sessions_started.load(Ordering::Relaxed),
             tuples_emitted: self.tuples_emitted.load(Ordering::Relaxed),
+            queries_spent: self.queries_spent.load(Ordering::Relaxed),
+            cost_units_spent: self.cost_units_spent.load(Ordering::Relaxed),
             retries_spent: self.retries_spent.load(Ordering::Relaxed),
             batches_served: self.batches_served.load(Ordering::Relaxed),
             requests_served: self.requests_served.load(Ordering::Relaxed),
@@ -77,6 +95,8 @@ mod tests {
         s.on_session();
         s.on_emit();
         s.on_emit();
+        s.on_spend(4, 9);
+        s.on_spend(1, 1);
         s.on_retry();
         s.on_retry();
         s.on_retry();
@@ -87,6 +107,8 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.sessions_started, 1);
         assert_eq!(snap.tuples_emitted, 2);
+        assert_eq!(snap.queries_spent, 5);
+        assert_eq!(snap.cost_units_spent, 10);
         assert_eq!(snap.retries_spent, 3);
         assert_eq!(snap.batches_served, 1);
         assert_eq!(snap.requests_served, 2);

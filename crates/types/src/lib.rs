@@ -19,7 +19,9 @@
 //! * [`RerankError`], [`ServerError`], [`Capability`] — the workspace-wide
 //!   fallibility vocabulary: rate limits, capability negotiation, budgets,
 //! * [`RetryPolicy`] — declarative retry/backoff configuration consumed by
-//!   the `qrs-service` retry loop.
+//!   the `qrs-service` retry loop,
+//! * [`CostModel`] — per-query-class unit costs a metered site advertises
+//!   and charges by; the currency of the cost-based planner.
 //!
 //! Everything downstream (`qrs-server`, `qrs-core`, …) is written against
 //! these types.
@@ -28,6 +30,7 @@
 
 pub mod capability;
 pub mod circuit;
+pub mod cost;
 pub mod dataset;
 pub mod direction;
 pub mod error;
@@ -42,6 +45,7 @@ pub mod value;
 
 pub use capability::FilterSupport;
 pub use circuit::CircuitPolicy;
+pub use cost::{CostModel, RequestKind};
 pub use dataset::Dataset;
 pub use direction::Direction;
 pub use error::{Capability, RerankError, ServerError, TypeError};

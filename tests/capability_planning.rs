@@ -144,13 +144,19 @@ fn storefront_deep_inventory_fails_fast_naming_page_depth() {
     }
     // Fail-fast means fail-free: no query was spent on the doomed session.
     assert_eq!(svc.queries_issued(), 0);
-    // A shallow inventory fits behind the same wall: TA over the public
-    // ORDER BY plans and streams exactly.
+    // A shallow inventory fits behind the same wall. Both TA over the
+    // public ORDER BY and a full page-down drain are feasible now — and
+    // the storefront's cost model (ordered pages at 3 units, plain page
+    // turns at 1) makes the drain the cheaper plan, so the cost ranking
+    // picks it and reports TA as the runner-up.
     let shallow_n = 80;
     let svc = service_for(&profile, shallow_n, 11);
     let builder = svc.session(Query::all(), rank2());
     let plan = builder.plan().unwrap();
-    assert!(matches!(plan.algorithm, Algorithm::Ta(_)));
+    assert!(matches!(plan.algorithm, Algorithm::PageDown { .. }));
+    let names: Vec<&str> = plan.candidates.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names, vec!["page-down", "ta-order-by"]);
+    assert!(plan.candidates[0].estimate.cost_units <= plan.candidates[1].estimate.cost_units);
     let mut session = builder.open().unwrap();
     let (hits, err) = session.top(TOP_H);
     assert!(err.is_none(), "{err:?}");
