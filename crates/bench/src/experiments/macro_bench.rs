@@ -1,0 +1,230 @@
+//! The `macro_bench` experiment: the repo's recorded perf trajectory.
+//!
+//! A pinned macro-workload — fixed seeds (deliberately *not*
+//! `QRS_TEST_SEED`-derived), fixed datasets, fixed requests — swept across
+//! **all five** [`SiteProfile`]s in the restricted-site catalog, plus one
+//! knowledge-plane reuse leg. Every run of the same source tree produces
+//! the same deterministic ledger numbers (queries, cost units, emitted
+//! tuples; wall-clock is recorded but machine-dependent), so diffs of the
+//! output across PRs *are* the perf trajectory.
+//!
+//! The result is written as `BENCH_6.json` at the repository root (one
+//! JSON document: meta + one row per profile × workload cell). Cells the
+//! planner refuses (`Unplannable` — the profile genuinely cannot answer
+//! that shape exactly) are recorded as rows too, not skipped silently.
+//!
+//! ```text
+//! cargo run --release -p qrs-bench --bin figures -- --scale quick macro_bench
+//! ```
+
+use crate::Scale;
+use qrs_ranking::{LinearRank, RankFn};
+use qrs_server::{SiteProfile, SystemRank};
+use qrs_service::{KnowledgePlane, RerankService};
+use qrs_types::{AttrId, Interval, Query, RerankError};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One profile × workload cell.
+#[derive(Debug, Clone)]
+pub struct MacroRow {
+    pub profile: &'static str,
+    pub workload: &'static str,
+    /// `None` when the profile cannot answer the workload exactly — the
+    /// planner's typed refusal, recorded instead of skipped.
+    pub outcome: Option<MacroOutcome>,
+    pub unplannable_reason: Option<String>,
+}
+
+/// The deterministic ledger of one successfully served cell.
+#[derive(Debug, Clone)]
+pub struct MacroOutcome {
+    pub emitted: usize,
+    pub queries_spent: u64,
+    pub cost_units_spent: u64,
+    /// Only the knowledge leg populates these.
+    pub queries_saved: u64,
+    pub wall_ms: f64,
+}
+
+const SEED_DATA: u64 = 0xB6_01;
+const SEED_SYSRANK: u64 = 0xB6_02;
+const N: usize = 500;
+const K: usize = 5;
+const TOP_H: usize = 25;
+
+struct Workload {
+    name: &'static str,
+    sel: Query,
+    rank: Arc<dyn RankFn>,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "one_d_full",
+            sel: Query::all(),
+            rank: Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0)])),
+        },
+        Workload {
+            name: "md_full",
+            sel: Query::all(),
+            rank: Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 0.75)])),
+        },
+        Workload {
+            name: "md_banded",
+            sel: Query::all().and_range(AttrId(0), Interval::closed(0.2, 0.8)),
+            rank: Arc::new(LinearRank::asc(vec![(AttrId(0), 0.5), (AttrId(1), 1.25)])),
+        },
+    ]
+}
+
+fn build_service(profile: &SiteProfile, plane: Option<&Arc<KnowledgePlane>>) -> RerankService {
+    let data = qrs_datagen::synthetic::uniform(N, 2, 1, SEED_DATA);
+    let server = profile.build(data, SystemRank::pseudo_random(SEED_SYSRANK));
+    let svc = RerankService::new(Arc::new(server), N);
+    match plane {
+        Some(p) => svc.with_knowledge(Arc::clone(p), profile.name),
+        None => svc,
+    }
+}
+
+fn run_cell(svc: &RerankService, w: &Workload) -> Result<MacroOutcome, RerankError> {
+    let t0 = Instant::now();
+    let mut session = svc.session(w.sel.clone(), Arc::clone(&w.rank)).open()?;
+    let hits = session.try_top(TOP_H)?;
+    Ok(MacroOutcome {
+        emitted: hits.len(),
+        queries_spent: session.queries_spent(),
+        cost_units_spent: session.cost_units_spent(),
+        queries_saved: session.queries_saved(),
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+fn json_row(row: &MacroRow) -> String {
+    match &row.outcome {
+        Some(o) => format!(
+            "    {{\"profile\":\"{}\",\"workload\":\"{}\",\"emitted\":{},\
+             \"queries_spent\":{},\"cost_units_spent\":{},\"queries_saved\":{},\
+             \"wall_ms\":{:.2}}}",
+            row.profile,
+            row.workload,
+            o.emitted,
+            o.queries_spent,
+            o.cost_units_spent,
+            o.queries_saved,
+            o.wall_ms,
+        ),
+        None => format!(
+            "    {{\"profile\":\"{}\",\"workload\":\"{}\",\"unplannable\":true,\
+             \"reason\":{:?}}}",
+            row.profile,
+            row.workload,
+            row.unplannable_reason.as_deref().unwrap_or("unknown"),
+        ),
+    }
+}
+
+/// Run the macro-workload and write `BENCH_6.json` at the repo root.
+/// Returns the rows for tests. `Scale` is accepted for interface symmetry;
+/// the workload is pinned regardless (a trajectory must not move with
+/// flags).
+pub fn run(_scale: Scale) -> Vec<MacroRow> {
+    let mut rows = Vec::new();
+
+    // Leg 1: every profile × workload, cold service per cell.
+    for profile in SiteProfile::catalog(K) {
+        for w in workloads() {
+            let svc = build_service(&profile, None);
+            let row = match run_cell(&svc, &w) {
+                Ok(outcome) => MacroRow {
+                    profile: profile.name,
+                    workload: w.name,
+                    outcome: Some(outcome),
+                    unplannable_reason: None,
+                },
+                Err(e @ RerankError::Unplannable { .. }) => MacroRow {
+                    profile: profile.name,
+                    workload: w.name,
+                    outcome: None,
+                    unplannable_reason: Some(e.to_string()),
+                },
+                Err(e) => panic!("macro_bench cell {}/{} failed: {e}", profile.name, w.name),
+            };
+            rows.push(row);
+        }
+    }
+
+    // Leg 2: the knowledge plane on the open site — a cold seeding tenant
+    // then a warm one; the warm row's ledger records the replay economics.
+    let profile = SiteProfile::open_site(K);
+    let plane = Arc::new(KnowledgePlane::new());
+    let w = &workloads()[1];
+    let seeder = build_service(&profile, Some(&plane));
+    let cold = run_cell(&seeder, w).expect("open site plans everything");
+    // Seal the stream so the warm tenant replays it end to end.
+    {
+        let mut s = seeder
+            .session(w.sel.clone(), Arc::clone(&w.rank))
+            .open()
+            .unwrap();
+        while let Ok(Some(_)) = s.next() {}
+    }
+    // The warm tenant drains the whole stream: a full replay of the sealed
+    // entry, so the sealing run's entire ledger lands in `queries_saved`.
+    let warm_svc = build_service(&profile, Some(&plane));
+    let warm = {
+        let t0 = Instant::now();
+        let mut s = warm_svc
+            .session(w.sel.clone(), Arc::clone(&w.rank))
+            .open()
+            .unwrap();
+        let mut emitted = 0usize;
+        while let Ok(Some(_)) = s.next() {
+            emitted += 1;
+        }
+        MacroOutcome {
+            emitted,
+            queries_spent: s.queries_spent(),
+            cost_units_spent: s.cost_units_spent(),
+            queries_saved: s.queries_saved(),
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        }
+    };
+    assert_eq!(
+        warm.queries_spent, 0,
+        "macro_bench: warm knowledge leg must replay without paying"
+    );
+    assert!(
+        warm.queries_saved > 0,
+        "macro_bench: a full replay must credit the sealing run's cost"
+    );
+    rows.push(MacroRow {
+        profile: "open_site+plane(cold)",
+        workload: w.name,
+        outcome: Some(cold),
+        unplannable_reason: None,
+    });
+    rows.push(MacroRow {
+        profile: "open_site+plane(warm)",
+        workload: w.name,
+        outcome: Some(warm),
+        unplannable_reason: None,
+    });
+
+    // Assemble and write the document.
+    let body: Vec<String> = rows.iter().map(json_row).collect();
+    let doc = format!(
+        "{{\n  \"bench\": \"macro_bench\",\n  \"schema_version\": 1,\n  \
+         \"n\": {N},\n  \"k\": {K},\n  \"top_h\": {TOP_H},\n  \
+         \"seeds\": {{\"data\": {SEED_DATA}, \"system_rank\": {SEED_SYSRANK}}},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json");
+    std::fs::write(path, &doc).unwrap_or_else(|e| panic!("macro_bench: cannot write {path}: {e}"));
+    println!("{doc}");
+    println!("# wrote {path}");
+    rows
+}

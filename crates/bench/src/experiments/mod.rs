@@ -3,6 +3,8 @@
 
 pub mod ablation;
 pub mod capability_matrix;
+pub mod knowledge_reuse;
+pub mod macro_bench;
 pub mod md;
 pub mod one_d;
 pub mod online;
@@ -13,9 +15,10 @@ pub mod thm1;
 use crate::Scale;
 
 /// All experiment ids, in paper order (plus the post-paper `scaling`,
-/// `capability_matrix` and `planner_cost` experiments for the concurrent
-/// service layer and the cost-aware capability planner).
-pub const ALL_IDS: [&str; 17] = [
+/// `capability_matrix`, `planner_cost`, `knowledge_reuse` and
+/// `macro_bench` experiments for the concurrent service layer, the
+/// cost-aware capability planner and the cross-session knowledge plane).
+pub const ALL_IDS: [&str; 19] = [
     "fig6",
     "fig7",
     "fig8",
@@ -33,6 +36,8 @@ pub const ALL_IDS: [&str; 17] = [
     "scaling",
     "capability_matrix",
     "planner_cost",
+    "knowledge_reuse",
+    "macro_bench",
 ];
 
 /// Run one experiment by id; `false` if the id is unknown.
@@ -88,6 +93,12 @@ pub fn run(id: &str, scale: Scale) -> bool {
         }
         "planner_cost" => {
             planner_cost::run(scale);
+        }
+        "knowledge_reuse" => {
+            knowledge_reuse::run(scale);
+        }
+        "macro_bench" => {
+            macro_bench::run(scale);
         }
         _ => return false,
     }

@@ -40,6 +40,7 @@ pub mod crawl;
 pub mod ctx;
 pub mod history;
 pub mod index;
+pub mod knowledge;
 pub mod md;
 pub mod norm;
 pub mod one_d;
@@ -47,6 +48,7 @@ pub mod params;
 pub mod strategy;
 
 pub use ctx::SharedState;
+pub use knowledge::KnowledgeGate;
 pub use md::{MdAlgo, MdCursor, MdOptions, TaCursor};
 pub use norm::{NormBox, NormView};
 pub use one_d::{OneDCursor, OneDSpec, OneDStrategy, TiePolicy};

@@ -1,0 +1,180 @@
+//! Canonical cache keys.
+//!
+//! The plane's caches are keyed by *values* — a selection, a request shape,
+//! a ranking fingerprint — so keys must be (a) hashable, (b) injective
+//! (two semantically different requests must never collide), and
+//! (c) canonical (the same request built in a different predicate order
+//! must collide). [`query_key`] renders a [`Query`] into a canonical string
+//! using the exact bit pattern of every float endpoint: `1.0` and the next
+//! representable double apart stay apart, and predicate order is normalized
+//! by sorting on attribute id.
+
+use qrs_types::{AttrId, Direction, Endpoint, Query};
+
+/// Render one interval endpoint with full bit fidelity.
+fn endpoint_key(e: &Endpoint, out: &mut String) {
+    match e {
+        Endpoint::Unbounded => out.push('u'),
+        Endpoint::Open(v) => {
+            out.push('o');
+            out.push_str(&format!("{:016x}", v.to_bits()));
+        }
+        Endpoint::Closed(v) => {
+            out.push('c');
+            out.push_str(&format!("{:016x}", v.to_bits()));
+        }
+    }
+}
+
+/// Canonical, injective string form of a selection.
+///
+/// Range predicates are sorted by attribute id (a [`Query`] holds at most
+/// one interval per attribute, intersected on insertion, so the sort is a
+/// total canonicalization); categorical predicates likewise, with their
+/// already-sorted code sets rendered verbatim. Float endpoints are rendered
+/// as raw bit patterns, so the mapping is injective.
+pub fn query_key(q: &Query) -> String {
+    let mut ranges: Vec<_> = q.ranges().iter().collect();
+    ranges.sort_by_key(|p| p.attr.0);
+    let mut cats: Vec<_> = q.cats().iter().collect();
+    cats.sort_by_key(|p| p.attr.0);
+    let mut out = String::with_capacity(16 + 40 * (ranges.len() + cats.len()));
+    for p in ranges {
+        out.push('r');
+        out.push_str(&p.attr.0.to_string());
+        out.push(':');
+        endpoint_key(&p.interval.lo, &mut out);
+        endpoint_key(&p.interval.hi, &mut out);
+        out.push(';');
+    }
+    for p in cats {
+        out.push('k');
+        out.push_str(&p.attr.0.to_string());
+        out.push(':');
+        for c in p.codes() {
+            out.push_str(&c.to_string());
+            out.push(',');
+        }
+        out.push(';');
+    }
+    out
+}
+
+/// One request against a source's restricted interface, in canonical form —
+/// the key of the shard's response cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RequestKey {
+    /// A one-shot top-`k` query.
+    TopK {
+        /// Canonical selection ([`query_key`]).
+        sel: String,
+    },
+    /// Page `page` of the system ranking.
+    Page {
+        /// Canonical selection ([`query_key`]).
+        sel: String,
+        /// 0-based page index.
+        page: usize,
+    },
+    /// Page `page` of a public `ORDER BY` view.
+    Ordered {
+        /// Canonical selection ([`query_key`]).
+        sel: String,
+        /// The ordering attribute.
+        attr: AttrId,
+        /// Ascending or descending.
+        asc: bool,
+        /// 0-based page index.
+        page: usize,
+    },
+}
+
+impl RequestKey {
+    /// Key of a top-`k` request for `q`.
+    pub fn top_k(q: &Query) -> Self {
+        RequestKey::TopK { sel: query_key(q) }
+    }
+
+    /// Key of a system-ranking page request.
+    pub fn page(q: &Query, page: usize) -> Self {
+        RequestKey::Page {
+            sel: query_key(q),
+            page,
+        }
+    }
+
+    /// Key of a public `ORDER BY` page request.
+    pub fn ordered(q: &Query, attr: AttrId, dir: Direction, page: usize) -> Self {
+        RequestKey::Ordered {
+            sel: query_key(q),
+            attr,
+            asc: dir == Direction::Asc,
+            page,
+        }
+    }
+}
+
+/// Key of one cached exact result stream: `(selection, ranking, tie,
+/// strategy)` — the site is implicit in the shard holding the entry.
+///
+/// The strategy name is part of the key on purpose: every built-in
+/// algorithm emits the same exact stream for the same `(selection, rank,
+/// tie)`, but keying per strategy keeps the invariant local (a cached
+/// stream is only ever replayed to a session that would have recomputed it
+/// with the very same state machine) and keeps user-registered strategies —
+/// whose exactness is their author's promise, not ours — from poisoning the
+/// built-ins' entries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ResultKey {
+    /// Canonical selection ([`query_key`]).
+    pub sel: String,
+    /// The ranking function's injective fingerprint
+    /// (`RankFn::fingerprint` in `qrs-ranking`).
+    pub rank: String,
+    /// Tie policy discriminant, rendered by the caller.
+    pub tie: u8,
+    /// `RerankStrategy::name` of the emitting strategy.
+    pub strategy: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrs_types::Interval;
+
+    #[test]
+    fn query_key_is_canonical_and_injective() {
+        let a = Query::all()
+            .and_range(AttrId(0), Interval::open(1.0, 5.0))
+            .and_range(AttrId(1), Interval::at_most(2.0));
+        let b = Query::all()
+            .and_range(AttrId(1), Interval::at_most(2.0))
+            .and_range(AttrId(0), Interval::open(1.0, 5.0));
+        assert_eq!(
+            query_key(&a),
+            query_key(&b),
+            "predicate order canonicalizes"
+        );
+        let c = Query::all()
+            .and_range(AttrId(0), Interval::open(1.0, 5.0 + f64::EPSILON * 8.0))
+            .and_range(AttrId(1), Interval::at_most(2.0));
+        assert_ne!(query_key(&a), query_key(&c), "nearby floats stay distinct");
+        let closed = Query::all().and_range(AttrId(0), Interval::closed(1.0, 5.0));
+        let open = Query::all().and_range(AttrId(0), Interval::open(1.0, 5.0));
+        assert_ne!(query_key(&closed), query_key(&open), "bound kinds distinct");
+        assert_eq!(query_key(&Query::all()), "");
+    }
+
+    #[test]
+    fn request_keys_separate_entry_points() {
+        let q = Query::all().and_range(AttrId(0), Interval::at_least(3.0));
+        let t = RequestKey::top_k(&q);
+        let p0 = RequestKey::page(&q, 0);
+        let p1 = RequestKey::page(&q, 1);
+        let o = RequestKey::ordered(&q, AttrId(0), Direction::Asc, 0);
+        let od = RequestKey::ordered(&q, AttrId(0), Direction::Desc, 0);
+        assert_ne!(t, p0);
+        assert_ne!(p0, p1);
+        assert_ne!(o, od);
+    }
+}

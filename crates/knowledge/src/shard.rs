@@ -1,0 +1,607 @@
+//! One source's shard: everything the service has learned about a site.
+//!
+//! A [`SourceShard`] holds four stores behind a single reader-writer lock:
+//!
+//! * a **response cache** — exact request → response replays,
+//! * **drained regions** — selections whose full match set (in system
+//!   order) is known, from which answers to *subsumed* requests are
+//!   synthesized without contacting the site,
+//! * **page runs** — partially-drained selections accumulating contiguous
+//!   pages until the run completes and is promoted to a drained region,
+//! * a **result cache** — exact top-k output streams keyed by
+//!   `(selection, rank, tie, strategy)`, replayed to warm sessions.
+//!
+//! Every store is guarded by the shard's **epoch**: entries remember the
+//! epoch they were recorded under, and lookups reject entries born under
+//! an older epoch. [`SourceShard::invalidate`] is therefore a single atomic
+//! increment — O(1), no scanning — and stale entries are reclaimed lazily
+//! by [`SourceShard::purge_stale`] or overwritten by fresh recordings.
+
+use crate::key::{RequestKey, ResultKey};
+use parking_lot::RwLock;
+use qrs_types::{Query, Tuple, TupleId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cached (or synthesized) answer to one restricted-interface request.
+///
+/// `more` carries the overflow/`has_more` bit: for top-k and page requests
+/// it reconstructs the underflow/valid/overflow trichotomy via
+/// `QueryResponse::new(tuples, more)`, for `ORDER BY` pages it is the
+/// `has_more` flag verbatim.
+#[derive(Debug, Clone)]
+pub struct CachedResponse {
+    /// Returned tuples, in the order the site produced (or would produce)
+    /// them.
+    pub tuples: Vec<Arc<Tuple>>,
+    /// Overflow / has-more bit.
+    pub more: bool,
+    /// `true` when the answer was synthesized from a drained region rather
+    /// than replayed from an exact recording.
+    pub synthesized: bool,
+}
+
+/// One fully-drained selection: the complete match set in system order.
+#[derive(Debug, Clone)]
+struct DrainedRun {
+    query: Query,
+    tuples: Vec<Arc<Tuple>>,
+}
+
+/// A selection being drained page by page. Pages must arrive contiguously
+/// from 0; the run is promoted to a [`DrainedRun`] when a page reports no
+/// further matches.
+#[derive(Debug, Clone)]
+struct PageRun {
+    query: Query,
+    k: usize,
+    tuples: Vec<Arc<Tuple>>,
+    pages_seen: usize,
+}
+
+/// One cached exact output stream. `items` holds `(tuple, score bits)` in
+/// emission order; `exhausted` records that the stream ended after
+/// `items.len()` emissions (so a replay can report exhaustion without
+/// re-running the strategy).
+#[derive(Debug, Clone, Default)]
+pub struct ResultEntry {
+    /// Emitted tuples with the bit pattern of their score, in order.
+    pub items: Vec<(Arc<Tuple>, u64)>,
+    /// The stream is known to end after `items.len()` tuples.
+    pub exhausted: bool,
+    /// Queries the sealing run paid-or-saved end to end — what a session
+    /// replaying this exhausted stream avoids spending. Zero until sealed.
+    pub queries_full: u64,
+    /// Cost units of the same full run, under the site's cost model.
+    pub cost_units_full: u64,
+}
+
+/// Epoch-stamped store entry.
+#[derive(Debug, Clone)]
+struct Stamped<T> {
+    epoch: u64,
+    value: T,
+}
+
+#[derive(Debug, Default)]
+struct ShardInner {
+    responses: HashMap<RequestKey, Stamped<CachedResponse>>,
+    drained: HashMap<String, Stamped<DrainedRun>>,
+    page_runs: HashMap<String, Stamped<PageRun>>,
+    results: HashMap<ResultKey, Stamped<ResultEntry>>,
+    observed: HashMap<TupleId, Arc<Tuple>>,
+}
+
+/// Point-in-time statistics for one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Current epoch (number of invalidations so far).
+    pub epoch: u64,
+    /// Requests answered from an exact cached response.
+    pub hits: u64,
+    /// Requests answered by synthesis from a drained region.
+    pub synthesized: u64,
+    /// Requests the shard could not answer.
+    pub misses: u64,
+    /// Result-cache lookups that found a live entry.
+    pub result_hits: u64,
+    /// Live exact-response entries.
+    pub responses: u64,
+    /// Live drained regions.
+    pub drained: u64,
+    /// Live cached result streams.
+    pub results: u64,
+    /// Distinct tuples observed from this source.
+    pub observed: u64,
+}
+
+/// Everything learned about one source, behind one lock + one epoch.
+///
+/// The hot path ([`lookup_response`](SourceShard::lookup_response)) takes
+/// the lock in read mode only; recordings and result-stream extensions take
+/// it in write mode. Invalidation never takes the lock at all.
+#[derive(Debug, Default)]
+pub struct SourceShard {
+    epoch: AtomicU64,
+    hits: AtomicU64,
+    synthesized: AtomicU64,
+    misses: AtomicU64,
+    result_hits: AtomicU64,
+    inner: RwLock<ShardInner>,
+}
+
+impl SourceShard {
+    /// A fresh, empty shard at epoch 0.
+    pub fn new() -> Self {
+        SourceShard::default()
+    }
+
+    /// Current epoch. Any knowledge consumer holding derived state should
+    /// compare against the epoch it derived under.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Bump the epoch, atomically invalidating every entry recorded so far.
+    /// O(1): stale entries are rejected lazily on lookup and reclaimed by
+    /// [`purge_stale`](SourceShard::purge_stale).
+    pub fn invalidate(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Try to answer a request from knowledge. Returns an exact replay when
+    /// one was recorded under the current epoch, else — for top-k and
+    /// system-ranking page requests — an answer synthesized from a drained
+    /// region that subsumes `q`. `ORDER BY` requests are only ever replayed
+    /// exactly (a drained region fixes system order, not attribute order).
+    ///
+    /// `k` must be the site's advertised page size; synthesis mirrors the
+    /// site's own semantics (skip `page·k` matches, return up to `k`, set
+    /// the more-bit iff a further match exists).
+    pub fn lookup_response(&self, key: &RequestKey, q: &Query, k: usize) -> Option<CachedResponse> {
+        let now = self.epoch();
+        let inner = self.inner.read();
+        if let Some(e) = inner.responses.get(key) {
+            if e.epoch == now {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(e.value.clone());
+            }
+        }
+        let page = match key {
+            RequestKey::TopK { .. } => 0,
+            RequestKey::Page { page, .. } => *page,
+            RequestKey::Ordered { .. } => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        if k > 0 {
+            for run in inner.drained.values() {
+                if run.epoch != now || !q.is_subsumed_by(&run.value.query) {
+                    continue;
+                }
+                let skip = page * k;
+                let mut out = Vec::with_capacity(k);
+                let mut seen = 0usize;
+                let mut more = false;
+                for t in &run.value.tuples {
+                    if !q.matches(t) {
+                        continue;
+                    }
+                    if seen >= skip {
+                        if out.len() == k {
+                            more = true;
+                            break;
+                        }
+                        out.push(Arc::clone(t));
+                    }
+                    seen += 1;
+                }
+                self.synthesized.fetch_add(1, Ordering::Relaxed);
+                return Some(CachedResponse {
+                    tuples: out,
+                    more,
+                    synthesized: true,
+                });
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Record the site's answer to one paid request. Observes every
+    /// returned tuple, caches the exact response, and grows the drained
+    /// map: a non-overflowing top-k answer *is* the full match set of its
+    /// selection, and a contiguous page run is promoted once its final
+    /// page arrives.
+    pub fn record_response(
+        &self,
+        key: RequestKey,
+        q: &Query,
+        k: usize,
+        tuples: &[Arc<Tuple>],
+        more: bool,
+    ) {
+        let now = self.epoch();
+        let mut inner = self.inner.write();
+        for t in tuples {
+            inner.observed.entry(t.id).or_insert_with(|| Arc::clone(t));
+        }
+        match &key {
+            RequestKey::TopK { sel } => {
+                if !more {
+                    inner.drained.insert(
+                        sel.clone(),
+                        Stamped {
+                            epoch: now,
+                            value: DrainedRun {
+                                query: q.clone(),
+                                tuples: tuples.to_vec(),
+                            },
+                        },
+                    );
+                }
+            }
+            RequestKey::Page { sel, page } => {
+                let run = inner
+                    .page_runs
+                    .entry(sel.clone())
+                    .or_insert_with(|| Stamped {
+                        epoch: now,
+                        value: PageRun {
+                            query: q.clone(),
+                            k,
+                            tuples: Vec::new(),
+                            pages_seen: 0,
+                        },
+                    });
+                if run.epoch != now || run.value.k != k {
+                    // Stale or re-keyed run: restart from scratch.
+                    run.epoch = now;
+                    run.value = PageRun {
+                        query: q.clone(),
+                        k,
+                        tuples: Vec::new(),
+                        pages_seen: 0,
+                    };
+                }
+                if *page == run.value.pages_seen {
+                    run.value.tuples.extend(tuples.iter().cloned());
+                    run.value.pages_seen += 1;
+                    if !more {
+                        let done = inner.page_runs.remove(sel).expect("run just touched");
+                        inner.drained.insert(
+                            sel.clone(),
+                            Stamped {
+                                epoch: now,
+                                value: DrainedRun {
+                                    query: done.value.query,
+                                    tuples: done.value.tuples,
+                                },
+                            },
+                        );
+                    }
+                }
+            }
+            RequestKey::Ordered { .. } => {}
+        }
+        inner.responses.insert(
+            key,
+            Stamped {
+                epoch: now,
+                value: CachedResponse {
+                    tuples: tuples.to_vec(),
+                    more,
+                    synthesized: false,
+                },
+            },
+        );
+    }
+
+    /// Look up a cached exact result stream recorded under the current
+    /// epoch. Returns a clone (tuples are `Arc`-shared, so this is cheap).
+    pub fn lookup_result(&self, key: &ResultKey) -> Option<ResultEntry> {
+        let now = self.epoch();
+        let inner = self.inner.read();
+        let e = inner.results.get(key)?;
+        if e.epoch != now || (e.value.items.is_empty() && !e.value.exhausted) {
+            return None;
+        }
+        self.result_hits.fetch_add(1, Ordering::Relaxed);
+        Some(e.value.clone())
+    }
+
+    /// Append the `index`-th emission of a result stream. The append is
+    /// accepted only when it is contiguous (`index` equals the entry's
+    /// current length under the current epoch) — concurrent sessions racing
+    /// on the same stream therefore converge on one consistent prefix
+    /// instead of interleaving.
+    pub fn extend_result(&self, key: &ResultKey, index: usize, tuple: Arc<Tuple>, score_bits: u64) {
+        let now = self.epoch();
+        let mut inner = self.inner.write();
+        let e = inner.results.entry(key.clone()).or_insert_with(|| Stamped {
+            epoch: now,
+            value: ResultEntry::default(),
+        });
+        if e.epoch != now {
+            e.epoch = now;
+            e.value = ResultEntry::default();
+        }
+        if e.value.exhausted {
+            return;
+        }
+        if e.value.items.len() == index {
+            e.value.items.push((tuple, score_bits));
+        }
+    }
+
+    /// Mark a result stream as complete after `len` emissions, recording
+    /// what the sealing run cost end to end (`queries_full` /
+    /// `cost_units_full`, paid and saved combined) so fully-replayed
+    /// sessions can attribute their savings. Ignored unless the entry's
+    /// recorded prefix has exactly that length under the current epoch (a
+    /// shorter racing prefix must not be sealed early).
+    pub fn mark_result_exhausted(
+        &self,
+        key: &ResultKey,
+        len: usize,
+        queries_full: u64,
+        cost_units_full: u64,
+    ) {
+        let now = self.epoch();
+        let mut inner = self.inner.write();
+        let e = inner.results.entry(key.clone()).or_insert_with(|| Stamped {
+            epoch: now,
+            value: ResultEntry::default(),
+        });
+        if e.epoch != now {
+            e.epoch = now;
+            e.value = ResultEntry::default();
+        }
+        if e.value.items.len() == len {
+            e.value.exhausted = true;
+            e.value.queries_full = queries_full;
+            e.value.cost_units_full = cost_units_full;
+        }
+    }
+
+    /// Does a live drained region subsume `q` (i.e. could the shard answer
+    /// any top-k/page request over `q` without spending)?
+    pub fn covers(&self, q: &Query) -> bool {
+        let now = self.epoch();
+        let inner = self.inner.read();
+        inner
+            .drained
+            .values()
+            .any(|r| r.epoch == now && q.is_subsumed_by(&r.value.query))
+    }
+
+    /// A tuple previously observed from this source, by id.
+    pub fn observed(&self, id: TupleId) -> Option<Arc<Tuple>> {
+        self.inner.read().observed.get(&id).cloned()
+    }
+
+    /// Reclaim entries recorded under older epochs. Observed tuples are
+    /// facts about the old snapshot too, so they are dropped as well when
+    /// anything else was stale.
+    pub fn purge_stale(&self) {
+        let now = self.epoch();
+        let mut inner = self.inner.write();
+        let before = inner.responses.len()
+            + inner.drained.len()
+            + inner.page_runs.len()
+            + inner.results.len();
+        inner.responses.retain(|_, e| e.epoch == now);
+        inner.drained.retain(|_, e| e.epoch == now);
+        inner.page_runs.retain(|_, e| e.epoch == now);
+        inner.results.retain(|_, e| e.epoch == now);
+        let after = inner.responses.len()
+            + inner.drained.len()
+            + inner.page_runs.len()
+            + inner.results.len();
+        if after < before {
+            inner.observed.clear();
+        }
+    }
+
+    /// Point-in-time statistics (live-entry counts are computed under the
+    /// read lock; hit/miss counters are relaxed atomics).
+    pub fn stats(&self) -> ShardStats {
+        let now = self.epoch();
+        let inner = self.inner.read();
+        ShardStats {
+            epoch: now,
+            hits: self.hits.load(Ordering::Relaxed),
+            synthesized: self.synthesized.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            result_hits: self.result_hits.load(Ordering::Relaxed),
+            responses: inner.responses.values().filter(|e| e.epoch == now).count() as u64,
+            drained: inner.drained.values().filter(|e| e.epoch == now).count() as u64,
+            results: inner.results.values().filter(|e| e.epoch == now).count() as u64,
+            observed: inner.observed.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrs_types::{AttrId, Interval};
+
+    fn t(id: u32, v: f64) -> Arc<Tuple> {
+        Arc::new(Tuple::new(TupleId(id), vec![v], vec![]))
+    }
+
+    fn sel(lo: f64, hi: f64) -> Query {
+        Query::all().and_range(AttrId(0), Interval::closed(lo, hi))
+    }
+
+    #[test]
+    fn exact_replay_roundtrips() {
+        let s = SourceShard::new();
+        let q = sel(0.0, 10.0);
+        let key = RequestKey::top_k(&q);
+        let tuples = vec![t(1, 3.0), t(2, 7.0)];
+        assert!(s.lookup_response(&key, &q, 2).is_none());
+        s.record_response(key.clone(), &q, 2, &tuples, true);
+        let hit = s.lookup_response(&key, &q, 2).expect("recorded");
+        assert!(!hit.synthesized);
+        assert!(hit.more);
+        assert_eq!(hit.tuples.len(), 2);
+        assert_eq!(hit.tuples[0].id, TupleId(1));
+    }
+
+    #[test]
+    fn non_overflow_topk_drains_and_synthesizes_subsumed() {
+        let s = SourceShard::new();
+        let wide = sel(0.0, 10.0);
+        // Valid (non-overflow) answer: these three are ALL matches of `wide`.
+        let all = vec![t(1, 1.0), t(2, 5.0), t(3, 9.0)];
+        s.record_response(RequestKey::top_k(&wide), &wide, 5, &all, false);
+        assert!(s.covers(&sel(2.0, 6.0)));
+        // Narrower selection, k = 1: first match is t2, one more exists.
+        let narrow = sel(2.0, 9.5);
+        let r = s
+            .lookup_response(&RequestKey::top_k(&narrow), &narrow, 1)
+            .expect("synthesized");
+        assert!(r.synthesized);
+        assert!(r.more);
+        assert_eq!(r.tuples.len(), 1);
+        assert_eq!(r.tuples[0].id, TupleId(2));
+        // Page 1 of the same narrow selection: the second match, no more.
+        let r = s
+            .lookup_response(&RequestKey::page(&narrow, 1), &narrow, 1)
+            .expect("synthesized page");
+        assert_eq!(r.tuples[0].id, TupleId(3));
+        assert!(!r.more);
+        // A selection escaping the drained region is a miss.
+        assert!(s
+            .lookup_response(&RequestKey::top_k(&sel(2.0, 20.0)), &sel(2.0, 20.0), 1)
+            .is_none());
+    }
+
+    #[test]
+    fn page_run_promotes_on_final_page() {
+        let s = SourceShard::new();
+        let q = sel(0.0, 10.0);
+        s.record_response(
+            RequestKey::page(&q, 0),
+            &q,
+            2,
+            &[t(1, 1.0), t(2, 2.0)],
+            true,
+        );
+        assert!(!s.covers(&q));
+        s.record_response(RequestKey::page(&q, 1), &q, 2, &[t(3, 3.0)], false);
+        assert!(s.covers(&q));
+        let narrow = sel(1.5, 10.0);
+        let r = s
+            .lookup_response(&RequestKey::top_k(&narrow), &narrow, 5)
+            .expect("drained via pages");
+        assert_eq!(
+            r.tuples.iter().map(|t| t.id.0).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert!(!r.more);
+    }
+
+    #[test]
+    fn out_of_order_pages_do_not_poison_the_run() {
+        let s = SourceShard::new();
+        let q = sel(0.0, 10.0);
+        // Page 1 before page 0: cached exactly, but no run accumulates.
+        s.record_response(RequestKey::page(&q, 1), &q, 2, &[t(3, 3.0)], false);
+        assert!(!s.covers(&q));
+        s.record_response(
+            RequestKey::page(&q, 0),
+            &q,
+            2,
+            &[t(1, 1.0), t(2, 2.0)],
+            true,
+        );
+        assert!(!s.covers(&q));
+        // Now the contiguous tail arrives and the run completes.
+        s.record_response(RequestKey::page(&q, 1), &q, 2, &[t(3, 3.0)], false);
+        assert!(s.covers(&q));
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_everything() {
+        let s = SourceShard::new();
+        let q = sel(0.0, 10.0);
+        let key = RequestKey::top_k(&q);
+        s.record_response(key.clone(), &q, 2, &[t(1, 1.0)], false);
+        let rk = ResultKey {
+            sel: "s".into(),
+            rank: "r".into(),
+            tie: 0,
+            strategy: "a".into(),
+        };
+        s.extend_result(&rk, 0, t(1, 1.0), 0);
+        assert!(s.lookup_response(&key, &q, 2).is_some());
+        assert!(s.lookup_result(&rk).is_some());
+        assert!(s.covers(&q));
+        let e = s.invalidate();
+        assert_eq!(e, 1);
+        assert_eq!(s.epoch(), 1);
+        assert!(s.lookup_response(&key, &q, 2).is_none());
+        assert!(s.lookup_result(&rk).is_none());
+        assert!(!s.covers(&q));
+        s.purge_stale();
+        let st = s.stats();
+        assert_eq!(st.responses, 0);
+        assert_eq!(st.drained, 0);
+        assert_eq!(st.results, 0);
+        assert_eq!(st.observed, 0);
+    }
+
+    #[test]
+    fn result_stream_appends_are_contiguous_only() {
+        let s = SourceShard::new();
+        let rk = ResultKey {
+            sel: "s".into(),
+            rank: "r".into(),
+            tie: 0,
+            strategy: "a".into(),
+        };
+        s.extend_result(&rk, 0, t(1, 1.0), 10);
+        s.extend_result(&rk, 2, t(9, 9.0), 90); // gap: dropped
+        s.extend_result(&rk, 1, t(2, 2.0), 20);
+        let e = s.lookup_result(&rk).expect("live");
+        assert_eq!(e.items.len(), 2);
+        assert_eq!(e.items[1].0.id, TupleId(2));
+        assert!(!e.exhausted);
+        s.mark_result_exhausted(&rk, 1, 7, 7); // wrong length: ignored
+        assert!(!s.lookup_result(&rk).unwrap().exhausted);
+        s.mark_result_exhausted(&rk, 2, 7, 9);
+        let sealed = s.lookup_result(&rk).unwrap();
+        assert!(sealed.exhausted);
+        assert_eq!(sealed.queries_full, 7);
+        assert_eq!(sealed.cost_units_full, 9);
+        // Sealed streams reject further appends.
+        s.extend_result(&rk, 2, t(3, 3.0), 30);
+        assert_eq!(s.lookup_result(&rk).unwrap().items.len(), 2);
+    }
+
+    #[test]
+    fn ordered_requests_replay_exactly_but_never_synthesize() {
+        let s = SourceShard::new();
+        let wide = sel(0.0, 10.0);
+        s.record_response(
+            RequestKey::top_k(&wide),
+            &wide,
+            5,
+            &[t(1, 1.0), t(2, 5.0)],
+            false,
+        );
+        let narrow = sel(0.0, 6.0);
+        let ok = RequestKey::ordered(&narrow, AttrId(0), qrs_types::Direction::Asc, 0);
+        assert!(s.lookup_response(&ok, &narrow, 5).is_none());
+        s.record_response(ok.clone(), &narrow, 5, &[t(1, 1.0)], true);
+        let r = s.lookup_response(&ok, &narrow, 5).expect("exact ordered");
+        assert!(r.more);
+        assert_eq!(r.tuples.len(), 1);
+    }
+}

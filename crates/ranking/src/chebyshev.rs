@@ -66,6 +66,12 @@ impl RankFn for ChebyshevRank {
     fn label(&self) -> String {
         format!("Chebyshev({} attrs)", self.attrs.len())
     }
+
+    /// Full-bit weights and ideal point — the label carries neither.
+    fn fingerprint(&self) -> String {
+        let params: Vec<f64> = self.weights.iter().chain(&self.ideal).copied().collect();
+        crate::rankfn::fingerprint_with_params("chebyshev", &self.attrs, &self.dirs, &params)
+    }
 }
 
 #[cfg(test)]

@@ -148,6 +148,12 @@ impl RankFn for LinearRank {
         self.label.clone()
     }
 
+    /// Full-bit weights — the display label rounds to two decimals, which
+    /// would alias nearby weight vectors.
+    fn fingerprint(&self) -> String {
+        crate::rankfn::fingerprint_with_params("linear", &self.attrs, &self.dirs, &self.weights)
+    }
+
     /// Closed-form `ℓ`: `v = (target - Σ_{j≠dim} wⱼ·baseⱼ) / w_dim`, then
     /// exactified by the default bisection (cheap; keeps the ULP guarantee).
     fn ell(&self, dim: usize, target: f64, base: &[f64], hi: f64) -> Option<f64> {

@@ -73,6 +73,15 @@ impl RankFn for LpRank {
     fn label(&self) -> String {
         format!("L{}-distance({} attrs)", self.p, self.attrs.len())
     }
+
+    /// Full-bit `p`, weights and ideal point — the label carries only `p`.
+    fn fingerprint(&self) -> String {
+        let params: Vec<f64> = std::iter::once(self.p)
+            .chain(self.weights.iter().copied())
+            .chain(self.ideal.iter().copied())
+            .collect();
+        crate::rankfn::fingerprint_with_params("lp", &self.attrs, &self.dirs, &params)
+    }
 }
 
 #[cfg(test)]

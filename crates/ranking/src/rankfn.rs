@@ -74,6 +74,30 @@ pub trait RankFn: Send + Sync {
         "rank".to_owned()
     }
 
+    /// Injective identity of this ranking function, suitable as a cache key
+    /// (the knowledge plane keys cached exact result streams by it).
+    ///
+    /// Two functions with equal fingerprints **must** rank every tuple set
+    /// identically; two observably different functions must differ. The
+    /// default renders `label + attrs + directions` — enough for parameter
+    /// -free functions, but families whose labels round their parameters
+    /// (e.g. [`crate::LinearRank`] prints weights at two decimals) override
+    /// it with full-bit parameter renderings. Custom implementations with
+    /// numeric parameters should do the same via something like
+    /// `format!("{:016x}", w.to_bits())`.
+    fn fingerprint(&self) -> String {
+        let mut out = self.label();
+        out.push('|');
+        for (a, d) in self.attrs().iter().zip(self.directions()) {
+            out.push_str(&a.0.to_string());
+            out.push(match d {
+                Direction::Asc => 'a',
+                Direction::Desc => 'd',
+            });
+        }
+        out
+    }
+
     /// Number of ranking dimensions `m`.
     fn dims(&self) -> usize {
         self.attrs().len()
@@ -163,6 +187,32 @@ pub trait RankFn: Send + Sync {
         let lam = partition_point_f64(0.0, 1.0, |lam| self.score_norm(&point_at(lam)) >= target)?;
         Some(point_at(lam))
     }
+}
+
+/// Shared fingerprint renderer for the built-in families: family tag, then
+/// per-coordinate `attr`/`direction`, then every numeric parameter as its
+/// raw bit pattern (injective where `Display` rounding is not).
+pub(crate) fn fingerprint_with_params(
+    family: &str,
+    attrs: &[AttrId],
+    dirs: &[Direction],
+    params: &[f64],
+) -> String {
+    let mut out = String::with_capacity(family.len() + 4 * attrs.len() + 17 * params.len());
+    out.push_str(family);
+    out.push('|');
+    for (a, d) in attrs.iter().zip(dirs) {
+        out.push_str(&a.0.to_string());
+        out.push(match d {
+            Direction::Asc => 'a',
+            Direction::Desc => 'd',
+        });
+    }
+    out.push('|');
+    for p in params {
+        out.push_str(&format!("{:016x};", p.to_bits()));
+    }
+    out
 }
 
 /// Exactify a candidate contour point: pull `p` back toward `lo` along the
@@ -276,6 +326,25 @@ mod tests {
         // Degenerate cases.
         assert!(f.contour_point(&lo, &hi, -1.0).is_none()); // S(lo)=0 >= -1
         assert!(f.contour_point(&lo, &hi, 100.0).is_none()); // S(hi)=30 < 100
+    }
+
+    #[test]
+    fn fingerprints_survive_label_rounding() {
+        use crate::LinearRank;
+        let a = LinearRank::asc(vec![(AttrId(0), 1.001), (AttrId(1), 1.0)]);
+        let b = LinearRank::asc(vec![(AttrId(0), 1.002), (AttrId(1), 1.0)]);
+        // The display label rounds both to "1.00*..." — it aliases.
+        assert_eq!(a.label(), b.label());
+        // The fingerprint does not.
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.fingerprint());
+        // Default fingerprint distinguishes attrs/directions.
+        let f = sum2();
+        let g = Sum(
+            vec![AttrId(0), AttrId(1)],
+            vec![Direction::Asc, Direction::Desc],
+        );
+        assert_ne!(f.fingerprint(), g.fingerprint());
     }
 
     #[test]

@@ -108,6 +108,8 @@ fn run_one(svc: &RerankService, req: BatchRequest, cancel: &CancelToken) -> Batc
         emitted: 0,
         queries_spent: 0,
         cost_units_spent: 0,
+        queries_saved: 0,
+        cost_units_saved: 0,
         attempts_made: 0,
         retries_spent: 0,
         budget_limit: req.budget,

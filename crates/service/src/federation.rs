@@ -55,6 +55,20 @@
 //! Per-source *retry policies* are configured up front via
 //! [`FederatedSession::builder`]: a fast dealer can afford aggressive
 //! retries while a slow one fails over to the circuit quickly.
+//!
+//! ## Shared knowledge across sources
+//!
+//! A federation amortizes across *tenants* the same way a single service
+//! does: build every source's [`RerankService`] with the **same**
+//! [`crate::KnowledgePlane`] (each under its own source name) and every
+//! federated session records what it learns per source while consulting
+//! what earlier sessions — federated or not — already bought there. The
+//! plane shards per source, so dealers never pollute each other's caches,
+//! and one dealer's inventory change is one epoch bump
+//! ([`crate::KnowledgePlane::invalidate`]) that leaves the other sources'
+//! knowledge intact. Per-source savings surface in
+//! [`FederatedSession::session_stats`] as `queries_saved` /
+//! `cost_units_saved`.
 
 use crate::service::{Algorithm, RerankService};
 use crate::session::{RankedTuple, Session, SessionStats};

@@ -56,3 +56,6 @@ pub use stats::ServiceStats;
 // The strategy vocabulary sessions are driven by — re-exported so callers
 // registering a custom strategy need only this crate.
 pub use qrs_core::strategy::{CostEstimate, PlanContext, RerankStrategy, StrategyIo, StrategyStep};
+// The knowledge plane: build one, share it across services (and processes'
+// worth of tenants) via `RerankService::with_knowledge`.
+pub use qrs_knowledge::{KnowledgePlane, PlaneStats, ShardStats, SourceShard};

@@ -9,19 +9,33 @@
 
 use crate::budget::QueryBudget;
 use crate::planner::{Plan, Planner, RankedCandidate};
-use crate::retry::RetryBudget;
-use crate::session::Session;
+use crate::retry::{RetryBudget, RetryRunner};
+use crate::session::{Session, SessionKnowledge};
 use crate::stats::ServiceStats;
 use parking_lot::Mutex;
 use qrs_core::md::ta::SortedAccess;
 use qrs_core::strategy::{
     MdCursorStrategy, OneDCursorStrategy, PageDownStrategy, RerankStrategy, TaCursorStrategy,
 };
-use qrs_core::{MdOptions, OneDSpec, OneDStrategy, RerankParams, SharedState, TiePolicy};
+use qrs_core::{
+    KnowledgeGate, MdOptions, OneDSpec, OneDStrategy, RerankParams, SharedState, TiePolicy,
+};
+use qrs_knowledge::{query_key, KnowledgePlane, ResultKey};
 use qrs_ranking::RankFn;
 use qrs_server::{Clock, SearchInterface, SystemClock};
 use qrs_types::{Capability, Query, RerankError, RetryPolicy};
+use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// A service's hookup to the cross-session knowledge plane: the shared
+/// plane, the source name this service's server is registered under, and
+/// the [`KnowledgeGate`] every opted-in session routes its requests
+/// through.
+struct KnowledgeHandle {
+    plane: Arc<KnowledgePlane>,
+    source: String,
+    gate: Arc<KnowledgeGate>,
+}
 
 /// Which reranking algorithm a session runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +84,8 @@ pub struct RerankService {
     retry_budget: RetryBudget,
     /// Time source for backoff sleeps (a mock clock in tests).
     clock: Arc<dyn Clock>,
+    /// Cross-session knowledge hookup, when built `with_knowledge`.
+    kplane: Option<KnowledgeHandle>,
 }
 
 impl RerankService {
@@ -91,7 +107,34 @@ impl RerankService {
             retry_policy: RetryPolicy::none(),
             retry_budget: RetryBudget::unlimited(),
             clock: Arc::new(SystemClock::new()),
+            kplane: None,
         }
+    }
+
+    /// Attach a cross-session [`KnowledgePlane`], registering this
+    /// service's server under `source`. Every session opened afterwards
+    /// (unless it opts out via [`SessionBuilder::knowledge`]) consults the
+    /// plane's shard for `source` before paying the server, and records
+    /// what it learns for later sessions — including sessions of *other*
+    /// services built with the same plane and source name, which is how a
+    /// federation amortizes across tenants (§3.1.1's cross-session
+    /// amortization, lifted out of one process-wide `SharedState`).
+    ///
+    /// Staleness is the caller's contract: when the underlying site is
+    /// known to have changed, call [`KnowledgePlane::invalidate`] for the
+    /// source (one atomic epoch bump) and every cached fact is re-earned.
+    pub fn with_knowledge(mut self, plane: Arc<KnowledgePlane>, source: impl Into<String>) -> Self {
+        let source = source.into();
+        let gate = Arc::new(KnowledgeGate::new(
+            Arc::clone(&self.server),
+            plane.shard(&source),
+        ));
+        self.kplane = Some(KnowledgeHandle {
+            plane,
+            source,
+            gate,
+        });
+        self
     }
 
     /// Enforce a service-wide query cap (e.g. the API's daily limit).
@@ -142,6 +185,7 @@ impl RerankService {
             retry_limit: None,
             horizon: None,
             custom: None,
+            use_knowledge: true,
         }
     }
 
@@ -204,6 +248,22 @@ impl RerankService {
 
     pub(crate) fn state(&self) -> &Mutex<SharedState> {
         &self.state
+    }
+
+    /// The cross-session knowledge plane this service publishes to, if it
+    /// was built [`RerankService::with_knowledge`].
+    pub fn knowledge_plane(&self) -> Option<&Arc<KnowledgePlane>> {
+        self.kplane.as_ref().map(|h| &h.plane)
+    }
+
+    /// The source name this service's server is registered under on the
+    /// knowledge plane, if any.
+    pub fn knowledge_source(&self) -> Option<&str> {
+        self.kplane.as_ref().map(|h| h.source.as_str())
+    }
+
+    pub(crate) fn knowledge_gate(&self) -> Option<&Arc<KnowledgeGate>> {
+        self.kplane.as_ref().map(|h| &h.gate)
     }
 
     /// Size of the shared knowledge accumulated so far: (history tuples,
@@ -274,6 +334,9 @@ pub struct SessionBuilder<'a> {
     /// A user-registered strategy object; when set, the session drives it
     /// instead of a planner- or caller-chosen built-in algorithm.
     custom: Option<Box<dyn RerankStrategy>>,
+    /// Consult the service's knowledge plane, when it has one (default
+    /// true; a no-op on plane-less services).
+    use_knowledge: bool,
 }
 
 impl<'a> SessionBuilder<'a> {
@@ -306,6 +369,16 @@ impl<'a> SessionBuilder<'a> {
     /// strategy's own responsibility.
     pub fn strategy(mut self, strategy: Box<dyn RerankStrategy>) -> Self {
         self.custom = Some(strategy);
+        self
+    }
+
+    /// Opt this session in or out of the service's knowledge plane
+    /// (default in). Opting out makes the session pay the server for every
+    /// request and record nothing — useful as a cold-cost control, or when
+    /// the caller suspects the plane is stale but cannot afford an
+    /// invalidation that would evict other tenants' knowledge.
+    pub fn knowledge(mut self, on: bool) -> Self {
+        self.use_knowledge = on;
         self
     }
 
@@ -522,14 +595,46 @@ impl<'a> SessionBuilder<'a> {
         // deterministic for replayable tests (same open order, same seeds).
         let nonce = self.svc.stats_ref().snapshot().sessions_started;
         retry.seed ^= nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let knowledge = if self.use_knowledge {
+            self.svc.knowledge_gate().map(|gate| {
+                // Custom strategies never key the result cache: their
+                // exactness is the author's promise, so their streams are
+                // neither recorded nor replayed (the request-level gate
+                // still serves them).
+                let result_key =
+                    (!matches!(plan.algorithm, Algorithm::Custom)).then(|| ResultKey {
+                        sel: query_key(&self.sel),
+                        rank: self.rank.fingerprint(),
+                        tie: match self.tie {
+                            TiePolicy::Exact => 0,
+                            TiePolicy::AssumeDistinct => 1,
+                        },
+                        strategy: strategy.name().to_string(),
+                    });
+                let (replay, exhausted, ledger) = match result_key
+                    .as_ref()
+                    .and_then(|key| gate.shard().lookup_result(key))
+                {
+                    Some(entry) => (
+                        VecDeque::from(entry.items),
+                        entry.exhausted,
+                        (entry.queries_full, entry.cost_units_full),
+                    ),
+                    None => (VecDeque::new(), false, (0, 0)),
+                };
+                SessionKnowledge::new(Arc::clone(gate), result_key, replay, exhausted, ledger)
+            })
+        } else {
+            None
+        };
         Ok(Session::new(
             self.svc,
             self.rank,
             strategy,
             self.budget,
-            retry,
-            self.retry_limit,
+            RetryRunner::new(retry, self.retry_limit),
             plan.residual,
+            knowledge,
         ))
     }
 }

@@ -13,7 +13,7 @@
 //! tuples fetched *before* the failure alongside the error — paid-for
 //! results are never dropped.
 //!
-//! Retry contract: with a [`RetryPolicy`] attached (via the service default
+//! Retry contract: with a [`RetryPolicy`](qrs_types::RetryPolicy) attached (via the service default
 //! or [`crate::SessionBuilder::retry`]), transient *server* failures are
 //! retried in place with exponential backoff + jitter, honoring the
 //! server's `retry_after_ms` hint, sleeping on the service's injectable
@@ -26,9 +26,74 @@
 use crate::retry::RetryRunner;
 use crate::service::RerankService;
 use qrs_core::strategy::{RerankStrategy, StrategyIo, StrategyStep};
+use qrs_core::KnowledgeGate;
+use qrs_knowledge::ResultKey;
 use qrs_ranking::RankFn;
-use qrs_types::{Query, RerankError, RetryPolicy, Tuple};
+use qrs_server::SearchInterface;
+use qrs_types::{Query, RerankError, Tuple};
+use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// Per-session view of the knowledge plane, built at open time by
+/// `SessionBuilder` when the service carries a plane and the session did
+/// not opt out.
+///
+/// Two mechanisms ride in it:
+/// * the **gate** — every strategy request goes through the
+///   [`KnowledgeGate`] instead of the raw server, so exact replays and
+///   drained-region synthesis answer for free; the session reads the
+///   gate's saved-ledger deltas in-lock, exactly like paid spend;
+/// * the **result replay** — a cached exact output stream for this
+///   `(selection, rank, tie, strategy)` is emitted directly (`replay`),
+///   after which the strategy resumes from scratch skipping the first
+///   `skip` emissions; its replayed requests hit the response cache, so
+///   resumption costs zero server queries.
+pub(crate) struct SessionKnowledge {
+    pub(crate) gate: Arc<KnowledgeGate>,
+    /// Key of this session's exact output stream in the shard's result
+    /// cache; `None` for custom strategies (their exactness is the
+    /// author's promise, so their streams are never cached or replayed).
+    pub(crate) result_key: Option<ResultKey>,
+    /// Cached `(tuple, score bits)` prefix still to emit.
+    pub(crate) replay: VecDeque<(Arc<Tuple>, u64)>,
+    /// Length of the cached prefix: strategy emissions `0..skip` were
+    /// already replayed and are swallowed when the strategy re-derives
+    /// them.
+    pub(crate) skip: usize,
+    /// The cached stream is known complete: once `replay` drains, the
+    /// session is exhausted without ever driving the strategy.
+    pub(crate) replay_exhausted: bool,
+    /// `(queries, cost_units)` the sealing run paid end to end — credited
+    /// to the saved ledger when a complete replay finishes.
+    pub(crate) full_ledger: (u64, u64),
+    /// One-shot latch for that credit.
+    credited: bool,
+    /// Post-residual emissions the strategy itself has produced — the
+    /// 0-based stream index used for recording and for `skip`.
+    strategy_emitted: usize,
+}
+
+impl SessionKnowledge {
+    pub(crate) fn new(
+        gate: Arc<KnowledgeGate>,
+        result_key: Option<ResultKey>,
+        replay: VecDeque<(Arc<Tuple>, u64)>,
+        replay_exhausted: bool,
+        full_ledger: (u64, u64),
+    ) -> Self {
+        let skip = replay.len();
+        SessionKnowledge {
+            gate,
+            result_key,
+            replay,
+            skip,
+            replay_exhausted,
+            full_ledger,
+            credited: false,
+            strategy_emitted: 0,
+        }
+    }
+}
 
 /// One emitted answer: global rank (1-based), user score, tuple.
 #[derive(Debug, Clone)]
@@ -53,6 +118,15 @@ pub struct SessionStats {
     /// advertised cost model. Equals `queries_spent` on flat-model sites;
     /// the number a metered site actually bills for.
     pub cost_units_spent: u64,
+    /// Queries this session answered from the knowledge plane instead of
+    /// paying the server — zero unless the service carries a plane.
+    /// Attribution is in-lock, exactly like `queries_spent`; a session
+    /// whose whole stream replayed from a sealed cache entry credits the
+    /// sealing run's recorded cost here.
+    pub queries_saved: u64,
+    /// Cost units those knowledge hits would have been billed, under the
+    /// server's advertised cost model.
+    pub cost_units_saved: u64,
     /// Cursor-step attempts made, successful and failed alike.
     pub attempts_made: u64,
     /// Retries spent (attempts beyond the first for a given step).
@@ -78,6 +152,12 @@ pub struct Session<'a> {
     /// Weighted cost units charged by those same steps, metered in-lock
     /// alongside `spent` from the server's weighted ledger.
     cost_spent: u64,
+    /// Queries answered from knowledge instead of the server, attributed
+    /// in-lock from the gate's saved ledger (plus the one-shot full-replay
+    /// credit).
+    saved: u64,
+    /// Cost units those knowledge hits would have been billed.
+    cost_saved: u64,
     /// Per-session cap on `spent` (the service-wide budget still applies).
     budget_limit: Option<u64>,
     /// Cursor-step attempts, counted in-lock alongside `spent` so failed
@@ -91,6 +171,9 @@ pub struct Session<'a> {
     /// site could not evaluate them); re-checked here before emitting, so
     /// exactness survives the relaxation.
     residual: Option<Query>,
+    /// Knowledge-plane hookup (gate + result replay), when the service
+    /// carries a plane and this session opted in.
+    knowledge: Option<SessionKnowledge>,
 }
 
 impl<'a> Session<'a> {
@@ -99,9 +182,9 @@ impl<'a> Session<'a> {
         rank: Arc<dyn RankFn>,
         strategy: Box<dyn RerankStrategy>,
         budget_limit: Option<u64>,
-        retry_policy: RetryPolicy,
-        retry_limit: Option<u64>,
+        retry: RetryRunner,
         residual: Option<Query>,
+        knowledge: Option<SessionKnowledge>,
     ) -> Self {
         Session {
             svc,
@@ -110,11 +193,14 @@ impl<'a> Session<'a> {
             emitted: 0,
             spent: 0,
             cost_spent: 0,
+            saved: 0,
+            cost_saved: 0,
             budget_limit,
             attempts: 0,
             retries: 0,
-            retry: RetryRunner::new(retry_policy, retry_limit),
+            retry,
             residual,
+            knowledge,
         }
     }
 
@@ -134,6 +220,39 @@ impl<'a> Session<'a> {
     /// *not* slept on — only a caller-side window reset can clear them.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<RankedTuple>, RerankError> {
+        // Serve the cached result stream first: zero server traffic, no
+        // shared-state lock. Scores replay from their recorded bit
+        // patterns, so a warm stream is byte-identical to the cold one.
+        if let Some(k) = &mut self.knowledge {
+            if let Some((tuple, bits)) = k.replay.pop_front() {
+                self.emitted += 1;
+                self.svc.stats_ref().on_emit();
+                if k.replay.is_empty() && k.replay_exhausted && !k.credited {
+                    k.credited = true;
+                    let (q, c) = k.full_ledger;
+                    self.saved += q;
+                    self.cost_saved += c;
+                    self.svc.stats_ref().on_saved(q, c);
+                }
+                return Ok(Some(RankedTuple {
+                    rank: self.emitted,
+                    score: f64::from_bits(bits),
+                    tuple,
+                }));
+            }
+            if k.replay_exhausted {
+                // The cached stream was complete (possibly empty): the
+                // session is exhausted without ever driving the strategy.
+                if !k.credited {
+                    k.credited = true;
+                    let (q, c) = k.full_ledger;
+                    self.saved += q;
+                    self.cost_saved += c;
+                    self.svc.stats_ref().on_saved(q, c);
+                }
+                return Ok(None);
+            }
+        }
         let mut retries_this_step: u32 = 0;
         loop {
             // Budget gates re-checked before every attempt: a retry must
@@ -166,6 +285,29 @@ impl<'a> Session<'a> {
                             continue;
                         }
                     }
+                    if let Some(k) = &mut self.knowledge {
+                        // Post-residual stream index: the cache stores the
+                        // user-visible stream, so residual-filtered tuples
+                        // never count.
+                        let idx = k.strategy_emitted;
+                        k.strategy_emitted += 1;
+                        if let Some(key) = &k.result_key {
+                            k.gate.shard().extend_result(
+                                key,
+                                idx,
+                                Arc::clone(&tuple),
+                                self.rank.score(&tuple).to_bits(),
+                            );
+                        }
+                        if idx < k.skip {
+                            // Already emitted from the replayed prefix;
+                            // the strategy is just catching up (its
+                            // requests hit the response cache, so this
+                            // costs nothing).
+                            retries_this_step = 0;
+                            continue;
+                        }
+                    }
                     self.emitted += 1;
                     self.svc.stats_ref().on_emit();
                     return Ok(Some(RankedTuple {
@@ -181,7 +323,23 @@ impl<'a> Session<'a> {
                     retries_this_step = 0;
                     continue;
                 }
-                Ok(StrategyStep::Exhausted) => return Ok(None),
+                Ok(StrategyStep::Exhausted) => {
+                    if let Some(k) = &self.knowledge {
+                        if let Some(key) = &k.result_key {
+                            // Seal the cache entry: the stream is complete
+                            // at exactly `strategy_emitted` tuples, and the
+                            // whole run cost `spent + saved` (what a future
+                            // full replay deserves credit for).
+                            k.gate.shard().mark_result_exhausted(
+                                key,
+                                k.strategy_emitted,
+                                self.spent + self.saved,
+                                self.cost_spent + self.cost_saved,
+                            );
+                        }
+                    }
+                    return Ok(None);
+                }
                 Err(e) => e,
             };
             if !err.is_retryable() || !self.retry.policy().retries_enabled() {
@@ -232,10 +390,22 @@ impl<'a> Session<'a> {
     /// queries (e.g. a page truncated in transit) still charges this
     /// session.
     fn step(&mut self) -> Result<StrategyStep, RerankError> {
-        let server = Arc::clone(self.svc.server());
+        // With a knowledge gate attached, the strategy talks to the gate
+        // instead of the raw server: hits answer for free and land on the
+        // saved ledger; misses pass through and land on the paid one. Both
+        // ledgers are read as deltas across this step under the lock, so
+        // attribution stays exact per session either way.
+        let server: Arc<dyn SearchInterface> = match &self.knowledge {
+            Some(k) => Arc::clone(&k.gate) as Arc<dyn SearchInterface>,
+            None => Arc::clone(self.svc.server()),
+        };
         let mut st = self.svc.state().lock();
         let before = server.queries_issued();
         let before_cost = server.cost_units_issued();
+        let before_saved = self
+            .knowledge
+            .as_ref()
+            .map(|k| (k.gate.queries_saved(), k.gate.cost_units_saved()));
         let t = {
             let mut io = StrategyIo::new(server.as_ref(), &mut st);
             self.strategy.next_step(&mut io)
@@ -246,6 +416,15 @@ impl<'a> Session<'a> {
         self.spent += dq;
         self.cost_spent += dc;
         self.svc.stats_ref().on_spend(dq, dc);
+        if let (Some(k), Some((bq, bc))) = (&self.knowledge, before_saved) {
+            let dsq = k.gate.queries_saved() - bq;
+            let dsc = k.gate.cost_units_saved() - bc;
+            if dsq > 0 || dsc > 0 {
+                self.saved += dsq;
+                self.cost_saved += dsc;
+                self.svc.stats_ref().on_saved(dsq, dsc);
+            }
+        }
         drop(st);
         t
     }
@@ -303,6 +482,22 @@ impl<'a> Session<'a> {
         self.cost_spent
     }
 
+    /// Queries this session answered from the knowledge plane instead of
+    /// paying the server. Zero unless the service was built
+    /// `with_knowledge`; same in-lock attribution as
+    /// [`Session::queries_spent`]. The invariant a warm session exhibits:
+    /// `queries_spent + queries_saved` equals what a cold session would
+    /// have spent on the same request.
+    pub fn queries_saved(&self) -> u64 {
+        self.saved
+    }
+
+    /// Cost units those knowledge hits would have been billed, under the
+    /// server's advertised cost model.
+    pub fn cost_units_saved(&self) -> u64 {
+        self.cost_saved
+    }
+
     /// This session's query cap, if one was set at build time.
     pub fn budget_limit(&self) -> Option<u64> {
         self.budget_limit
@@ -326,6 +521,8 @@ impl<'a> Session<'a> {
             emitted: self.emitted,
             queries_spent: self.spent,
             cost_units_spent: self.cost_spent,
+            queries_saved: self.saved,
+            cost_units_saved: self.cost_saved,
             attempts_made: self.attempts,
             retries_spent: self.retries,
             budget_limit: self.budget_limit,
@@ -340,6 +537,8 @@ impl std::fmt::Debug for Session<'_> {
             .field("emitted", &self.emitted)
             .field("queries_spent", &self.spent)
             .field("cost_units_spent", &self.cost_spent)
+            .field("queries_saved", &self.saved)
+            .field("cost_units_saved", &self.cost_saved)
             .field("attempts_made", &self.attempts)
             .field("retries_spent", &self.retries)
             .field("budget_limit", &self.budget_limit)

@@ -1,19 +1,76 @@
 //! Service-level counters.
+//!
+//! The hot counters are **striped**: each logical counter is a small array
+//! of cache-line-padded atomic cells, and every thread picks one cell
+//! (round-robin at first touch) for all its increments. `serve_batch`
+//! workers on different cores therefore stop bouncing one cache line per
+//! bookkeeping call — the classic false-sharing fix — while reads simply
+//! sum the cells. Totals are exact (every increment lands in exactly one
+//! cell); only the read is a racy-but-monotonic snapshot, which it already
+//! was with a single atomic.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of cells per striped counter. A small power of two is enough:
+/// the executor defaults to one worker per core and threads spread
+/// round-robin, so contention drops ~linearly with cells.
+const STRIPES: usize = 8;
+
+/// One cache line worth of counter: the alignment keeps two cells from
+/// ever sharing a line, which is the whole point of striping.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedCell(AtomicU64);
+
+/// Round-robin assignment of threads to stripe slots, fixed at a thread's
+/// first increment.
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % STRIPES;
+}
+
+/// A monotonic counter sharded across padded cells. Lock-free, exact under
+/// concurrency, contention-free across threads in different slots.
+#[derive(Debug, Default)]
+struct StripedU64 {
+    cells: [PaddedCell; STRIPES],
+}
+
+impl StripedU64 {
+    #[inline]
+    fn add(&self, v: u64) {
+        STRIPE.with(|s| self.cells[*s].0.fetch_add(v, Ordering::Relaxed));
+    }
+
+    #[inline]
+    fn incr(&self) {
+        self.add(1);
+    }
+
+    fn sum(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
 
 /// Monotonic counters describing service activity. All methods are lock-free
-/// and safe to call from concurrent sessions.
+/// and safe to call from concurrent sessions; the hot ones are striped (see
+/// the module docs).
 #[derive(Debug, Default)]
 pub struct ServiceStats {
+    /// Plain atomic on purpose: `SessionBuilder::open` reads it as a
+    /// retry-jitter nonce, and opens are rare enough that striping would
+    /// only complicate that use.
     sessions_started: AtomicU64,
-    tuples_emitted: AtomicU64,
-    queries_spent: AtomicU64,
-    cost_units_spent: AtomicU64,
-    retries_spent: AtomicU64,
-    batches_served: AtomicU64,
-    requests_served: AtomicU64,
-    requests_cancelled: AtomicU64,
+    tuples_emitted: StripedU64,
+    queries_spent: StripedU64,
+    cost_units_spent: StripedU64,
+    queries_saved: StripedU64,
+    cost_units_saved: StripedU64,
+    retries_spent: StripedU64,
+    batches_served: StripedU64,
+    requests_served: StripedU64,
+    requests_cancelled: StripedU64,
 }
 
 /// Point-in-time snapshot.
@@ -29,6 +86,12 @@ pub struct StatsSnapshot {
     /// the server's advertised cost model. Equals `queries_spent` on flat
     /// sites; the number that matters on metered ones.
     pub cost_units_spent: u64,
+    /// Queries answered from the knowledge plane instead of the server —
+    /// zero unless the service was built
+    /// `with_knowledge`. Same in-lock attribution as `queries_spent`.
+    pub queries_saved: u64,
+    /// Cost units those knowledge hits would have been billed.
+    pub cost_units_saved: u64,
     /// Retries spent across all sessions (the recovery effort the service
     /// has burned on transient server failures).
     pub retries_spent: u64,
@@ -46,41 +109,47 @@ impl ServiceStats {
     }
 
     pub(crate) fn on_emit(&self) {
-        self.tuples_emitted.fetch_add(1, Ordering::Relaxed);
+        self.tuples_emitted.incr();
     }
 
     pub(crate) fn on_spend(&self, queries: u64, cost_units: u64) {
-        self.queries_spent.fetch_add(queries, Ordering::Relaxed);
-        self.cost_units_spent
-            .fetch_add(cost_units, Ordering::Relaxed);
+        self.queries_spent.add(queries);
+        self.cost_units_spent.add(cost_units);
+    }
+
+    pub(crate) fn on_saved(&self, queries: u64, cost_units: u64) {
+        self.queries_saved.add(queries);
+        self.cost_units_saved.add(cost_units);
     }
 
     pub(crate) fn on_retry(&self) {
-        self.retries_spent.fetch_add(1, Ordering::Relaxed);
+        self.retries_spent.incr();
     }
 
     pub(crate) fn on_batch(&self) {
-        self.batches_served.fetch_add(1, Ordering::Relaxed);
+        self.batches_served.incr();
     }
 
     pub(crate) fn on_request(&self) {
-        self.requests_served.fetch_add(1, Ordering::Relaxed);
+        self.requests_served.incr();
     }
 
     pub(crate) fn on_cancel(&self) {
-        self.requests_cancelled.fetch_add(1, Ordering::Relaxed);
+        self.requests_cancelled.incr();
     }
 
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             sessions_started: self.sessions_started.load(Ordering::Relaxed),
-            tuples_emitted: self.tuples_emitted.load(Ordering::Relaxed),
-            queries_spent: self.queries_spent.load(Ordering::Relaxed),
-            cost_units_spent: self.cost_units_spent.load(Ordering::Relaxed),
-            retries_spent: self.retries_spent.load(Ordering::Relaxed),
-            batches_served: self.batches_served.load(Ordering::Relaxed),
-            requests_served: self.requests_served.load(Ordering::Relaxed),
-            requests_cancelled: self.requests_cancelled.load(Ordering::Relaxed),
+            tuples_emitted: self.tuples_emitted.sum(),
+            queries_spent: self.queries_spent.sum(),
+            cost_units_spent: self.cost_units_spent.sum(),
+            queries_saved: self.queries_saved.sum(),
+            cost_units_saved: self.cost_units_saved.sum(),
+            retries_spent: self.retries_spent.sum(),
+            batches_served: self.batches_served.sum(),
+            requests_served: self.requests_served.sum(),
+            requests_cancelled: self.requests_cancelled.sum(),
         }
     }
 }
@@ -88,6 +157,7 @@ impl ServiceStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn counters_accumulate() {
@@ -97,6 +167,7 @@ mod tests {
         s.on_emit();
         s.on_spend(4, 9);
         s.on_spend(1, 1);
+        s.on_saved(2, 6);
         s.on_retry();
         s.on_retry();
         s.on_retry();
@@ -109,9 +180,41 @@ mod tests {
         assert_eq!(snap.tuples_emitted, 2);
         assert_eq!(snap.queries_spent, 5);
         assert_eq!(snap.cost_units_spent, 10);
+        assert_eq!(snap.queries_saved, 2);
+        assert_eq!(snap.cost_units_saved, 6);
         assert_eq!(snap.retries_spent, 3);
         assert_eq!(snap.batches_served, 1);
         assert_eq!(snap.requests_served, 2);
         assert_eq!(snap.requests_cancelled, 1);
+    }
+
+    #[test]
+    fn striped_totals_are_exact_across_threads() {
+        let s = Arc::new(ServiceStats::default());
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.on_spend(1, 2);
+                        s.on_emit();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.queries_spent, 16_000);
+        assert_eq!(snap.cost_units_spent, 32_000);
+        assert_eq!(snap.tuples_emitted, 16_000);
+    }
+
+    #[test]
+    fn padded_cells_do_not_share_cache_lines() {
+        // The de-contention argument rests on cell alignment; pin it.
+        assert_eq!(std::mem::align_of::<PaddedCell>(), 64);
+        assert!(std::mem::size_of::<StripedU64>() >= STRIPES * 64);
     }
 }

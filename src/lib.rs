@@ -9,6 +9,9 @@
 //! * [`server`] — the simulated hidden-database top-k search interface,
 //! * [`datagen`] — synthetic datasets and query workloads,
 //! * [`core`] — the reranking algorithms (1D/MD baseline, binary, RERANK),
+//! * [`knowledge`] — the sharded cross-session knowledge plane (response
+//!   replay, drained-region synthesis, exact result streams) with epoch
+//!   invalidation,
 //! * [`exec`] — dependency-free structured concurrency (scoped thread
 //!   pool, bounded MPMC channels, cancellation, deterministic immediate
 //!   mode),
@@ -20,6 +23,7 @@
 pub use qrs_core as core;
 pub use qrs_datagen as datagen;
 pub use qrs_exec as exec;
+pub use qrs_knowledge as knowledge;
 pub use qrs_ranking as ranking;
 pub use qrs_server as server;
 pub use qrs_service as service;
