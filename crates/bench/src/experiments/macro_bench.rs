@@ -3,15 +3,21 @@
 //! A pinned macro-workload — fixed seeds (deliberately *not*
 //! `QRS_TEST_SEED`-derived), fixed datasets, fixed requests — swept across
 //! **all five** [`SiteProfile`]s in the restricted-site catalog, plus one
-//! knowledge-plane reuse leg. Every run of the same source tree produces
-//! the same deterministic ledger numbers (queries, cost units, emitted
-//! tuples; wall-clock is recorded but machine-dependent), so diffs of the
-//! output across PRs *are* the perf trajectory.
+//! knowledge-plane reuse leg and one change-data-capture leg (a
+//! [`qrs_service::MaintainedSession`] delta-repairing its top-`h` through
+//! a pinned mutation batch, measured against the full re-drive a
+//! change-blind client would pay for). Every run of the same source tree
+//! produces the same deterministic ledger numbers (queries, cost units,
+//! emitted tuples; wall-clock is recorded but machine-dependent), so
+//! diffs of the output across PRs *are* the perf trajectory.
 //!
-//! The result is written as `BENCH_6.json` at the repository root (one
-//! JSON document: meta + one row per profile × workload cell). Cells the
-//! planner refuses (`Unplannable` — the profile genuinely cannot answer
-//! that shape exactly) are recorded as rows too, not skipped silently.
+//! The result is written as `BENCH_<idx>.json` at the repository root,
+//! where `idx` comes from the `QRS_BENCH_INDEX` environment variable
+//! (default `7`, this PR's slot — older `BENCH_*.json` artifacts are
+//! prior PRs' trajectories and stay untouched). One JSON document: meta +
+//! one row per profile × workload cell. Cells the planner refuses
+//! (`Unplannable` — the profile genuinely cannot answer that shape
+//! exactly) are recorded as rows too, not skipped silently.
 //!
 //! ```text
 //! cargo run --release -p qrs-bench --bin figures -- --scale quick macro_bench
@@ -19,9 +25,9 @@
 
 use crate::Scale;
 use qrs_ranking::{LinearRank, RankFn};
-use qrs_server::{SiteProfile, SystemRank};
+use qrs_server::{SearchInterface, SiteProfile, SystemRank};
 use qrs_service::{KnowledgePlane, RerankService};
-use qrs_types::{AttrId, Interval, Query, RerankError};
+use qrs_types::{AttrId, Interval, Query, RerankError, Tuple, TupleId};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -126,10 +132,10 @@ fn json_row(row: &MacroRow) -> String {
     }
 }
 
-/// Run the macro-workload and write `BENCH_6.json` at the repo root.
-/// Returns the rows for tests. `Scale` is accepted for interface symmetry;
-/// the workload is pinned regardless (a trajectory must not move with
-/// flags).
+/// Run the macro-workload and write `BENCH_<QRS_BENCH_INDEX>.json`
+/// (default `BENCH_7.json`) at the repo root. Returns the rows for tests.
+/// `Scale` is accepted for interface symmetry; the workload is pinned
+/// regardless (a trajectory must not move with flags).
 pub fn run(_scale: Scale) -> Vec<MacroRow> {
     let mut rows = Vec::new();
 
@@ -213,6 +219,104 @@ pub fn run(_scale: Scale) -> Vec<MacroRow> {
         unplannable_reason: None,
     });
 
+    // Leg 3: change-data-capture. A maintained session cold-drives the
+    // open site, a pinned mutation batch lands (two leading deletes, a
+    // frontier insert, a tail insert, one mid-pack update), and the
+    // delta repair's ledger is recorded next to the full re-drive a
+    // change-blind client would pay for the same post-mutation answer.
+    let w = &workloads()[1];
+    let server = Arc::new(SiteProfile::open_site(K).build(
+        qrs_datagen::synthetic::uniform(N, 2, 1, SEED_DATA),
+        SystemRank::pseudo_random(SEED_SYSRANK),
+    ));
+    let svc = RerankService::new(Arc::clone(&server) as Arc<dyn SearchInterface>, N);
+    let t0 = Instant::now();
+    // Pin the cursor strategy: on the fully capable open site the planner
+    // may pick a positional one, which re-drives by design (this leg
+    // measures the repair, not the fallback).
+    let mut maintained = svc
+        .session(w.sel.clone(), Arc::clone(&w.rank))
+        .algorithm(qrs_service::Algorithm::Md(qrs_core::MdOptions::rerank()))
+        .open_maintained(TOP_H)
+        .expect("the open site advertises the mutation feed");
+    let cdc_cold = MacroOutcome {
+        emitted: maintained.top().len(),
+        queries_spent: maintained.queries_spent(),
+        cost_units_spent: maintained.cost_units_spent(),
+        queries_saved: maintained.queries_saved(),
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    };
+    let top = maintained.top();
+    for hit in &top[..2] {
+        server.delete(hit.tuple.id).expect("leader is live");
+    }
+    server
+        .insert(Tuple::new(TupleId(N as u32), vec![0.0, 0.0], vec![0]))
+        .expect("fresh id");
+    server
+        .insert(Tuple::new(TupleId(N as u32 + 1), vec![1.0, 1.0], vec![0]))
+        .expect("fresh id");
+    let mid = &top[TOP_H / 2].tuple;
+    server
+        .update(Tuple::new(mid.id, vec![0.5, 0.5], vec![0]))
+        .expect("mid-pack tuple is live");
+    let (spent_before, cost_before) = (maintained.queries_spent(), maintained.cost_units_spent());
+    let t0 = Instant::now();
+    let outcome = maintained.refresh().expect("delta repair");
+    let cdc_repair = MacroOutcome {
+        emitted: maintained.top().len(),
+        queries_spent: outcome.queries_spent,
+        cost_units_spent: maintained.cost_units_spent() - cost_before,
+        queries_saved: 0,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    };
+    assert!(
+        !outcome.redrove,
+        "macro_bench: the cursor strategy must delta-repair this batch"
+    );
+    assert_eq!(
+        outcome.queries_spent,
+        maintained.queries_spent() - spent_before
+    );
+    // The change-blind alternative: re-drive the whole request fresh.
+    let redrive_svc = RerankService::new(Arc::clone(&server) as Arc<dyn SearchInterface>, N);
+    let cdc_redrive = run_cell(&redrive_svc, w).expect("open site plans everything");
+    assert!(
+        cdc_repair.queries_spent < cdc_redrive.queries_spent,
+        "macro_bench: delta repair ({}) must beat the full re-drive ({})",
+        cdc_repair.queries_spent,
+        cdc_redrive.queries_spent,
+    );
+    // And it must land on the same answer the re-drive earns.
+    {
+        let mut s = redrive_svc
+            .session(w.sel.clone(), Arc::clone(&w.rank))
+            .open()
+            .unwrap();
+        let truth = s.try_top(TOP_H).unwrap();
+        let repaired = maintained.top();
+        assert_eq!(repaired.len(), truth.len());
+        assert!(
+            repaired
+                .iter()
+                .zip(&truth)
+                .all(|(a, b)| a.tuple.id == b.tuple.id && a.score == b.score),
+            "macro_bench: the repaired materialization diverged from a re-drive"
+        );
+    }
+    for (name, outcome) in [
+        ("open_site+cdc(cold)", cdc_cold),
+        ("open_site+cdc(repair)", cdc_repair),
+        ("open_site+cdc(redrive)", cdc_redrive),
+    ] {
+        rows.push(MacroRow {
+            profile: name,
+            workload: w.name,
+            outcome: Some(outcome),
+            unplannable_reason: None,
+        });
+    }
+
     // Assemble and write the document.
     let body: Vec<String> = rows.iter().map(json_row).collect();
     let doc = format!(
@@ -222,8 +326,9 @@ pub fn run(_scale: Scale) -> Vec<MacroRow> {
          \"rows\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_6.json");
-    std::fs::write(path, &doc).unwrap_or_else(|e| panic!("macro_bench: cannot write {path}: {e}"));
+    let idx = std::env::var("QRS_BENCH_INDEX").unwrap_or_else(|_| "7".to_string());
+    let path = format!("{}/../../BENCH_{idx}.json", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&path, &doc).unwrap_or_else(|e| panic!("macro_bench: cannot write {path}: {e}"));
     println!("{doc}");
     println!("# wrote {path}");
     rows

@@ -24,7 +24,8 @@
 use qrs_knowledge::{RequestKey, SourceShard};
 use qrs_server::{Capabilities, OrderedPage, SearchInterface};
 use qrs_types::{
-    AttrId, CostModel, Direction, Query, QueryResponse, RequestKind, Schema, ServerError,
+    AttrId, CostModel, Direction, MutationLog, Query, QueryResponse, RequestKind, Schema,
+    ServerError,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,6 +42,10 @@ pub struct KnowledgeGate {
     k: usize,
     queries_saved: AtomicU64,
     cost_units_saved: AtomicU64,
+    /// The inner server's mutation sequence number as of this gate's last
+    /// [`sync`](KnowledgeGate::sync) — the watermark everything this gate
+    /// cached into the shard was recorded under.
+    watermark: AtomicU64,
 }
 
 impl KnowledgeGate {
@@ -48,14 +53,39 @@ impl KnowledgeGate {
     pub fn new(inner: Arc<dyn SearchInterface>, shard: Arc<SourceShard>) -> Self {
         let cost = inner.capabilities().cost;
         let k = inner.k();
-        KnowledgeGate {
+        let gate = KnowledgeGate {
             inner,
             shard,
             cost,
             k,
             queries_saved: AtomicU64::new(0),
             cost_units_saved: AtomicU64::new(0),
+            watermark: AtomicU64::new(0),
+        };
+        gate.sync();
+        gate
+    }
+
+    /// Poll the inner server's mutation sequence number, report it to the
+    /// shard (advancing the shard's watermark bumps its epoch, lazily
+    /// invalidating every entry recorded against the older snapshot), and
+    /// remember it locally. Called at construction and before every request
+    /// so a gate can never serve knowledge recorded before a mutation it
+    /// has already observed. Servers without a mutation feed report 0
+    /// forever, making this a no-op. Returns the sequence number seen.
+    pub fn sync(&self) -> u64 {
+        let seq = self.inner.mutation_seq();
+        if seq > 0 {
+            self.shard.observe_watermark(seq);
         }
+        self.watermark.store(seq, Ordering::Release);
+        seq
+    }
+
+    /// The inner server's mutation sequence number as of the last
+    /// [`sync`](KnowledgeGate::sync).
+    pub fn watermark(&self) -> u64 {
+        self.watermark.load(Ordering::Acquire)
     }
 
     /// The shard this gate consults.
@@ -103,6 +133,7 @@ impl SearchInterface for KnowledgeGate {
     }
 
     fn query(&self, q: &Query) -> Result<QueryResponse, ServerError> {
+        self.sync();
         let key = RequestKey::top_k(q);
         if let Some(hit) = self.shard.lookup_response(&key, q, self.k) {
             self.credit(q, RequestKind::TopK);
@@ -123,6 +154,7 @@ impl SearchInterface for KnowledgeGate {
     }
 
     fn query_page(&self, q: &Query, page: usize) -> Result<QueryResponse, ServerError> {
+        self.sync();
         let key = RequestKey::page(q, page);
         if let Some(hit) = self.shard.lookup_response(&key, q, self.k) {
             self.credit(q, RequestKind::Page);
@@ -141,6 +173,7 @@ impl SearchInterface for KnowledgeGate {
         dir: Direction,
         page: usize,
     ) -> Result<OrderedPage, ServerError> {
+        self.sync();
         let key = RequestKey::ordered(q, attr, dir, page);
         if let Some(hit) = self.shard.lookup_response(&key, q, self.k) {
             self.credit(q, RequestKind::Ordered);
@@ -153,6 +186,14 @@ impl SearchInterface for KnowledgeGate {
         self.shard
             .record_response(key, q, self.k, &resp.tuples, resp.has_more);
         Ok(resp)
+    }
+
+    fn mutation_seq(&self) -> u64 {
+        self.inner.mutation_seq()
+    }
+
+    fn mutations_since(&self, since: u64) -> Result<MutationLog, ServerError> {
+        self.inner.mutations_since(since)
     }
 }
 
@@ -237,6 +278,37 @@ mod tests {
         g.query(&q).unwrap();
         assert!(g.queries_issued() > paid, "stale knowledge must be re-paid");
         assert_eq!(g.queries_saved(), 0);
+    }
+
+    #[test]
+    fn mutations_auto_invalidate_cached_knowledge() {
+        let data = uniform(120, 2, 1, 2101);
+        let server = Arc::new(SimServer::new(data, SystemRank::pseudo_random(3), 5));
+        let shard = Arc::new(SourceShard::new());
+        let g = KnowledgeGate::new(
+            Arc::clone(&server) as Arc<dyn SearchInterface>,
+            Arc::clone(&shard),
+        );
+        let q = narrow();
+        let cold = g.query(&q).unwrap();
+        assert_eq!(g.watermark(), 0);
+        // Delete a tuple the cached answer contains: the next query through
+        // the gate must notice the feed moved and re-pay the server — no
+        // manual invalidate() call anywhere.
+        let victim = cold.tuples[0].id;
+        server.delete(victim).expect("victim is present");
+        let paid = g.queries_issued();
+        let fresh = g.query(&q).unwrap();
+        assert!(g.queries_issued() > paid, "stale replay must be re-paid");
+        assert_eq!(g.queries_saved(), 0);
+        assert_eq!(g.watermark(), 1);
+        assert_eq!(shard.stats().watermark, 1);
+        assert!(fresh.tuples.iter().all(|t| t.id != victim));
+        // And the re-recorded answer replays free at the new watermark.
+        let paid = g.queries_issued();
+        g.query(&q).unwrap();
+        assert_eq!(g.queries_issued(), paid);
+        assert_eq!(g.queries_saved(), 1);
     }
 
     #[test]

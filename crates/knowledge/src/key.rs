@@ -12,16 +12,25 @@
 use qrs_types::{AttrId, Direction, Endpoint, Query};
 
 /// Render one interval endpoint with full bit fidelity.
+///
+/// The one exception to "raw bits": `-0.0` is canonicalized to `0.0`.
+/// IEEE equality makes the two interchangeable as predicate bounds (and
+/// `Interval::negate`, used by direction normalization, routinely turns a
+/// `0.0` endpoint into `-0.0`), but their bit patterns differ — without the
+/// fold, semantically identical selections would miss the cache.
 fn endpoint_key(e: &Endpoint, out: &mut String) {
+    fn bits(v: f64) -> u64 {
+        if v == 0.0 { 0.0f64 } else { v }.to_bits()
+    }
     match e {
         Endpoint::Unbounded => out.push('u'),
         Endpoint::Open(v) => {
             out.push('o');
-            out.push_str(&format!("{:016x}", v.to_bits()));
+            out.push_str(&format!("{:016x}", bits(*v)));
         }
         Endpoint::Closed(v) => {
             out.push('c');
-            out.push_str(&format!("{:016x}", v.to_bits()));
+            out.push_str(&format!("{:016x}", bits(*v)));
         }
     }
 }
@@ -163,6 +172,26 @@ mod tests {
         let open = Query::all().and_range(AttrId(0), Interval::open(1.0, 5.0));
         assert_ne!(query_key(&closed), query_key(&open), "bound kinds distinct");
         assert_eq!(query_key(&Query::all()), "");
+    }
+
+    #[test]
+    fn negative_zero_endpoints_share_a_key() {
+        // `Interval::negate` (direction normalization) turns 0.0 endpoints
+        // into -0.0; the two are IEEE-equal and must not split the cache.
+        let neg = Query::all().and_range(AttrId(0), Interval::open(-0.0, 5.0));
+        let pos = Query::all().and_range(AttrId(0), Interval::open(0.0, 5.0));
+        assert_eq!(query_key(&neg), query_key(&pos));
+        let neg = Query::all().and_range(AttrId(0), Interval::at_most(-0.0));
+        let pos = Query::all().and_range(AttrId(0), Interval::at_most(0.0));
+        assert_eq!(query_key(&neg), query_key(&pos));
+        assert_eq!(
+            RequestKey::top_k(&Query::all().and_range(AttrId(1), Interval::closed(-0.0, -0.0))),
+            RequestKey::top_k(&Query::all().and_range(AttrId(1), Interval::point(0.0))),
+        );
+        // Canonicalization must not collapse genuinely distinct values.
+        let tiny = Query::all().and_range(AttrId(0), Interval::at_most(f64::MIN_POSITIVE));
+        let zero = Query::all().and_range(AttrId(0), Interval::at_most(0.0));
+        assert_ne!(query_key(&tiny), query_key(&zero));
     }
 
     #[test]

@@ -98,6 +98,10 @@ struct ShardInner {
 pub struct ShardStats {
     /// Current epoch (number of invalidations so far).
     pub epoch: u64,
+    /// Highest source mutation sequence number observed
+    /// ([`SourceShard::observe_watermark`]); 0 until a mutation-aware
+    /// client reports one.
+    pub watermark: u64,
     /// Requests answered from an exact cached response.
     pub hits: u64,
     /// Requests answered by synthesis from a drained region.
@@ -124,6 +128,10 @@ pub struct ShardStats {
 #[derive(Debug, Default)]
 pub struct SourceShard {
     epoch: AtomicU64,
+    /// Highest source mutation sequence number any client has reported.
+    /// Advancing it bumps the epoch — data change invalidates knowledge
+    /// automatically, no manual `invalidate` call required.
+    watermark: AtomicU64,
     hits: AtomicU64,
     synthesized: AtomicU64,
     misses: AtomicU64,
@@ -149,6 +157,31 @@ impl SourceShard {
     /// [`purge_stale`](SourceShard::purge_stale).
     pub fn invalidate(&self) -> u64 {
         self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// The highest source mutation sequence number observed so far.
+    #[inline]
+    pub fn watermark(&self) -> u64 {
+        self.watermark.load(Ordering::Acquire)
+    }
+
+    /// Report the source's current mutation sequence number. If `seq`
+    /// advances the recorded watermark, everything in the shard describes
+    /// an older snapshot and the epoch is bumped — by exactly one thread,
+    /// however many gates race the same advance (the CAS loser observes
+    /// the new watermark and does nothing). Returns whether this call
+    /// advanced it.
+    pub fn observe_watermark(&self, seq: u64) -> bool {
+        let advanced = self
+            .watermark
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |w| {
+                (seq > w).then_some(seq)
+            })
+            .is_ok();
+        if advanced {
+            self.invalidate();
+        }
+        advanced
     }
 
     /// Try to answer a request from knowledge. Returns an exact replay when
@@ -413,6 +446,7 @@ impl SourceShard {
         let inner = self.inner.read();
         ShardStats {
             epoch: now,
+            watermark: self.watermark(),
             hits: self.hits.load(Ordering::Relaxed),
             synthesized: self.synthesized.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -555,6 +589,41 @@ mod tests {
         assert_eq!(st.drained, 0);
         assert_eq!(st.results, 0);
         assert_eq!(st.observed, 0);
+    }
+
+    #[test]
+    fn watermark_advance_bumps_the_epoch_once() {
+        let s = SourceShard::new();
+        let q = sel(0.0, 10.0);
+        let key = RequestKey::top_k(&q);
+        s.record_response(key.clone(), &q, 2, &[t(1, 1.0)], false);
+        // Reporting the current (pristine) watermark changes nothing.
+        assert!(!s.observe_watermark(0));
+        assert_eq!(s.epoch(), 0);
+        assert!(s.lookup_response(&key, &q, 2).is_some());
+        // The source mutated: first reporter invalidates, the rest no-op.
+        assert!(s.observe_watermark(3));
+        assert!(!s.observe_watermark(3));
+        assert!(!s.observe_watermark(2), "watermarks never regress");
+        assert_eq!(s.epoch(), 1);
+        assert_eq!(s.watermark(), 3);
+        assert!(s.lookup_response(&key, &q, 2).is_none());
+        let st = s.stats();
+        assert_eq!(st.watermark, 3);
+
+        // Many threads racing the same advance bump the epoch exactly once.
+        let s = std::sync::Arc::new(SourceShard::new());
+        let advances: usize = (0..8)
+            .map(|_| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || s.observe_watermark(7))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| usize::from(h.join().unwrap()))
+            .sum();
+        assert_eq!(advances, 1);
+        assert_eq!(s.epoch(), 1);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 use crate::clock::Clock;
 use crate::interface::{Capabilities, OrderedPage, SearchInterface};
 use parking_lot::Mutex;
-use qrs_types::{AttrId, Direction, Query, QueryResponse, Schema, ServerError};
+use qrs_types::{AttrId, Direction, MutationLog, Query, QueryResponse, Schema, ServerError};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::BTreeMap;
@@ -334,6 +334,17 @@ impl SearchInterface for FaultyServer {
                 Err(truncated_in_transit(p.tuples.len()))
             }
         }
+    }
+
+    // Mutation-feed reads are metadata, not searches: they bypass the
+    // fault schedule (consuming no call index) so a failure script stays
+    // aligned with the query methods it was written against.
+    fn mutation_seq(&self) -> u64 {
+        self.inner.mutation_seq()
+    }
+
+    fn mutations_since(&self, since: u64) -> Result<MutationLog, ServerError> {
+        self.inner.mutations_since(since)
     }
 }
 

@@ -13,8 +13,8 @@
 //! (never a panic) when a server lacks the feature.
 
 use qrs_types::{
-    AttrId, Capability, CostModel, Direction, FilterSupport, Query, QueryResponse, Schema,
-    ServerError, Tuple,
+    AttrId, Capability, CostModel, Direction, FilterSupport, MutationLog, Query, QueryResponse,
+    Schema, ServerError, Tuple,
 };
 use std::sync::Arc;
 
@@ -63,6 +63,11 @@ pub struct Capabilities {
     /// default ([`CostModel::flat`]) prices every query at one unit —
     /// weighted cost equals the paper's raw query count.
     pub cost: CostModel,
+    /// The interface exposes a mutation (change-data-capture) feed:
+    /// [`SearchInterface::mutation_seq`] watermarks plus
+    /// [`SearchInterface::mutations_since`] deltas. Off by default — the
+    /// paper's baseline site is frozen.
+    pub mutation_feed: bool,
 }
 
 impl Capabilities {
@@ -116,6 +121,12 @@ impl Capabilities {
         self
     }
 
+    /// Builder: advertise a mutation (change-data-capture) feed.
+    pub fn with_mutation_feed(mut self) -> Self {
+        self.mutation_feed = true;
+        self
+    }
+
     /// Filter support advertised for `attr` ([`FilterSupport::Range`] when
     /// no override is present).
     pub fn filter_support(&self, attr: AttrId) -> FilterSupport {
@@ -135,6 +146,7 @@ impl Capabilities {
             Capability::PointFilter(a) => self.filter_support(a).allows_point(),
             Capability::PredicateArity(n) => self.max_predicates.is_none_or(|cap| n <= cap),
             Capability::PageDepth(p) => self.paging && self.max_pages.is_none_or(|cap| p <= cap),
+            Capability::MutationFeed => self.mutation_feed,
         }
     }
 
@@ -209,6 +221,25 @@ pub trait SearchInterface: Send + Sync {
     ) -> Result<OrderedPage, ServerError> {
         Err(ServerError::Unsupported(Capability::OrderBy(attr)))
     }
+
+    /// The sequence number of the latest data change — the watermark
+    /// clients cache knowledge under. Defaults to `0`: a frozen interface
+    /// never advances, so all knowledge stays fresh forever.
+    ///
+    /// Watermark reads are metadata, not searches: they are never charged
+    /// against the query budget.
+    fn mutation_seq(&self) -> u64 {
+        0
+    }
+
+    /// The data changes after watermark `since`, oldest first.
+    ///
+    /// Default: `Err(ServerError::Unsupported(Capability::MutationFeed))`;
+    /// preflight with [`SearchInterface::capabilities`]. Like
+    /// [`SearchInterface::mutation_seq`], feed polls are uncharged.
+    fn mutations_since(&self, _since: u64) -> Result<MutationLog, ServerError> {
+        Err(ServerError::Unsupported(Capability::MutationFeed))
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +278,26 @@ mod tests {
             s.query_ordered(&Query::all(), AttrId(0), Direction::Asc, 0)
                 .unwrap_err(),
             ServerError::Unsupported(Capability::OrderBy(AttrId(0)))
+        );
+        // A frozen interface never advances and refuses feed polls.
+        assert_eq!(s.mutation_seq(), 0);
+        assert_eq!(
+            s.mutations_since(0).unwrap_err(),
+            ServerError::Unsupported(Capability::MutationFeed)
+        );
+    }
+
+    #[test]
+    fn mutation_feed_negotiates() {
+        assert!(!Capabilities::none().supports(Capability::MutationFeed));
+        let caps = Capabilities::none().with_mutation_feed();
+        assert!(caps.supports(Capability::MutationFeed));
+        assert!(caps.require(Capability::MutationFeed).is_ok());
+        assert_eq!(
+            Capabilities::none()
+                .require(Capability::MutationFeed)
+                .unwrap_err(),
+            ServerError::Unsupported(Capability::MutationFeed)
         );
     }
 

@@ -14,7 +14,7 @@
 
 use crate::clock::Clock;
 use crate::interface::{Capabilities, OrderedPage, SearchInterface};
-use qrs_types::{AttrId, Direction, Query, QueryResponse, Schema, ServerError};
+use qrs_types::{AttrId, Direction, MutationLog, Query, QueryResponse, Schema, ServerError};
 use std::sync::Arc;
 
 /// Wraps a [`SearchInterface`], adding a fixed per-call latency on an
@@ -95,6 +95,17 @@ impl SearchInterface for LatencyServer {
     ) -> Result<OrderedPage, ServerError> {
         self.delay();
         self.inner.query_ordered(q, attr, dir, page)
+    }
+
+    // Mutation-feed traffic is metadata, not a search: forwarded without
+    // the injected latency (a watermark header costs nothing next to a
+    // ranked-retrieval round trip).
+    fn mutation_seq(&self) -> u64 {
+        self.inner.mutation_seq()
+    }
+
+    fn mutations_since(&self, since: u64) -> Result<MutationLog, ServerError> {
+        self.inner.mutations_since(since)
     }
 }
 

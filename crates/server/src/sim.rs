@@ -11,26 +11,92 @@
 //! queries past a hard cap with [`ServerError::RateLimited`] — the same
 //! refusal a real metered API sends — so integration tests can exercise the
 //! middleware's error paths end to end.
+//!
+//! Data-change realism: the inventory is *mutable*. [`SimServer::insert`],
+//! [`SimServer::delete`] and [`SimServer::update`] commit sequence-stamped
+//! changes (rebuilding the rank indexes under one write lock, so queries
+//! always see a consistent snapshot) and the server advertises
+//! [`Capability::MutationFeed`]: clients poll
+//! [`SearchInterface::mutations_since`] with their last watermark and
+//! delta-repair instead of re-driving. A capped log
+//! ([`SimServer::with_mutation_log_cap`]) models real feeds that compact —
+//! stragglers see [`MutationLog::gap`] and rebuild.
 
 use crate::interface::{Capabilities, OrderedPage, SearchInterface};
 use crate::system_rank::SystemRank;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use qrs_types::value::cmp_f64;
 use qrs_types::{
-    AttrId, Capability, CostModel, Dataset, Direction, Endpoint, FilterSupport, Query,
-    QueryResponse, RequestKind, Schema, ServerError, Tuple,
+    AttrId, Capability, CostModel, Dataset, Direction, Endpoint, FilterSupport, Mutation,
+    MutationKind, MutationLog, Query, QueryResponse, RequestKind, Schema, ServerError, Tuple,
+    TupleId, TypeError,
 };
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Builder-configured simulated server.
+/// The mutable backing store: tuples plus the derived rank indexes and the
+/// retained mutation log, all swapped under one write lock so queries always
+/// see a consistent snapshot.
 #[derive(Debug)]
-pub struct SimServer {
-    dataset: Dataset,
+struct Store {
+    tuples: Vec<Arc<Tuple>>,
     /// Tuple indices sorted by ascending system score (ties by id).
     system_order: Vec<u32>,
     /// Per-ordinal-attribute index sorted ascending by value (for ORDER BY).
     attr_order: Vec<Vec<u32>>,
+    /// Sequence-stamped change log, oldest first, contiguous in `seq`.
+    deltas: VecDeque<Mutation>,
+}
+
+impl Store {
+    /// Recompute both rank indexes from the current tuple set. The
+    /// simulator favors obviousness over speed here: a full O(n log n)
+    /// rebuild per mutation, exactly mirroring `SimServer::new`.
+    fn rebuild_orders(&mut self, schema: &Schema, system_rank: &SystemRank) {
+        let mut system_order: Vec<u32> = (0..self.tuples.len() as u32).collect();
+        system_order.sort_by(|&a, &b| {
+            let (ta, tb) = (&self.tuples[a as usize], &self.tuples[b as usize]);
+            cmp_f64(system_rank.score(ta), system_rank.score(tb)).then(ta.id.cmp(&tb.id))
+        });
+        self.system_order = system_order;
+        self.attr_order = schema
+            .attr_ids()
+            .map(|attr| {
+                let mut idx: Vec<u32> = (0..self.tuples.len() as u32).collect();
+                idx.sort_by(|&a, &b| {
+                    let (ta, tb) = (&self.tuples[a as usize], &self.tuples[b as usize]);
+                    cmp_f64(ta.ord(attr), tb.ord(attr)).then(ta.id.cmp(&tb.id))
+                });
+                idx
+            })
+            .collect();
+    }
+
+    /// Matching tuples in system-rank order, lazily.
+    fn matches_in_system_order<'a>(
+        &'a self,
+        q: &'a Query,
+    ) -> impl Iterator<Item = &'a Arc<Tuple>> + 'a {
+        self.system_order
+            .iter()
+            .map(move |&i| &self.tuples[i as usize])
+            .filter(move |t| q.matches(t))
+    }
+}
+
+/// Builder-configured simulated server.
+#[derive(Debug)]
+pub struct SimServer {
+    schema: Arc<Schema>,
+    store: RwLock<Store>,
+    /// Sequence number of the latest committed mutation (0 = pristine).
+    /// Mutators serialize on the store's write lock, so the counter is
+    /// never contended; it is atomic only so watermark reads are lock-free.
+    seq: AtomicU64,
+    /// Retain at most this many mutation-log entries (None = unbounded).
+    /// Compaction past a client's watermark surfaces as `MutationLog::gap`.
+    mutation_log_cap: Option<usize>,
     k: usize,
     counter: AtomicU64,
     paging: bool,
@@ -58,27 +124,19 @@ impl SimServer {
     /// A server answering with at most `k` tuples ranked by `system_rank`.
     pub fn new(dataset: Dataset, system_rank: SystemRank, k: usize) -> Self {
         assert!(k >= 1, "the interface k must be at least 1");
-        let mut system_order: Vec<u32> = (0..dataset.len() as u32).collect();
-        system_order.sort_by(|&a, &b| {
-            let (ta, tb) = (&dataset.tuples()[a as usize], &dataset.tuples()[b as usize]);
-            cmp_f64(system_rank.score(ta), system_rank.score(tb)).then(ta.id.cmp(&tb.id))
-        });
-        let attr_order = dataset
-            .schema()
-            .attr_ids()
-            .map(|attr| {
-                let mut idx: Vec<u32> = (0..dataset.len() as u32).collect();
-                idx.sort_by(|&a, &b| {
-                    let (ta, tb) = (&dataset.tuples()[a as usize], &dataset.tuples()[b as usize]);
-                    cmp_f64(ta.ord(attr), tb.ord(attr)).then(ta.id.cmp(&tb.id))
-                });
-                idx
-            })
-            .collect();
+        let schema = Arc::clone(dataset.schema());
+        let mut store = Store {
+            tuples: dataset.tuples().to_vec(),
+            system_order: Vec::new(),
+            attr_order: Vec::new(),
+            deltas: VecDeque::new(),
+        };
+        store.rebuild_orders(&schema, &system_rank);
         SimServer {
-            dataset,
-            system_order,
-            attr_order,
+            schema,
+            store: RwLock::new(store),
+            seq: AtomicU64::new(0),
+            mutation_log_cap: None,
             k,
             counter: AtomicU64::new(0),
             paging: false,
@@ -158,10 +216,74 @@ impl SimServer {
         self
     }
 
-    /// The backing dataset (test/experiment ground truth — a real hidden
-    /// database would not expose this).
-    pub fn dataset(&self) -> &Dataset {
-        &self.dataset
+    /// Retain at most `n` mutation-log entries. Clients whose watermark
+    /// falls behind the compacted prefix get [`MutationLog::gap`] from
+    /// [`SearchInterface::mutations_since`] and must rebuild from scratch.
+    pub fn with_mutation_log_cap(mut self, n: usize) -> Self {
+        self.mutation_log_cap = Some(n);
+        self
+    }
+
+    /// A snapshot of the backing data as of now (test/experiment ground
+    /// truth — a real hidden database would not expose this). Tuples are
+    /// `Arc`-shared with the store, so the copy is shallow.
+    pub fn dataset(&self) -> Dataset {
+        let store = self.store.read();
+        Dataset::from_shared(Arc::clone(&self.schema), store.tuples.clone())
+    }
+
+    /// Insert a new tuple. Returns the mutation's sequence number, or a
+    /// typed error if the tuple fails schema validation or its id is
+    /// already present.
+    pub fn insert(&self, t: Tuple) -> Result<u64, TypeError> {
+        Dataset::validate_tuple(&self.schema, &t)?;
+        let mut store = self.store.write();
+        if store.tuples.iter().any(|e| e.id == t.id) {
+            return Err(TypeError::DuplicateTupleId { id: t.id });
+        }
+        let t = Arc::new(t);
+        store.tuples.push(Arc::clone(&t));
+        Ok(self.commit(&mut store, MutationKind::Insert(t)))
+    }
+
+    /// Delete the tuple with `id`. Returns the mutation's sequence number,
+    /// or `None` (and no mutation) when the id is not present.
+    pub fn delete(&self, id: TupleId) -> Option<u64> {
+        let mut store = self.store.write();
+        let pos = store.tuples.iter().position(|e| e.id == id)?;
+        store.tuples.remove(pos);
+        Some(self.commit(&mut store, MutationKind::Delete(id)))
+    }
+
+    /// Replace the tuple with `t.id` by `t` — delete-then-insert under one
+    /// sequence number. Returns the mutation's sequence number, or a typed
+    /// error if `t` fails schema validation or its id is not present.
+    pub fn update(&self, t: Tuple) -> Result<u64, TypeError> {
+        Dataset::validate_tuple(&self.schema, &t)?;
+        let mut store = self.store.write();
+        let Some(pos) = store.tuples.iter().position(|e| e.id == t.id) else {
+            return Err(TypeError::UnknownTupleId { id: t.id });
+        };
+        let t = Arc::new(t);
+        store.tuples[pos] = Arc::clone(&t);
+        Ok(self.commit(&mut store, MutationKind::Update(t)))
+    }
+
+    /// Finish a mutation while still holding the write lock: rebuild the
+    /// rank indexes, stamp the next sequence number, append to the retained
+    /// log and compact it to the configured cap.
+    fn commit(&self, store: &mut Store, kind: MutationKind) -> u64 {
+        store.rebuild_orders(&self.schema, &self.system_rank);
+        // Mutators serialize on the write lock, so this cannot race another
+        // commit; Release pairs with the Acquire in `mutation_seq`.
+        let seq = self.seq.fetch_add(1, Ordering::AcqRel) + 1;
+        store.deltas.push_back(Mutation { seq, kind });
+        if let Some(cap) = self.mutation_log_cap {
+            while store.deltas.len() > cap {
+                store.deltas.pop_front();
+            }
+        }
+        seq
     }
 
     /// The proprietary ranking (exposed for experiment labeling only).
@@ -188,6 +310,11 @@ impl SimServer {
     /// any work. Admitted ones charge the raw counter by 1 and the
     /// weighted ledger by the cost model's price for `(q, kind)`.
     fn charge(&self, q: &Query, kind: RequestKind) -> Result<(), ServerError> {
+        // NaN endpoints violate the interface contract outright (they
+        // compare as after-every-real, matching a surprising set); refuse
+        // them uncharged before any site-model negotiation.
+        q.validate()
+            .map_err(|e| ServerError::invalid_query(e.to_string()))?;
         self.validate_point_only(q)?;
         self.validate_site_model(q)?;
         match self.rate_limit {
@@ -218,7 +345,7 @@ impl SimServer {
     /// only carry point or unbounded predicates.
     fn validate_point_only(&self, q: &Query) -> Result<(), ServerError> {
         for p in q.ranges() {
-            if self.dataset.schema().ordinal(p.attr).point_only {
+            if self.schema.ordinal(p.attr).point_only {
                 let iv = p.interval;
                 let is_point = match (iv.lo, iv.hi) {
                     (Endpoint::Closed(a), Endpoint::Closed(b)) => a == b,
@@ -277,7 +404,7 @@ impl SimServer {
             .find(|(a, _)| *a == attr)
             .map(|(_, s)| *s)
             .unwrap_or_default();
-        if self.dataset.schema().ordinal(attr).point_only {
+        if self.schema.ordinal(attr).point_only {
             configured.min(FilterSupport::Point)
         } else {
             configured
@@ -293,22 +420,11 @@ impl SimServer {
         }
         Ok(())
     }
-
-    /// Matching tuples in system-rank order, lazily.
-    fn matches_in_system_order<'a>(
-        &'a self,
-        q: &'a Query,
-    ) -> impl Iterator<Item = &'a Arc<Tuple>> + 'a {
-        self.system_order
-            .iter()
-            .map(move |&i| &self.dataset.tuples()[i as usize])
-            .filter(move |t| q.matches(t))
-    }
 }
 
 impl SearchInterface for SimServer {
     fn schema(&self) -> &Arc<Schema> {
-        self.dataset.schema()
+        &self.schema
     }
 
     fn k(&self) -> usize {
@@ -321,8 +437,7 @@ impl SearchInterface for SimServer {
         // schema `point_only` attributes to Point even past an explicit
         // override.
         let filters = self
-            .dataset
-            .schema()
+            .schema
             .attr_ids()
             .filter_map(|attr| {
                 let support = self.effective_filter_support(attr);
@@ -337,13 +452,15 @@ impl SearchInterface for SimServer {
             max_predicates: self.max_predicates,
             filters,
             cost: self.cost_model.clone(),
+            mutation_feed: true,
         }
     }
 
     fn query(&self, q: &Query) -> Result<QueryResponse, ServerError> {
         self.charge(q, RequestKind::TopK)?;
+        let store = self.store.read();
         let mut out = Vec::with_capacity(self.k.min(16));
-        for t in self.matches_in_system_order(q) {
+        for t in store.matches_in_system_order(q) {
             if out.len() == self.k {
                 return Ok(QueryResponse::new(out, true));
             }
@@ -366,9 +483,10 @@ impl SearchInterface for SimServer {
         }
         self.validate_page_depth(page)?;
         self.charge(q, RequestKind::Page)?;
+        let store = self.store.read();
         let skip = page * self.k;
         let mut out = Vec::with_capacity(self.k.min(16));
-        for (i, t) in self.matches_in_system_order(q).enumerate() {
+        for (i, t) in store.matches_in_system_order(q).enumerate() {
             if i < skip {
                 continue;
             }
@@ -392,7 +510,8 @@ impl SearchInterface for SimServer {
         }
         self.validate_page_depth(page)?;
         self.charge(q, RequestKind::Ordered)?;
-        let idx = &self.attr_order[attr.0];
+        let store = self.store.read();
+        let idx = &store.attr_order[attr.0];
         let skip = page * self.k;
         let mut out = Vec::with_capacity(self.k.min(16));
         let mut seen = 0usize;
@@ -402,7 +521,7 @@ impl SearchInterface for SimServer {
             Direction::Desc => Box::new(idx.iter().rev()),
         };
         for &i in iter {
-            let t = &self.dataset.tuples()[i as usize];
+            let t = &store.tuples[i as usize];
             if !q.matches(t) {
                 continue;
             }
@@ -419,6 +538,26 @@ impl SearchInterface for SimServer {
             tuples: out,
             has_more,
         })
+    }
+
+    fn mutation_seq(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    fn mutations_since(&self, since: u64) -> Result<MutationLog, ServerError> {
+        let store = self.store.read();
+        let current = self.seq.load(Ordering::Acquire);
+        // The retained log is contiguous; a gap means compaction discarded
+        // deltas the caller has not seen, so exact replay is impossible.
+        let first_retained = store.deltas.front().map(|m| m.seq).unwrap_or(current + 1);
+        let gap = since < current && since + 1 < first_retained;
+        let deltas = store
+            .deltas
+            .iter()
+            .filter(|m| m.seq > since)
+            .cloned()
+            .collect();
+        Ok(MutationLog { deltas, gap })
     }
 }
 
@@ -731,6 +870,110 @@ mod tests {
         assert!(err.is_transient());
         // Refusals are not charged.
         assert_eq!(s.queries_issued(), 2);
+    }
+
+    #[test]
+    fn nan_predicates_are_refused_uncharged() {
+        let s = server(3);
+        let err = s
+            .query(&Query::all().and_range(AttrId(0), Interval::at_most(f64::NAN)))
+            .unwrap_err();
+        assert!(matches!(err, ServerError::InvalidQuery { .. }));
+        assert!(err.to_string().contains("NaN"));
+        assert_eq!(s.queries_issued(), 0);
+        assert_eq!(s.cost_units_issued(), 0);
+        // Paged and ordered entry points refuse too.
+        let s = s.with_paging().with_order_by(vec![AttrId(0)]);
+        let bad = Query::all().and_range(AttrId(0), Interval::open(f64::NAN, 1.0));
+        assert!(s.query_page(&bad, 0).is_err());
+        assert!(s.query_ordered(&bad, AttrId(0), Direction::Asc, 0).is_err());
+        assert_eq!(s.queries_issued(), 0);
+    }
+
+    #[test]
+    fn mutations_advance_the_feed_and_the_answers() {
+        let s = server(3);
+        assert!(s.capabilities().supports(Capability::MutationFeed));
+        assert_eq!(s.mutation_seq(), 0);
+
+        // Delete the system-rank leader (x = 9): answers shift immediately.
+        assert_eq!(s.delete(TupleId(9)), Some(1));
+        let xs: Vec<f64> = s
+            .query(&Query::all())
+            .unwrap()
+            .tuples
+            .iter()
+            .map(|t| t.ord(AttrId(0)))
+            .collect();
+        assert_eq!(xs, vec![8.0, 7.0, 6.0]);
+
+        // Insert a new leader; update an existing tuple upward.
+        assert_eq!(s.insert(Tuple::new(TupleId(20), vec![12.0], vec![])), Ok(2));
+        assert_eq!(s.update(Tuple::new(TupleId(0), vec![8.5], vec![])), Ok(3));
+        assert_eq!(s.mutation_seq(), 3);
+        let xs: Vec<f64> = s
+            .query(&Query::all())
+            .unwrap()
+            .tuples
+            .iter()
+            .map(|t| t.ord(AttrId(0)))
+            .collect();
+        assert_eq!(xs, vec![12.0, 8.5, 8.0]);
+
+        // The feed replays everything after a watermark, oldest first.
+        let log = s.mutations_since(0).unwrap();
+        assert!(!log.gap);
+        assert_eq!(log.deltas.len(), 3);
+        assert_eq!(log.deltas[0].kind, MutationKind::Delete(TupleId(9)));
+        assert_eq!(log.deltas[0].seq, 1);
+        assert_eq!(log.max_seq(), Some(3));
+        let log = s.mutations_since(2).unwrap();
+        assert_eq!(log.deltas.len(), 1);
+        assert!(matches!(log.deltas[0].kind, MutationKind::Update(_)));
+        // At or past the head: empty, no gap.
+        assert!(s.mutations_since(3).unwrap().deltas.is_empty());
+        assert!(!s.mutations_since(3).unwrap().gap);
+        assert!(!s.mutations_since(99).unwrap().gap);
+
+        // Deletes never double-fire; bad mutations are typed refusals.
+        assert_eq!(s.delete(TupleId(9)), None);
+        assert_eq!(
+            s.insert(Tuple::new(TupleId(20), vec![1.0], vec![])),
+            Err(TypeError::DuplicateTupleId { id: TupleId(20) })
+        );
+        assert_eq!(
+            s.update(Tuple::new(TupleId(99), vec![1.0], vec![])),
+            Err(TypeError::UnknownTupleId { id: TupleId(99) })
+        );
+        assert_eq!(
+            s.insert(Tuple::new(TupleId(30), vec![1.0, 2.0], vec![])),
+            Err(TypeError::OrdinalArityMismatch {
+                expected: 1,
+                got: 2
+            })
+        );
+        // Failed mutations advance nothing.
+        assert_eq!(s.mutation_seq(), 3);
+        // Mutation traffic is metadata: no query charges anywhere above
+        // beyond the two searches this test issued.
+        assert_eq!(s.queries_issued(), 2);
+    }
+
+    #[test]
+    fn compacted_log_reports_a_gap() {
+        let s = server(3).with_mutation_log_cap(2);
+        s.delete(TupleId(0)).unwrap();
+        s.delete(TupleId(1)).unwrap();
+        s.delete(TupleId(2)).unwrap(); // seq 3; log now retains {2, 3}
+        let log = s.mutations_since(0).unwrap();
+        assert!(log.gap, "delta 1 was compacted away");
+        assert_eq!(log.deltas.len(), 2);
+        // A watermark inside the retained window sees no gap.
+        let log = s.mutations_since(1).unwrap();
+        assert!(!log.gap);
+        assert_eq!(log.deltas.len(), 2);
+        // The dataset snapshot tracks the mutations.
+        assert_eq!(s.dataset().len(), 7);
     }
 
     #[test]

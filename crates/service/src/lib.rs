@@ -32,11 +32,17 @@
 //! * [`batch`] — the concurrent front-end: [`RerankService::serve_batch`]
 //!   runs many sessions in parallel on a `qrs-exec` pool against the
 //!   shared knowledge and budgets, with cooperative cancellation and
-//!   exact per-request accounting.
+//!   exact per-request accounting,
+//! * [`maintained`] — incremental top-k maintenance under data change: a
+//!   [`MaintainedSession`] consumes the server's mutation feed and
+//!   delta-repairs an exact materialized top-`h` (paying per *change*),
+//!   falling back to a full re-drive only on a compacted delta log or a
+//!   positional strategy.
 
 pub mod batch;
 pub mod budget;
 pub mod federation;
+pub mod maintained;
 pub mod planner;
 pub mod profiles;
 pub mod retry;
@@ -47,6 +53,7 @@ pub mod stats;
 pub use batch::{drive, BatchOutcome, BatchRequest};
 pub use budget::QueryBudget;
 pub use federation::{FederatedHit, FederatedSession, FederationBuilder, SourceReport};
+pub use maintained::{MaintainedSession, RefreshOutcome};
 pub use planner::{Plan, Planner, RankedCandidate};
 pub use profiles::ProfileStore;
 pub use retry::RetryBudget;

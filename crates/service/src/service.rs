@@ -8,6 +8,7 @@
 //! [`RerankError`] at open time, never as a panic deep inside an algorithm.
 
 use crate::budget::QueryBudget;
+use crate::maintained::{MaintainedConfig, MaintainedSession};
 use crate::planner::{Plan, Planner, RankedCandidate};
 use crate::retry::{RetryBudget, RetryRunner};
 use crate::session::{Session, SessionKnowledge};
@@ -25,6 +26,7 @@ use qrs_ranking::RankFn;
 use qrs_server::{Clock, SearchInterface, SystemClock};
 use qrs_types::{Capability, Query, RerankError, RetryPolicy};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A service's hookup to the cross-session knowledge plane: the shared
@@ -86,6 +88,10 @@ pub struct RerankService {
     clock: Arc<dyn Clock>,
     /// Cross-session knowledge hookup, when built `with_knowledge`.
     kplane: Option<KnowledgeHandle>,
+    /// The server's mutation sequence number the shared state was built
+    /// against. When the feed moves past it, the history and dense indexes
+    /// describe an older snapshot and are rebuilt empty at the next open.
+    state_watermark: AtomicU64,
 }
 
 impl RerankService {
@@ -99,6 +105,7 @@ impl RerankService {
     /// Service with explicit dense-index parameters.
     pub fn with_params(server: Arc<dyn SearchInterface>, params: RerankParams) -> Self {
         let state = SharedState::new(server.schema(), params);
+        let state_watermark = AtomicU64::new(server.mutation_seq());
         RerankService {
             server,
             state: Mutex::new(state),
@@ -108,7 +115,29 @@ impl RerankService {
             retry_budget: RetryBudget::unlimited(),
             clock: Arc::new(SystemClock::new()),
             kplane: None,
+            state_watermark,
         }
+    }
+
+    /// Poll the server's mutation feed and, if it moved past the watermark
+    /// the shared state was built against, rebuild the state empty: the
+    /// history tuples, completeness proofs and dense indexes all describe
+    /// the pre-mutation snapshot, and an algorithm trusting them after a
+    /// delete would emit vanished tuples. Called by every
+    /// [`SessionBuilder::open`]; a no-op on servers without a mutation
+    /// feed (their sequence number is 0 forever). Returns the sequence
+    /// number seen.
+    pub(crate) fn sync_state(&self) -> u64 {
+        let seq = self.server.mutation_seq();
+        if seq > self.state_watermark.load(Ordering::Acquire) {
+            let mut st = self.state.lock();
+            // Re-check under the lock: a racing open may have rebuilt.
+            if seq > self.state_watermark.load(Ordering::Acquire) {
+                *st = SharedState::new(self.server.schema(), st.params);
+                self.state_watermark.store(seq, Ordering::Release);
+            }
+        }
+        seq
     }
 
     /// Attach a cross-session [`KnowledgePlane`], registering this
@@ -120,9 +149,15 @@ impl RerankService {
     /// federation amortizes across tenants (§3.1.1's cross-session
     /// amortization, lifted out of one process-wide `SharedState`).
     ///
-    /// Staleness is the caller's contract: when the underlying site is
-    /// known to have changed, call [`KnowledgePlane::invalidate`] for the
-    /// source (one atomic epoch bump) and every cached fact is re-earned.
+    /// Staleness has two regimes. Servers advertising
+    /// [`Capability::MutationFeed`] handle it automatically: the gate polls
+    /// the feed's sequence number before every request and at session open,
+    /// and the shard's epoch bumps the moment the watermark advances — no
+    /// manual call, and sealed result streams are never replayed across a
+    /// data change. For servers *without* a feed the old contract stands:
+    /// when the underlying site is known to have changed, call
+    /// [`KnowledgePlane::invalidate`] for the source (one atomic epoch
+    /// bump) and every cached fact is re-earned.
     pub fn with_knowledge(mut self, plane: Arc<KnowledgePlane>, source: impl Into<String>) -> Self {
         let source = source.into();
         let gate = Arc::new(KnowledgeGate::new(
@@ -443,6 +478,10 @@ impl<'a> SessionBuilder<'a> {
     /// [`SessionBuilder::strategy`] reports [`Algorithm::Custom`] with the
     /// strategy's own estimate.
     pub fn plan(&self) -> Result<Plan, RerankError> {
+        // NaN range endpoints poison every comparison downstream (a
+        // predicate that matches nothing, region arithmetic that never
+        // converges) — refuse them here, typed, before anything is spent.
+        self.sel.validate()?;
         if let Some(custom) = &self.custom {
             let estimate = custom.estimate(&self.plan_context());
             return Ok(Plan {
@@ -575,6 +614,11 @@ impl<'a> SessionBuilder<'a> {
     ///   BY` on a ranking attribute, or `PageDown` against one that does
     ///   not page.
     pub fn open(mut self) -> Result<Session<'a>, RerankError> {
+        // Catch up with the server's mutation feed before anything trusts
+        // cached knowledge: a stale shared state is rebuilt empty here, and
+        // the knowledge gate below re-syncs its shard's watermark so sealed
+        // result streams recorded before a data change can never replay.
+        self.svc.sync_state();
         let plan = self.plan()?;
         // Defense in depth: planner-produced algorithms satisfy these by
         // construction, but the check is cheap and keeps the invariant
@@ -597,6 +641,11 @@ impl<'a> SessionBuilder<'a> {
         retry.seed ^= nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let knowledge = if self.use_knowledge {
             self.svc.knowledge_gate().map(|gate| {
+                // The stale-replay fix: observe the feed *before* looking
+                // up a sealed stream, so a post-mutation open bumps the
+                // shard epoch first and the lookup below rejects anything
+                // recorded against the older snapshot.
+                gate.sync();
                 // Custom strategies never key the result cache: their
                 // exactness is the author's promise, so their streams are
                 // neither recorded nor replayed (the request-level gate
@@ -636,6 +685,54 @@ impl<'a> SessionBuilder<'a> {
             plan.residual,
             knowledge,
         ))
+    }
+
+    /// Open a [`MaintainedSession`]: an exact materialized top-`horizon`
+    /// kept current across data change by consuming the server's mutation
+    /// feed — deletes delta-repair by pulling one replacement, inserts are
+    /// rank-tested locally, and only a compacted feed (or a positional
+    /// strategy that must pull live) forces a full re-drive. See
+    /// [`crate::maintained`] for the repair rules and exactness argument.
+    ///
+    /// # Errors
+    /// * [`RerankError::UnsupportedCapability`] — the server does not
+    ///   advertise [`Capability::MutationFeed`].
+    /// * [`RerankError::InvalidAlgorithm`] — a custom strategy was
+    ///   registered (the service cannot repair a stream whose exactness is
+    ///   the author's private contract), or a non-exact tie policy was
+    ///   chosen (delta repair splices by `(score, id)`, the emission order
+    ///   only [`TiePolicy::Exact`] guarantees).
+    /// * Anything [`SessionBuilder::open`] can return — the same plan
+    ///   preflights run underneath.
+    pub fn open_maintained(self, horizon: usize) -> Result<MaintainedSession<'a>, RerankError> {
+        self.svc
+            .server()
+            .capabilities()
+            .require(Capability::MutationFeed)?;
+        if self.custom.is_some() {
+            return Err(RerankError::invalid_algorithm(
+                "maintained sessions drive built-in strategies only: the \
+                 service cannot delta-repair a custom strategy whose \
+                 exactness contract it does not know",
+            ));
+        }
+        if self.tie != TiePolicy::Exact {
+            return Err(RerankError::invalid_algorithm(
+                "maintained sessions require TiePolicy::Exact: delta repair \
+                 splices tuples into the stream by (score, id), which is \
+                 the emission order only under exact tie-breaking",
+            ));
+        }
+        let concrete = self.plan()?.algorithm;
+        let cfg = MaintainedConfig {
+            algo: self.algo,
+            concrete,
+            budget: self.budget,
+            retry: self.retry.clone(),
+            retry_limit: self.retry_limit,
+            use_knowledge: self.use_knowledge,
+        };
+        MaintainedSession::open(self.svc, self.sel, self.rank, cfg, horizon.max(1))
     }
 }
 

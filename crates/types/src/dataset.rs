@@ -25,34 +25,48 @@ impl Dataset {
         let schema = Arc::new(schema);
         let mut out = Vec::with_capacity(tuples.len());
         for t in tuples {
-            if t.ords().len() != schema.num_ordinal() {
-                return Err(TypeError::OrdinalArityMismatch {
-                    expected: schema.num_ordinal(),
-                    got: t.ords().len(),
-                });
-            }
-            if t.cats().len() != schema.num_categorical() {
-                return Err(TypeError::CategoricalArityMismatch {
-                    expected: schema.num_categorical(),
-                    got: t.cats().len(),
-                });
-            }
-            for (i, &code) in t.cats().iter().enumerate() {
-                let card = schema.categorical(crate::schema::CatId(i)).cardinality;
-                if code >= card {
-                    return Err(TypeError::CategoricalCodeOutOfRange {
-                        attr: i,
-                        code,
-                        cardinality: card,
-                    });
-                }
-            }
+            Dataset::validate_tuple(&schema, &t)?;
             out.push(Arc::new(t));
         }
         Ok(Dataset {
             schema,
             tuples: out,
         })
+    }
+
+    /// Check one tuple against a schema — the per-tuple half of
+    /// [`Dataset::new`], reused by mutable stores admitting inserts/updates.
+    pub fn validate_tuple(schema: &Schema, t: &Tuple) -> Result<(), TypeError> {
+        if t.ords().len() != schema.num_ordinal() {
+            return Err(TypeError::OrdinalArityMismatch {
+                expected: schema.num_ordinal(),
+                got: t.ords().len(),
+            });
+        }
+        if t.cats().len() != schema.num_categorical() {
+            return Err(TypeError::CategoricalArityMismatch {
+                expected: schema.num_categorical(),
+                got: t.cats().len(),
+            });
+        }
+        for (i, &code) in t.cats().iter().enumerate() {
+            let card = schema.categorical(crate::schema::CatId(i)).cardinality;
+            if code >= card {
+                return Err(TypeError::CategoricalCodeOutOfRange {
+                    attr: i,
+                    code,
+                    cardinality: card,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Assemble from already-shared parts without re-validation — the
+    /// snapshot constructor mutable stores use to expose their current
+    /// contents as an ordinary (immutable) dataset.
+    pub fn from_shared(schema: Arc<Schema>, tuples: Vec<Arc<Tuple>>) -> Self {
+        Dataset { schema, tuples }
     }
 
     /// Build without validation (generators that construct values straight

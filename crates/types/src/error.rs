@@ -20,6 +20,7 @@
 //! budget exhaustion and server failures all surface as typed variants.
 
 use crate::schema::AttrId;
+use crate::tuple::TupleId;
 use std::fmt;
 
 /// Errors raised while assembling datasets/queries.
@@ -48,6 +49,16 @@ pub enum TypeError {
         /// The attribute's declared cardinality.
         cardinality: u32,
     },
+    /// An insert carries a tuple id the store already holds.
+    DuplicateTupleId {
+        /// The colliding id.
+        id: TupleId,
+    },
+    /// An update names a tuple id the store does not hold.
+    UnknownTupleId {
+        /// The missing id.
+        id: TupleId,
+    },
 }
 
 impl fmt::Display for TypeError {
@@ -74,6 +85,12 @@ impl fmt::Display for TypeError {
                     f,
                     "categorical code {code} out of range for B{attr} (cardinality {cardinality})"
                 )
+            }
+            TypeError::DuplicateTupleId { id } => {
+                write!(f, "insert collides with existing tuple id {}", id.0)
+            }
+            TypeError::UnknownTupleId { id } => {
+                write!(f, "update names unknown tuple id {}", id.0)
             }
         }
     }
@@ -105,6 +122,10 @@ pub enum Capability {
     /// Paging down to this many result pages under one query (many sites
     /// stop serving pages past a fixed depth).
     PageDepth(usize),
+    /// A change-data-capture feed: `mutation_seq` watermarks plus
+    /// `mutations_since` deltas, the substrate of incremental top-k
+    /// maintenance under data change.
+    MutationFeed,
 }
 
 impl fmt::Display for Capability {
@@ -116,6 +137,7 @@ impl fmt::Display for Capability {
             Capability::PointFilter(a) => write!(f, "point predicates on attribute {a}"),
             Capability::PredicateArity(n) => write!(f, "queries with {n} predicates"),
             Capability::PageDepth(p) => write!(f, "paging down to page {p}"),
+            Capability::MutationFeed => write!(f, "a mutation (change-data-capture) feed"),
         }
     }
 }
@@ -246,6 +268,14 @@ pub enum RerankError {
     /// it completed. Partial results fetched before the cancellation are
     /// preserved by batch drivers, mirroring the budget-trip contract.
     Cancelled,
+    /// A range predicate carries a `NaN` endpoint. NaN compares as *after
+    /// every real* under the workspace's total order, so such a predicate
+    /// silently matches a surprising set and corrupts canonical cache keys;
+    /// sessions and the simulator reject it up front instead.
+    NanPredicate {
+        /// Attribute whose range predicate carries the NaN endpoint.
+        attr: AttrId,
+    },
     /// No reranking algorithm fits the site's advertised capabilities for
     /// this query shape. `missing` names the capabilities that would have
     /// unblocked a candidate algorithm; `reason` narrates the planner's
@@ -290,6 +320,7 @@ impl RerankError {
             RerankError::Cancelled => true,
             RerankError::UnsupportedCapability(_)
             | RerankError::InvalidAlgorithm { .. }
+            | RerankError::NanPredicate { .. }
             | RerankError::Unplannable { .. } => false,
         }
     }
@@ -349,6 +380,9 @@ impl fmt::Display for RerankError {
                 )
             }
             RerankError::Cancelled => write!(f, "request cancelled by the caller"),
+            RerankError::NanPredicate { attr } => {
+                write!(f, "range predicate on attribute {attr} has a NaN endpoint")
+            }
             RerankError::Unplannable { missing, reason } => {
                 write!(f, "no algorithm fits the site's capabilities: {reason}")?;
                 if !missing.is_empty() {

@@ -238,6 +238,17 @@ impl Interval {
         }
     }
 
+    /// Does either endpoint carry a `NaN` boundary value?
+    ///
+    /// NaN sorts *after every real* under the workspace's total order, so a
+    /// NaN-bounded predicate silently matches a surprising set and corrupts
+    /// canonical cache-key ordering. Construction stays infallible (the
+    /// algorithms build intervals on hot paths); instead `Query::validate`
+    /// and the session/server boundaries reject NaN with a typed error.
+    pub fn has_nan(&self) -> bool {
+        self.lo.value().is_some_and(f64::is_nan) || self.hi.value().is_some_and(f64::is_nan)
+    }
+
     /// Mirror the interval through negation: the image of the set under
     /// `v ↦ -v`. Used by the direction-normalization layer to translate
     /// normalized-space predicates on `Desc` attributes back to real ones.

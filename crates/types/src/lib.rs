@@ -18,6 +18,9 @@
 //!   overflow* that every reranking algorithm branches on,
 //! * [`RerankError`], [`ServerError`], [`Capability`] — the workspace-wide
 //!   fallibility vocabulary: rate limits, capability negotiation, budgets,
+//! * [`Mutation`], [`MutationKind`], [`MutationLog`] — the change-data-capture
+//!   vocabulary a mutable source exposes: sequence-stamped inserts, deletes
+//!   and updates that incremental top-k maintenance consumes,
 //! * [`RetryPolicy`] — declarative retry/backoff configuration consumed by
 //!   the `qrs-service` retry loop,
 //! * [`CostModel`] — per-query-class unit costs a metered site advertises
@@ -35,6 +38,7 @@ pub mod dataset;
 pub mod direction;
 pub mod error;
 pub mod interval;
+pub mod mutation;
 pub mod predicate;
 pub mod query;
 pub mod response;
@@ -50,6 +54,7 @@ pub use dataset::Dataset;
 pub use direction::Direction;
 pub use error::{Capability, RerankError, ServerError, TypeError};
 pub use interval::{Endpoint, Interval};
+pub use mutation::{Mutation, MutationKind, MutationLog};
 pub use predicate::{CatPredicate, RangePredicate};
 pub use query::Query;
 pub use response::{QueryOutcome, QueryResponse};

@@ -6,6 +6,7 @@
 //! predicates. The reranking algorithms build thousands of these per user
 //! request, so construction and `matches` are allocation-light.
 
+use crate::error::RerankError;
 use crate::interval::Interval;
 use crate::predicate::{CatPredicate, RangePredicate};
 use crate::schema::AttrId;
@@ -150,6 +151,20 @@ impl Query {
     pub fn num_predicates(&self) -> usize {
         self.ranges.len() + self.cats.len()
     }
+
+    /// Reject queries whose range predicates carry `NaN` endpoints.
+    ///
+    /// Interval construction is deliberately infallible (the algorithms
+    /// build thousands on hot paths), so the check lives here and runs at
+    /// the session and simulator boundaries: a NaN endpoint sorts after
+    /// every real under the workspace total order, matching a surprising
+    /// set and corrupting canonical cache-key ordering.
+    pub fn validate(&self) -> Result<(), RerankError> {
+        match self.ranges.iter().find(|p| p.interval.has_nan()) {
+            Some(p) => Err(RerankError::NanPredicate { attr: p.attr }),
+            None => Ok(()),
+        }
+    }
 }
 
 impl fmt::Display for Query {
@@ -234,6 +249,37 @@ mod tests {
         assert!(inner.is_subsumed_by(&outer));
         // An unconstrained query is not subsumed by a constrained one.
         assert!(!Query::all().is_subsumed_by(&outer));
+    }
+
+    #[test]
+    fn validate_rejects_nan_endpoints() {
+        assert_eq!(Query::all().validate(), Ok(()));
+        let clean = Query::all().and_range(AttrId(0), Interval::open(0.0, 1.0));
+        assert_eq!(clean.validate(), Ok(()));
+        let q = clean
+            .clone()
+            .and_range(AttrId(3), Interval::at_most(f64::NAN));
+        assert_eq!(
+            q.validate(),
+            Err(RerankError::NanPredicate { attr: AttrId(3) })
+        );
+        // Either side trips it; the offending attribute is named.
+        let q = Query::all().and_range(AttrId(1), Interval::open(f64::NAN, 5.0));
+        assert_eq!(
+            q.validate(),
+            Err(RerankError::NanPredicate { attr: AttrId(1) })
+        );
+        assert!(q.validate().unwrap_err().to_string().contains("NaN"));
+    }
+
+    #[test]
+    fn interval_nan_detection() {
+        assert!(Interval::open(f64::NAN, 1.0).has_nan());
+        assert!(Interval::closed(0.0, f64::NAN).has_nan());
+        assert!(Interval::point(f64::NAN).has_nan());
+        assert!(!Interval::all().has_nan());
+        assert!(!Interval::open(0.0, 1.0).has_nan());
+        assert!(!Interval::greater_than(f64::INFINITY).has_nan());
     }
 
     #[test]
