@@ -13,7 +13,7 @@
 //!
 //! The result is written as `BENCH_<idx>.json` at the repository root,
 //! where `idx` comes from the `QRS_BENCH_INDEX` environment variable
-//! (default `7`, this PR's slot — older `BENCH_*.json` artifacts are
+//! (default `8`, this PR's slot — older `BENCH_*.json` artifacts are
 //! prior PRs' trajectories and stay untouched). One JSON document: meta +
 //! one row per profile × workload cell. Cells the planner refuses
 //! (`Unplannable` — the profile genuinely cannot answer that shape
@@ -133,7 +133,7 @@ fn json_row(row: &MacroRow) -> String {
 }
 
 /// Run the macro-workload and write `BENCH_<QRS_BENCH_INDEX>.json`
-/// (default `BENCH_7.json`) at the repo root. Returns the rows for tests.
+/// (default `BENCH_8.json`) at the repo root. Returns the rows for tests.
 /// `Scale` is accepted for interface symmetry; the workload is pinned
 /// regardless (a trajectory must not move with flags).
 pub fn run(_scale: Scale) -> Vec<MacroRow> {
@@ -317,6 +317,52 @@ pub fn run(_scale: Scale) -> Vec<MacroRow> {
         });
     }
 
+    // Leg 4: observability overhead. The same cell served unobserved
+    // (the default disabled handle) and under a full observer (metrics +
+    // monitor + recorder); the ledgers must be identical — observability
+    // narrates spend, it never changes it — and the observed row's
+    // monitor must reconcile exactly with its ledger.
+    let w = &workloads()[1];
+    let profile = SiteProfile::open_site(K);
+    let plain = build_service(&profile, None);
+    let obs_plain = run_cell(&plain, w).expect("open site plans everything");
+    let recorder = Arc::new(qrs_obs::Recorder::with_capacity(1 << 16));
+    let observed_svc = build_service(&profile, None).with_observer(
+        qrs_obs::ObsHandle::builder("macro_bench")
+            .subscriber(Arc::clone(&recorder) as _)
+            .build(),
+    );
+    let obs_observed = run_cell(&observed_svc, w).expect("open site plans everything");
+    assert_eq!(
+        (
+            obs_plain.emitted,
+            obs_plain.queries_spent,
+            obs_plain.cost_units_spent
+        ),
+        (
+            obs_observed.emitted,
+            obs_observed.queries_spent,
+            obs_observed.cost_units_spent
+        ),
+        "macro_bench: the observer changed the ledger"
+    );
+    assert_eq!(
+        observed_svc.monitor_report().actual_queries_total(),
+        obs_observed.queries_spent,
+        "macro_bench: monitor must reconcile with the ledger"
+    );
+    for (name, outcome) in [
+        ("open_site+obs(disabled)", obs_plain),
+        ("open_site+obs(enabled)", obs_observed),
+    ] {
+        rows.push(MacroRow {
+            profile: name,
+            workload: w.name,
+            outcome: Some(outcome),
+            unplannable_reason: None,
+        });
+    }
+
     // Assemble and write the document.
     let body: Vec<String> = rows.iter().map(json_row).collect();
     let doc = format!(
@@ -326,7 +372,7 @@ pub fn run(_scale: Scale) -> Vec<MacroRow> {
          \"rows\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     );
-    let idx = std::env::var("QRS_BENCH_INDEX").unwrap_or_else(|_| "7".to_string());
+    let idx = std::env::var("QRS_BENCH_INDEX").unwrap_or_else(|_| "8".to_string());
     let path = format!("{}/../../BENCH_{idx}.json", env!("CARGO_MANIFEST_DIR"));
     std::fs::write(&path, &doc).unwrap_or_else(|e| panic!("macro_bench: cannot write {path}: {e}"));
     println!("{doc}");

@@ -6,6 +6,7 @@ pub mod capability_matrix;
 pub mod knowledge_reuse;
 pub mod macro_bench;
 pub mod md;
+pub mod obs_overhead;
 pub mod one_d;
 pub mod online;
 pub mod planner_cost;
@@ -15,10 +16,11 @@ pub mod thm1;
 use crate::Scale;
 
 /// All experiment ids, in paper order (plus the post-paper `scaling`,
-/// `capability_matrix`, `planner_cost`, `knowledge_reuse` and
-/// `macro_bench` experiments for the concurrent service layer, the
-/// cost-aware capability planner and the cross-session knowledge plane).
-pub const ALL_IDS: [&str; 19] = [
+/// `capability_matrix`, `planner_cost`, `knowledge_reuse`, `macro_bench`
+/// and `obs_overhead` experiments for the concurrent service layer, the
+/// cost-aware capability planner, the cross-session knowledge plane and
+/// the observability plane).
+pub const ALL_IDS: [&str; 20] = [
     "fig6",
     "fig7",
     "fig8",
@@ -38,6 +40,7 @@ pub const ALL_IDS: [&str; 19] = [
     "planner_cost",
     "knowledge_reuse",
     "macro_bench",
+    "obs_overhead",
 ];
 
 /// Run one experiment by id; `false` if the id is unknown.
@@ -99,6 +102,9 @@ pub fn run(id: &str, scale: Scale) -> bool {
         }
         "macro_bench" => {
             macro_bench::run(scale);
+        }
+        "obs_overhead" => {
+            obs_overhead::run(scale);
         }
         _ => return false,
     }

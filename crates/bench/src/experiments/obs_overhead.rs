@@ -1,0 +1,178 @@
+//! The `obs_overhead` experiment: the observability plane's cost, measured.
+//!
+//! Three variants of the same pinned workload (drain a session to
+//! exhaustion on the open site):
+//!
+//! * `baseline`  — a service never touched by `with_observer` (the
+//!   constructor default, `ObsHandle::disabled()`);
+//! * `disabled`  — `with_observer(ObsHandle::disabled())` wired
+//!   explicitly, i.e. exactly what every pre-observability caller gets;
+//! * `enabled`   — a full handle: metrics + monitor + a `Recorder`
+//!   subscriber folding every event.
+//!
+//! Each variant runs `REPS` times on a fresh service, interleaved
+//! round-robin so ambient noise (frequency scaling, page cache) hits all
+//! three equally; the reported figure is the **minimum** wall time per
+//! variant — the standard noise-floor estimator for short benchmarks.
+//!
+//! **The assertions are the experiment** (a violation panics the run):
+//!
+//! * all three variants produce byte-identical result streams (tuple ids
+//!   *and* score bits) and identical spend ledgers — observability may
+//!   never change what the service does, only narrate it;
+//! * the disabled path costs ~zero: `min(disabled)` must stay within
+//!   1.5× of `min(baseline)` plus a 1 ms absolute slack (the two paths
+//!   are the same machine code plus one predicted-taken branch; the
+//!   slack absorbs timer quantization on sub-millisecond drains);
+//! * the enabled run's metrics reconcile exactly with its ledger.
+//!
+//! ```text
+//! cargo run --release -p qrs-bench --bin figures -- --scale quick obs_overhead
+//! ```
+
+use crate::Scale;
+use qrs_obs::{ObsHandle, Recorder};
+use qrs_ranking::{LinearRank, RankFn};
+use qrs_server::{SiteProfile, SystemRank};
+use qrs_service::RerankService;
+use qrs_types::{AttrId, Query};
+use std::sync::Arc;
+use std::time::Instant;
+
+const SEED_DATA: u64 = 0xC7_01;
+const SEED_SYSRANK: u64 = 0xC7_02;
+const K: usize = 5;
+const REPS: usize = 5;
+
+/// One variant's measured outcome.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// `baseline` / `disabled` / `enabled`.
+    pub variant: &'static str,
+    /// Tuples drained (identical across variants by assertion).
+    pub emitted: usize,
+    /// Ledger (identical across variants by assertion).
+    pub queries_spent: u64,
+    /// Minimum wall time over the interleaved repetitions, ms.
+    pub min_wall_ms: f64,
+}
+
+fn n_for(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 300,
+        Scale::Paper => 1000,
+    }
+}
+
+fn build_service(n: usize, obs: Option<ObsHandle>) -> RerankService {
+    let data = qrs_datagen::synthetic::uniform(n, 2, 1, SEED_DATA);
+    let server = SiteProfile::open_site(K).build(data, SystemRank::pseudo_random(SEED_SYSRANK));
+    let svc = RerankService::new(Arc::new(server), n);
+    match obs {
+        Some(h) => svc.with_observer(h),
+        None => svc,
+    }
+}
+
+fn rank() -> Arc<dyn RankFn> {
+    Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 0.75)]))
+}
+
+/// Drain one fresh session to exhaustion; returns (stream, spent, wall).
+fn drive(svc: &RerankService) -> (Vec<(u32, u64)>, u64, f64) {
+    let t0 = Instant::now();
+    let mut s = svc.session(Query::all(), rank()).open().unwrap();
+    let mut stream = Vec::new();
+    while let Ok(Some(hit)) = s.next() {
+        stream.push((hit.tuple.id.0, hit.score.to_bits()));
+    }
+    let spent = s.queries_spent();
+    drop(s);
+    (stream, spent, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Run the three variants interleaved and assert the disabled path is
+/// free and all paths are byte-identical. Returns the rows for tests.
+pub fn run(scale: Scale) -> Vec<OverheadRow> {
+    let n = n_for(scale);
+    let variants: [&'static str; 3] = ["baseline", "disabled", "enabled"];
+    let mut mins = [f64::INFINITY; 3];
+    let mut reference: Option<(Vec<(u32, u64)>, u64)> = None;
+    let mut enabled_ledger = 0u64;
+
+    for _rep in 0..REPS {
+        for (vi, &variant) in variants.iter().enumerate() {
+            let (svc, recorder) = match variant {
+                "baseline" => (build_service(n, None), None),
+                "disabled" => (build_service(n, Some(ObsHandle::disabled())), None),
+                _ => {
+                    let rec = Arc::new(Recorder::with_capacity(1 << 16));
+                    let obs = ObsHandle::builder("obs-overhead")
+                        .subscriber(Arc::clone(&rec) as _)
+                        .build();
+                    (build_service(n, Some(obs)), Some(rec))
+                }
+            };
+            let (stream, spent, wall) = drive(&svc);
+            mins[vi] = mins[vi].min(wall);
+            match &reference {
+                None => reference = Some((stream, spent)),
+                Some((ref_stream, ref_spent)) => {
+                    assert_eq!(
+                        &stream, ref_stream,
+                        "obs_overhead: variant {variant} changed the result stream"
+                    );
+                    assert_eq!(
+                        spent, *ref_spent,
+                        "obs_overhead: variant {variant} changed the spend ledger"
+                    );
+                }
+            }
+            if let Some(rec) = recorder {
+                // Enabled runs must reconcile: metrics == ledger, exactly.
+                let m = svc.observer().metrics().expect("enabled handle");
+                assert_eq!(m.queries_total(), spent, "metrics drifted from ledger");
+                assert_eq!(svc.monitor_report().actual_queries_total(), spent);
+                assert!(rec.dropped() == 0, "64Ki ring cannot overflow here");
+                enabled_ledger = spent;
+            }
+        }
+    }
+
+    let (stream, spent) = reference.expect("REPS > 0");
+    assert_eq!(enabled_ledger, spent);
+    // The tentpole assertion: explicit-disabled costs the same as never
+    // wired, within noise.
+    assert!(
+        mins[1] <= mins[0] * 1.5 + 1.0,
+        "obs_overhead: the disabled observer path must be free \
+         (baseline {:.3} ms, disabled {:.3} ms)",
+        mins[0],
+        mins[1],
+    );
+
+    println!("\n# obs_overhead (n={n}, k={K}, min of {REPS} interleaved reps)");
+    println!("variant, emitted, queries_spent, min_wall_ms");
+    let rows: Vec<OverheadRow> = variants
+        .iter()
+        .zip(mins)
+        .map(|(&variant, min_wall_ms)| OverheadRow {
+            variant,
+            emitted: stream.len(),
+            queries_spent: spent,
+            min_wall_ms,
+        })
+        .collect();
+    for r in &rows {
+        println!(
+            "{}, {}, {}, {:.3}",
+            r.variant, r.emitted, r.queries_spent, r.min_wall_ms
+        );
+    }
+    println!(
+        "# disabled/baseline ratio: {:.2}; enabled/baseline ratio: {:.2}",
+        mins[1] / mins[0].max(1e-9),
+        mins[2] / mins[0].max(1e-9),
+    );
+    rows
+}

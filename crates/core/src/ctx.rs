@@ -14,14 +14,21 @@ use qrs_types::{Query, QueryResponse, Schema};
 /// History + complete-region registry + dense indexes + parameters.
 #[derive(Debug)]
 pub struct SharedState {
+    /// Every tuple ever observed in a server response, indexed per
+    /// ordinal attribute.
     pub history: History,
+    /// Regions proven complete (query answered without overflow).
     pub complete: CompleteRegions,
+    /// The §3.2.2 on-the-fly dense index (1D).
     pub dense1d: Dense1D,
+    /// The §4.4 on-the-fly dense index (MD boxes).
     pub densemd: DenseMd,
+    /// The tuning parameters everything above was built with.
     pub params: RerankParams,
 }
 
 impl SharedState {
+    /// Fresh, empty state for a database with `schema`, tuned by `params`.
     pub fn new(schema: &Schema, params: RerankParams) -> Self {
         SharedState {
             history: History::new(schema.num_ordinal()),

@@ -24,6 +24,8 @@ pub struct History {
 }
 
 impl History {
+    /// An empty history over a schema with `num_ordinal_attrs` ordinal
+    /// attributes.
     pub fn new(num_ordinal_attrs: usize) -> Self {
         History {
             tuples: HashMap::new(),
@@ -36,14 +38,17 @@ impl History {
         self.tuples.len()
     }
 
+    /// True when no tuple has been observed yet.
     pub fn is_empty(&self) -> bool {
         self.tuples.is_empty()
     }
 
+    /// True when the tuple with this id has been observed.
     pub fn contains(&self, id: TupleId) -> bool {
         self.tuples.contains_key(&id)
     }
 
+    /// Look up an observed tuple by id.
     pub fn get(&self, id: TupleId) -> Option<&Arc<Tuple>> {
         self.tuples.get(&id)
     }
@@ -162,6 +167,7 @@ impl Default for CompleteRegions {
 }
 
 impl CompleteRegions {
+    /// An empty registry remembering at most `cap` regions (FIFO).
     pub fn new(cap: usize) -> Self {
         CompleteRegions {
             regions: std::collections::VecDeque::new(),
@@ -169,10 +175,12 @@ impl CompleteRegions {
         }
     }
 
+    /// Regions currently remembered.
     pub fn len(&self) -> usize {
         self.regions.len()
     }
 
+    /// True when no region has been registered yet.
     pub fn is_empty(&self) -> bool {
         self.regions.is_empty()
     }

@@ -19,8 +19,9 @@ use std::sync::Arc;
 /// One indexed dense region on a (attribute, direction) axis.
 #[derive(Debug)]
 pub struct DenseInterval {
-    /// Normalized range `[x, y)` this entry covers.
+    /// Normalized range `[x, y)` this entry covers: the lower end.
     pub x: f64,
+    /// The (exclusive) upper end of the covered range.
     pub y: f64,
     /// All values `v ∈ [x, frontier]` are fully crawled (`None` = nothing
     /// crawled yet).
@@ -47,10 +48,12 @@ impl DenseInterval {
         self.tuples.len()
     }
 
+    /// True when nothing has been discovered in the region yet.
     pub fn is_empty(&self) -> bool {
         self.tuples.is_empty()
     }
 
+    /// True when the whole range `[x, y)` has been crawled.
     pub fn is_complete(&self) -> bool {
         self.complete
     }

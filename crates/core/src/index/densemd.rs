@@ -41,10 +41,12 @@ pub struct DenseMd {
 }
 
 impl DenseMd {
+    /// Crawled boxes registered so far.
     pub fn num_boxes(&self) -> usize {
         self.boxes.len()
     }
 
+    /// Tuples discovered across all boxes.
     pub fn num_tuples(&self) -> usize {
         self.boxes.iter().map(|b| b.tuples.len()).sum()
     }

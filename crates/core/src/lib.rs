@@ -35,6 +35,8 @@
 //!   the first `Sel(q)` match, making the index reusable across ranking
 //!   functions.
 
+#![deny(missing_docs)]
+
 pub mod baselines;
 pub mod crawl;
 pub mod ctx;

@@ -58,10 +58,12 @@ pub struct MdCursor {
 }
 
 impl MdCursor {
+    /// Cursor over `rank` restricted to `sel`, with exact tie handling.
     pub fn new(rank: Arc<dyn RankFn>, sel: Query, opts: MdOptions, schema: &Schema) -> Self {
         Self::with_tie(rank, sel, opts, schema, MdTie::Exact)
     }
 
+    /// Like [`MdCursor::new`] but with an explicit tie-handling policy.
     pub fn with_tie(
         rank: Arc<dyn RankFn>,
         sel: Query,
@@ -84,6 +86,7 @@ impl MdCursor {
         }
     }
 
+    /// The normalized view (ranking function + bounds) the cursor searches.
     pub fn view(&self) -> &NormView {
         &self.view
     }

@@ -43,6 +43,7 @@ impl MdAlgo {
         MdAlgo::Rerank,
     ];
 
+    /// Human-readable name used in experiment tables and plots.
     pub fn label(self) -> &'static str {
         match self {
             MdAlgo::TaOver1D => "TA over 1D-RERANK",

@@ -95,6 +95,8 @@ pub struct TaCursor {
 }
 
 impl TaCursor {
+    /// Cursor over `rank` restricted to `sel`, assuming no public `ORDER BY`
+    /// support (every stream runs through 1D sorted access).
     pub fn new(rank: Arc<dyn RankFn>, sel: Query, access: SortedAccess, schema: &Schema) -> Self {
         Self::with_server_caps(rank, sel, access, schema, &Capabilities::none())
     }
@@ -152,6 +154,7 @@ impl TaCursor {
         }
     }
 
+    /// The normalized view (ranking function + bounds) the cursor searches.
     pub fn view(&self) -> &NormView {
         &self.view
     }

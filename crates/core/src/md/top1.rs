@@ -29,12 +29,17 @@ use std::sync::Arc;
 /// MD algorithms; individual flags support the ablation experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MdOptions {
+    /// Split around *virtual* (corner) tuples instead of discovered ones
+    /// (§4.3's binary refinement).
     pub virtual_tuples: bool,
+    /// Prune subspaces dominated by an already-found candidate.
     pub domination: bool,
+    /// Crawl and index small boxes through the §4.4 dense index.
     pub dense_index: bool,
 }
 
 impl MdOptions {
+    /// MD-BASELINE (§4.2): no virtual splits, no pruning, no index.
     pub fn baseline() -> Self {
         MdOptions {
             virtual_tuples: false,
@@ -43,6 +48,7 @@ impl MdOptions {
         }
     }
 
+    /// MD-BINARY (§4.3): virtual splits + domination pruning.
     pub fn binary() -> Self {
         MdOptions {
             virtual_tuples: true,
@@ -51,6 +57,7 @@ impl MdOptions {
         }
     }
 
+    /// MD-RERANK (§4.4): everything on, including the dense index.
     pub fn rerank() -> Self {
         MdOptions {
             virtual_tuples: true,

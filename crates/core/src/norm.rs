@@ -35,26 +35,31 @@ impl NormView {
         NormView { rank, bounds }
     }
 
+    /// The ranking function this view normalizes for.
     #[inline]
     pub fn rank(&self) -> &Arc<dyn RankFn> {
         &self.rank
     }
 
+    /// The per-attribute normalization bounds.
     #[inline]
     pub fn bounds(&self) -> &NormBounds {
         &self.bounds
     }
 
+    /// Number of ranking attributes (the normalized space's dimension).
     #[inline]
     pub fn dims(&self) -> usize {
         self.rank.dims()
     }
 
+    /// The user score of `t` (unnormalized — ranking order is what counts).
     #[inline]
     pub fn score(&self, t: &Tuple) -> f64 {
         self.rank.score(t)
     }
 
+    /// `t`'s coordinates in the normalized `[0,1]^m` space.
     #[inline]
     pub fn norm_coords(&self, t: &Tuple) -> Vec<f64> {
         self.rank.norm_coords(t)
@@ -107,6 +112,7 @@ impl std::fmt::Debug for NormView {
 /// An axis-aligned box in normalized space (one interval per ranking dim).
 #[derive(Debug, Clone, PartialEq)]
 pub struct NormBox {
+    /// One normalized interval per ranking dimension.
     pub dims: Vec<Interval>,
 }
 
@@ -123,6 +129,8 @@ impl NormBox {
         }
     }
 
+    /// True when any dimension's interval is empty (the box contains no
+    /// point).
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.dims.iter().any(Interval::is_empty)

@@ -55,6 +55,7 @@ enum State {
 }
 
 impl OneDCursor {
+    /// Cursor driving `strategy` over `spec`, with the given tie policy.
     pub fn new(spec: OneDSpec, strategy: OneDStrategy, tie: TiePolicy) -> Self {
         OneDCursor {
             spec,
@@ -74,6 +75,7 @@ impl OneDCursor {
         OneDCursor::new(OneDSpec::new(attr, dir, sel), strategy, TiePolicy::Exact)
     }
 
+    /// The search specification (attribute, direction, selection).
     pub fn spec(&self) -> &OneDSpec {
         &self.spec
     }

@@ -26,18 +26,23 @@ pub use primitives::{next_above, NarrowResult, OneDSpec};
 /// Which §3 algorithm drives the search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OneDStrategy {
+    /// 1D-BASELINE (§3.1): linear frontier advance.
     Baseline,
+    /// 1D-BINARY (§3.2.1): binary interval narrowing.
     Binary,
+    /// 1D-RERANK (§3.2.2): binary narrowing plus the on-the-fly dense index.
     Rerank,
 }
 
 impl OneDStrategy {
+    /// The paper's three compared 1D algorithms (Figs 5–12).
     pub const ALL: [OneDStrategy; 3] = [
         OneDStrategy::Baseline,
         OneDStrategy::Binary,
         OneDStrategy::Rerank,
     ];
 
+    /// Human-readable name used in experiment tables and plots.
     pub fn label(self) -> &'static str {
         match self {
             OneDStrategy::Baseline => "1D-BASELINE",

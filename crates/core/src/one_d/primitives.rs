@@ -15,13 +15,16 @@ use std::sync::Arc;
 /// A 1D search specification: ranking attribute, direction and selection.
 #[derive(Debug, Clone)]
 pub struct OneDSpec {
+    /// The ranking attribute.
     pub attr: AttrId,
+    /// Preference direction on the attribute (smaller or larger is better).
     pub dir: Direction,
     /// The user query's selection condition `Sel(q)`.
     pub sel: Query,
 }
 
 impl OneDSpec {
+    /// Bundle a ranking attribute, direction and selection condition.
     pub fn new(attr: AttrId, dir: Direction, sel: Query) -> Self {
         OneDSpec { attr, dir, sel }
     }
@@ -57,7 +60,12 @@ pub enum NarrowResult {
     Exhausted(Option<Arc<Tuple>>),
     /// (1D-RERANK only) the interval `[lo, nval(cur))` fell below the dense
     /// threshold with the candidate `cur` still unconfirmed.
-    Narrowed { lo: f64, cur: Arc<Tuple> },
+    Narrowed {
+        /// Lower end of the remaining uncertainty interval.
+        lo: f64,
+        /// Best candidate found so far (possibly not the true next tuple).
+        cur: Arc<Tuple>,
+    },
 }
 
 /// Find the matching tuple with the smallest normalized value in

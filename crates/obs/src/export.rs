@@ -1,0 +1,88 @@
+//! A JSON-lines exporter subscriber for experiments: one event per line,
+//! hand-assembled JSON (the workspace carries no serde).
+
+use std::io::Write;
+
+use parking_lot::Mutex;
+
+use crate::event::Event;
+use crate::Subscriber;
+
+/// Writes every event as one JSON object per line to any `Write + Send`
+/// sink (a file, a `Vec<u8>`, a pipe). Lines are written whole under one
+/// mutex, so concurrent sessions never interleave within a line.
+pub struct JsonLinesExporter {
+    sink: Mutex<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for JsonLinesExporter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonLinesExporter").finish_non_exhaustive()
+    }
+}
+
+impl JsonLinesExporter {
+    /// Export into `sink`. Write errors are swallowed — observability must
+    /// never fail the query path it observes.
+    pub fn new(sink: impl Write + Send + 'static) -> Self {
+        JsonLinesExporter {
+            sink: Mutex::new(Box::new(sink)),
+        }
+    }
+
+    /// Flush the underlying sink.
+    pub fn flush(&self) {
+        let _ = self.sink.lock().flush();
+    }
+}
+
+impl Subscriber for JsonLinesExporter {
+    fn on_event(&self, event: &Event) {
+        let mut line = event.to_json_line();
+        line.push('\n');
+        let _ = self.sink.lock().write_all(line.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use std::sync::Arc;
+
+    /// A `Vec<u8>` sink shared with the test through an `Arc<Mutex<_>>`.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn one_line_per_event() {
+        let buf = SharedBuf::default();
+        let exporter = JsonLinesExporter::new(buf.clone());
+        for i in 0..3u64 {
+            exporter.on_event(&Event {
+                at_ms: i,
+                site: Arc::from("s"),
+                session: 0,
+                kind: EventKind::BatchServed { requests: i },
+            });
+        }
+        exporter.flush();
+        let out = String::from_utf8(buf.0.lock().clone()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains(&format!("\"requests\":{i}")), "{line}");
+        }
+    }
+}

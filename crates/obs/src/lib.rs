@@ -1,0 +1,59 @@
+//! Event tracing + metrics plane for the reranking service.
+//!
+//! The paper's rerank-as-a-service model only pays off operationally when
+//! the service can *see* what each session spends versus what the planner
+//! predicted. This crate is that sight: a typed event vocabulary
+//! ([`Event`]/[`EventKind`]) covering the whole session lifecycle (plan
+//! chosen, requests issued/charged, retries and backoff, circuit
+//! trips/probes, knowledge hits/misses/seals, mutation repairs, budget
+//! trips, open/close), a lock-striped [`MetricsRegistry`] (exact
+//! sum-on-read counters plus log2 latency histograms), and a fleet
+//! [`Monitor`] folding the stream into per-(site, strategy)
+//! predicted-vs-actual spend tables with divergence ratios — the data
+//! layer a mid-flight re-planning loop consumes.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when disabled.** Instrumented code holds an
+//!    [`ObsHandle`]; a disabled handle is a `None`, so every emission site
+//!    is one branch that skips even *constructing* the event. The service
+//!    crate's tests assert the disabled path leaves query ledgers and
+//!    result streams byte-identical.
+//! 2. **Exact, not sampled.** Spend-carrying events
+//!    ([`EventKind::RequestCharged`], [`EventKind::KnowledgeHit`]) carry
+//!    the same in-lock ledger deltas the session/service stats accumulate,
+//!    so monitor reports reconcile *exactly* against those ledgers.
+//! 3. **Deterministic.** Timestamps come from the emitting service's
+//!    injectable clock (passed in by callers — this crate reads no OS
+//!    clock), and [`MonitorReport`] rows sort by (site, strategy).
+//!
+//! Two built-in subscribers ship with the crate: a bounded ring-buffer
+//! [`Recorder`] (drop-oldest, tear-free) for tests, and a
+//! [`JsonLinesExporter`] for experiments.
+
+#![deny(missing_docs)]
+
+mod event;
+mod export;
+mod handle;
+mod metrics;
+mod monitor;
+mod recorder;
+
+pub use event::{BudgetScope, Event, EventKind, QueryClass};
+pub use export::JsonLinesExporter;
+pub use handle::{ObsBuilder, ObsHandle};
+pub use metrics::{
+    log2_bucket, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, HISTOGRAM_BUCKETS,
+};
+pub use monitor::{Monitor, MonitorReport, MonitorRow};
+pub use recorder::{Recorder, DEFAULT_BUFFER};
+
+/// An event sink. Implementations must be cheap and non-blocking-ish:
+/// `on_event` runs on the emitting (query-path) thread, after the built-in
+/// metrics and monitor folds. Implementations must never panic — the
+/// observability plane must not fail the query path it observes.
+pub trait Subscriber: Send + Sync {
+    /// Receive one event. The event is borrowed; clone it to keep it.
+    fn on_event(&self, event: &Event);
+}

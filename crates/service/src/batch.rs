@@ -32,8 +32,11 @@ use std::sync::Arc;
 /// One user request inside a batch: a selection, a ranking function, and
 /// how many top answers to fetch, plus optional per-request knobs.
 pub struct BatchRequest {
+    /// The selection query (the `q` of `R(q)`).
     pub sel: Query,
+    /// The user's ranking function.
     pub rank: Arc<dyn RankFn>,
+    /// Algorithm choice (default [`Algorithm::Auto`]: the planner picks).
     pub algo: Algorithm,
     /// How many top tuples to fetch (the `h` of `Session::top`).
     pub top: usize,
@@ -87,7 +90,9 @@ pub struct BatchOutcome {
     pub stats: SessionStats,
     /// Wall-clock time this request occupied a worker, in milliseconds —
     /// observational only (latency percentiles in benchmarks), measured on
-    /// the OS clock, not the service's injectable one.
+    /// the service's injectable clock, so batch latency is deterministic
+    /// under a `MockClock` and consistent with the observability plane's
+    /// latency histograms.
     pub wall_ms: f64,
 }
 
@@ -101,8 +106,10 @@ impl BatchOutcome {
 /// Run one request against one service, checking the cancel token between
 /// pulls.
 fn run_one(svc: &RerankService, req: BatchRequest, cancel: &CancelToken) -> BatchOutcome {
-    let t0 = std::time::Instant::now();
-    let wall_ms = |t0: std::time::Instant| t0.elapsed().as_secs_f64() * 1e3;
+    // The injectable clock, not the OS one: deterministic under MockClock,
+    // and the same time base as backoff sleeps and the latency histograms.
+    let t0 = svc.clock().now_ms();
+    let wall_ms = |t0: u64| svc.clock().now_ms().saturating_sub(t0) as f64;
     svc.stats_ref().on_request();
     let empty = SessionStats {
         emitted: 0,
@@ -207,6 +214,16 @@ impl RerankService {
         cancel: &CancelToken,
     ) -> Vec<BatchOutcome> {
         self.stats_ref().on_batch();
+        if self.obs().enabled() {
+            // Service-level event: session ordinal 0.
+            self.obs().emit(
+                self.clock().now_ms(),
+                0,
+                qrs_obs::EventKind::BatchServed {
+                    requests: requests.len() as u64,
+                },
+            );
+        }
         drive(
             exec,
             requests.into_iter().map(|r| (self, r)).collect(),

@@ -61,6 +61,7 @@ impl QueryBudget {
         self.baseline.store(current_counter, Ordering::Relaxed);
     }
 
+    /// The cap, or `None` for an unlimited budget.
     pub fn limit(&self) -> Option<u64> {
         self.limit
     }

@@ -82,6 +82,7 @@ use std::sync::Arc;
 pub struct FederatedHit {
     /// Index into the sources passed to [`FederatedSession::open`].
     pub source: usize,
+    /// The tuple, with its federation-wide rank and user score.
     pub hit: RankedTuple,
 }
 
@@ -163,6 +164,7 @@ fn pull_source(
                     h.tripped = false;
                     h.tripped_at_ms = None;
                     h.consecutive_failures = 0;
+                    sess.emit_obs(|| qrs_obs::EventKind::CircuitProbe { reopened: true });
                     return Ok(t);
                 }
                 Err(e) => {
@@ -170,6 +172,9 @@ fn pull_source(
                     h.last_error = Some(e);
                     h.trips += 1;
                     h.tripped_at_ms = Some(sess.svc().clock().now_ms());
+                    sess.emit_obs(|| qrs_obs::EventKind::CircuitProbe { reopened: false });
+                    let trips = h.trips;
+                    sess.emit_obs(|| qrs_obs::EventKind::CircuitTrip { trips });
                     return Ok(None);
                 }
             }
@@ -190,6 +195,8 @@ fn pull_source(
                             h.tripped = true;
                             h.trips += 1;
                             h.tripped_at_ms = Some(sess.svc().clock().now_ms());
+                            let trips = h.trips;
+                            sess.emit_obs(|| qrs_obs::EventKind::CircuitTrip { trips });
                             return Ok(None);
                         }
                     }

@@ -37,7 +37,15 @@
 //!   [`MaintainedSession`] consumes the server's mutation feed and
 //!   delta-repairs an exact materialized top-`h` (paying per *change*),
 //!   falling back to a full re-drive only on a compacted delta log or a
-//!   positional strategy.
+//!   positional strategy,
+//! * observability — [`RerankService::with_observer`] attaches a
+//!   [`qrs_obs::ObsHandle`]: the session lifecycle, every charged request,
+//!   retries, circuit trips, knowledge hits and budget trips stream out as
+//!   typed events, and [`RerankService::monitor_report`] folds them into
+//!   the fleet's predicted-vs-actual spend table. Disabled (the default),
+//!   every emission site is a single branch that constructs nothing.
+
+#![deny(missing_docs)]
 
 pub mod batch;
 pub mod budget;
@@ -66,3 +74,10 @@ pub use qrs_core::strategy::{CostEstimate, PlanContext, RerankStrategy, Strategy
 // The knowledge plane: build one, share it across services (and processes'
 // worth of tenants) via `RerankService::with_knowledge`.
 pub use qrs_knowledge::{KnowledgePlane, PlaneStats, ShardStats, SourceShard};
+// The observability plane: build an `ObsHandle` (optionally with extra
+// subscribers), attach via `RerankService::with_observer`, read the fleet
+// table via `RerankService::monitor_report`.
+pub use qrs_obs::{
+    Event, EventKind, JsonLinesExporter, MetricsSnapshot, Monitor, MonitorReport, MonitorRow,
+    ObsHandle, Recorder, Subscriber,
+};

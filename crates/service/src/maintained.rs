@@ -281,6 +281,23 @@ impl<'a> MaintainedSession<'a> {
     /// docs). Call after the underlying data may have changed; a no-change
     /// poll costs zero server queries.
     pub fn refresh(&mut self) -> Result<RefreshOutcome, RerankError> {
+        let out = self.refresh_inner()?;
+        // A no-change poll is not a repair; everything else lands on the
+        // observability plane, attributed to the current inner session
+        // (after a re-drive, that is the replacement session's ordinal).
+        if out.applied > 0 || out.redrove || out.replacement_pulls > 0 {
+            self.session
+                .emit_obs(|| qrs_obs::EventKind::MutationRepair {
+                    applied: out.applied as u64,
+                    replacement_pulls: out.replacement_pulls as u64,
+                    redrove: out.redrove,
+                    queries_spent: out.queries_spent,
+                });
+        }
+        Ok(out)
+    }
+
+    fn refresh_inner(&mut self) -> Result<RefreshOutcome, RerankError> {
         let log = self.svc.server().mutations_since(self.watermark)?;
         if !log.gap && log.deltas.is_empty() {
             return Ok(RefreshOutcome::default());

@@ -19,6 +19,7 @@ pub struct ProfileStore {
 }
 
 impl ProfileStore {
+    /// An empty store.
     pub fn new() -> Self {
         Self::default()
     }

@@ -141,6 +141,7 @@ impl RetryBudget {
         self.spent.load(Ordering::Relaxed)
     }
 
+    /// The cap, or `None` for an unlimited budget.
     pub fn limit(&self) -> Option<u64> {
         self.limit
     }

@@ -22,6 +22,7 @@ use qrs_core::{
     KnowledgeGate, MdOptions, OneDSpec, OneDStrategy, RerankParams, SharedState, TiePolicy,
 };
 use qrs_knowledge::{query_key, KnowledgePlane, ResultKey};
+use qrs_obs::{EventKind, MonitorReport, ObsHandle, QueryClass};
 use qrs_ranking::RankFn;
 use qrs_server::{Clock, SearchInterface, SystemClock};
 use qrs_types::{Capability, Query, RerankError, RetryPolicy};
@@ -88,6 +89,9 @@ pub struct RerankService {
     clock: Arc<dyn Clock>,
     /// Cross-session knowledge hookup, when built `with_knowledge`.
     kplane: Option<KnowledgeHandle>,
+    /// The observability plane (disabled by default: one branch per
+    /// emission site, nothing constructed).
+    obs: ObsHandle,
     /// The server's mutation sequence number the shared state was built
     /// against. When the feed moves past it, the history and dense indexes
     /// describe an older snapshot and are rebuilt empty at the next open.
@@ -115,6 +119,7 @@ impl RerankService {
             retry_budget: RetryBudget::unlimited(),
             clock: Arc::new(SystemClock::new()),
             kplane: None,
+            obs: ObsHandle::disabled(),
             state_watermark,
         }
     }
@@ -202,6 +207,38 @@ impl RerankService {
         self
     }
 
+    /// Attach an observability plane: every session opened afterwards
+    /// emits the typed [`qrs_obs`] event stream (plan chosen, requests
+    /// charged, retries, circuit trips, knowledge hits, budget trips,
+    /// open/close) through the handle, timestamped on the service's
+    /// injectable clock. Services built without one hold
+    /// [`ObsHandle::disabled`]: each emission site costs a single branch
+    /// and constructs nothing, leaving ledgers and result streams
+    /// byte-identical to an uninstrumented build.
+    ///
+    /// Several services may share one handle (or one caller-built
+    /// [`qrs_obs::Monitor`] attached to several handles) to aggregate a
+    /// fleet-wide view.
+    pub fn with_observer(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The attached observability handle (disabled unless the service was
+    /// built [`RerankService::with_observer`]). Use it to snapshot
+    /// [`qrs_obs::MetricsSnapshot`] counters and histograms.
+    pub fn observer(&self) -> &ObsHandle {
+        &self.obs
+    }
+
+    /// Snapshot the fleet monitor's per-(site, strategy)
+    /// predicted-vs-actual spend table — plan-time estimates against
+    /// charged ledgers, with knowledge savings alongside. Empty when no
+    /// observer is attached.
+    pub fn monitor_report(&self) -> MonitorReport {
+        self.obs.monitor_report()
+    }
+
     /// Begin a Get-Next session for `sel` ranked by `rank`.
     ///
     /// Returns a [`SessionBuilder`]; configure it and call
@@ -234,6 +271,7 @@ impl RerankService {
         self.server.queries_issued()
     }
 
+    /// Point-in-time snapshot of the service-wide activity counters.
     pub fn stats(&self) -> crate::stats::StatsSnapshot {
         self.stats.snapshot()
     }
@@ -275,6 +313,10 @@ impl RerankService {
 
     pub(crate) fn clock(&self) -> &Arc<dyn Clock> {
         &self.clock
+    }
+
+    pub(crate) fn obs(&self) -> &ObsHandle {
+        &self.obs
     }
 
     pub(crate) fn default_retry_policy(&self) -> &RetryPolicy {
@@ -676,6 +718,30 @@ impl<'a> SessionBuilder<'a> {
         } else {
             None
         };
+        // Announce the session on the observability plane. The ordinal is
+        // allocated here (0 when disabled) and travels on every event the
+        // session emits; `PlanChosen` carries the plan-time estimate that
+        // seeds the monitor's *predicted* column.
+        let obs_id = self.svc.obs().open_session();
+        if self.svc.obs().enabled() {
+            let now = self.svc.clock().now_ms();
+            self.svc.obs().emit(
+                now,
+                obs_id,
+                EventKind::SessionOpen {
+                    strategy: strategy.name().to_string(),
+                },
+            );
+            self.svc.obs().emit(
+                now,
+                obs_id,
+                EventKind::PlanChosen {
+                    strategy: strategy.name().to_string(),
+                    predicted_queries: plan.estimate.queries,
+                    predicted_cost_units: plan.estimate.cost_units,
+                },
+            );
+        }
         Ok(Session::new(
             self.svc,
             self.rank,
@@ -684,6 +750,8 @@ impl<'a> SessionBuilder<'a> {
             RetryRunner::new(retry, self.retry_limit),
             plan.residual,
             knowledge,
+            obs_id,
+            query_class(&plan.algorithm),
         ))
     }
 
@@ -749,5 +817,22 @@ pub(crate) fn algorithm_name(algo: &Algorithm) -> &'static str {
         Algorithm::Ta(SortedAccess::OneD(_)) => names::TA_OVER_1D,
         Algorithm::PageDown { .. } => names::PAGE_DOWN,
         Algorithm::Custom => names::CUSTOM,
+    }
+}
+
+/// The request class a resolved algorithm issues against the hidden
+/// database — the bucket its charges land in on the metrics plane. The
+/// cursor families probe the top-`k` interface, TA over public order
+/// issues `ORDER BY` scans, page-down pages; a custom strategy's mix is
+/// unknowable, so it gets its own bucket.
+pub(crate) fn query_class(algo: &Algorithm) -> QueryClass {
+    match algo {
+        Algorithm::OneD(_) | Algorithm::Md(_) | Algorithm::Ta(SortedAccess::OneD(_)) => {
+            QueryClass::TopK
+        }
+        Algorithm::Ta(SortedAccess::PublicOrderBy) => QueryClass::Ordered,
+        Algorithm::PageDown { .. } => QueryClass::Page,
+        // `Auto` is resolved by the planner before any event is emitted.
+        Algorithm::Auto | Algorithm::Custom => QueryClass::Mixed,
     }
 }

@@ -28,6 +28,7 @@ use crate::service::RerankService;
 use qrs_core::strategy::{RerankStrategy, StrategyIo, StrategyStep};
 use qrs_core::KnowledgeGate;
 use qrs_knowledge::ResultKey;
+use qrs_obs::{BudgetScope, EventKind, QueryClass};
 use qrs_ranking::RankFn;
 use qrs_server::SearchInterface;
 use qrs_types::{Query, RerankError, Tuple};
@@ -98,8 +99,11 @@ impl SessionKnowledge {
 /// One emitted answer: global rank (1-based), user score, tuple.
 #[derive(Debug, Clone)]
 pub struct RankedTuple {
+    /// 1-based rank under the user's ranking function.
     pub rank: usize,
+    /// The user score the rank was assigned by.
     pub score: f64,
+    /// The tuple itself.
     pub tuple: Arc<Tuple>,
 }
 
@@ -174,9 +178,16 @@ pub struct Session<'a> {
     /// Knowledge-plane hookup (gate + result replay), when the service
     /// carries a plane and this session opted in.
     knowledge: Option<SessionKnowledge>,
+    /// This session's ordinal on the observability plane (0 when the
+    /// service has no observer attached).
+    obs_id: u64,
+    /// The request class this session's charges are bucketed under on the
+    /// metrics plane.
+    class: QueryClass,
 }
 
 impl<'a> Session<'a> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         svc: &'a RerankService,
         rank: Arc<dyn RankFn>,
@@ -185,6 +196,8 @@ impl<'a> Session<'a> {
         retry: RetryRunner,
         residual: Option<Query>,
         knowledge: Option<SessionKnowledge>,
+        obs_id: u64,
+        class: QueryClass,
     ) -> Self {
         Session {
             svc,
@@ -201,6 +214,20 @@ impl<'a> Session<'a> {
             retry,
             residual,
             knowledge,
+            obs_id,
+            class,
+        }
+    }
+
+    /// Emit one observability event attributed to this session. The
+    /// closure runs only when a plane is attached, so a disabled service
+    /// pays a single branch here and constructs nothing — no clock read,
+    /// no allocation.
+    #[inline]
+    pub(crate) fn emit_obs(&self, f: impl FnOnce() -> EventKind) {
+        let obs = self.svc.obs();
+        if obs.enabled() {
+            obs.emit(self.svc.clock().now_ms(), self.obs_id, f());
         }
     }
 
@@ -220,6 +247,24 @@ impl<'a> Session<'a> {
     /// *not* slept on — only a caller-side window reset can clear them.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Result<Option<RankedTuple>, RerankError> {
+        // Observability wrapper: with no plane attached this is one branch
+        // straight into the pull — no clock reads, nothing constructed, so
+        // the uninstrumented hot path is preserved bit for bit. With a
+        // plane, the whole pull (replay, strategy steps, retries, sleeps)
+        // is timed into the per-pull latency histogram.
+        if !self.svc.obs().enabled() {
+            return self.next_pull();
+        }
+        self.emit_obs(|| EventKind::RequestIssued { class: self.class });
+        let t0 = self.svc.clock().now_ms();
+        let out = self.next_pull();
+        let dt = self.svc.clock().now_ms().saturating_sub(t0);
+        self.svc.obs().record_pull(dt);
+        out
+    }
+
+    /// The actual pull loop behind [`Session::next`].
+    fn next_pull(&mut self) -> Result<Option<RankedTuple>, RerankError> {
         // Serve the cached result stream first: zero server traffic, no
         // shared-state lock. Scores replay from their recorded bit
         // patterns, so a warm stream is byte-identical to the cold one.
@@ -227,12 +272,23 @@ impl<'a> Session<'a> {
             if let Some((tuple, bits)) = k.replay.pop_front() {
                 self.emitted += 1;
                 self.svc.stats_ref().on_emit();
+                let mut credit = None;
                 if k.replay.is_empty() && k.replay_exhausted && !k.credited {
                     k.credited = true;
                     let (q, c) = k.full_ledger;
                     self.saved += q;
                     self.cost_saved += c;
                     self.svc.stats_ref().on_saved(q, c);
+                    credit = Some((q, c));
+                }
+                if let Some((q, c)) = credit {
+                    // The one-shot full-replay credit is a knowledge hit
+                    // like any other: the sealing run's whole ledger lands
+                    // on the saved column at once.
+                    self.emit_obs(|| EventKind::KnowledgeHit {
+                        queries: q,
+                        cost_units: c,
+                    });
                 }
                 return Ok(Some(RankedTuple {
                     rank: self.emitted,
@@ -243,12 +299,20 @@ impl<'a> Session<'a> {
             if k.replay_exhausted {
                 // The cached stream was complete (possibly empty): the
                 // session is exhausted without ever driving the strategy.
+                let mut credit = None;
                 if !k.credited {
                     k.credited = true;
                     let (q, c) = k.full_ledger;
                     self.saved += q;
                     self.cost_saved += c;
                     self.svc.stats_ref().on_saved(q, c);
+                    credit = Some((q, c));
+                }
+                if let Some((q, c)) = credit {
+                    self.emit_obs(|| EventKind::KnowledgeHit {
+                        queries: q,
+                        cost_units: c,
+                    });
                 }
                 return Ok(None);
             }
@@ -257,15 +321,25 @@ impl<'a> Session<'a> {
         loop {
             // Budget gates re-checked before every attempt: a retry must
             // not sneak past a cap that tripped mid-recovery.
-            self.svc
-                .budget()
-                .check(self.svc.server().queries_issued())?;
-            if let Some(limit) = self.budget_limit {
-                if self.spent >= limit {
-                    return Err(RerankError::BudgetExhausted {
-                        spent: self.spent,
+            if let Err(e) = self.svc.budget().check(self.svc.server().queries_issued()) {
+                if let RerankError::BudgetExhausted { spent, limit } = e {
+                    self.emit_obs(|| EventKind::BudgetTrip {
+                        scope: BudgetScope::Service,
+                        spent,
                         limit,
                     });
+                }
+                return Err(e);
+            }
+            if let Some(limit) = self.budget_limit {
+                if self.spent >= limit {
+                    let spent = self.spent;
+                    self.emit_obs(|| EventKind::BudgetTrip {
+                        scope: BudgetScope::Session,
+                        spent,
+                        limit,
+                    });
+                    return Err(RerankError::BudgetExhausted { spent, limit });
                 }
             }
             let err = match self.step() {
@@ -330,12 +404,20 @@ impl<'a> Session<'a> {
                             // at exactly `strategy_emitted` tuples, and the
                             // whole run cost `spent + saved` (what a future
                             // full replay deserves credit for).
+                            let items = k.strategy_emitted;
+                            let queries_full = self.spent + self.saved;
+                            let cost_units_full = self.cost_spent + self.cost_saved;
                             k.gate.shard().mark_result_exhausted(
                                 key,
-                                k.strategy_emitted,
-                                self.spent + self.saved,
-                                self.cost_spent + self.cost_saved,
+                                items,
+                                queries_full,
+                                cost_units_full,
                             );
+                            self.emit_obs(|| EventKind::KnowledgeSeal {
+                                items: items as u64,
+                                queries_full,
+                                cost_units_full,
+                            });
                         }
                     }
                     return Ok(None);
@@ -354,14 +436,25 @@ impl<'a> Session<'a> {
             }
             if let Some(limit) = self.retry.session_limit() {
                 if self.retries >= limit {
+                    let spent = self.retries;
+                    self.emit_obs(|| EventKind::BudgetTrip {
+                        scope: BudgetScope::Retry,
+                        spent,
+                        limit,
+                    });
                     return Err(RerankError::RetryBudgetExhausted {
-                        retries_spent: self.retries,
+                        retries_spent: spent,
                         limit,
                         last: Box::new(err),
                     });
                 }
             }
             if let Err((spent, limit)) = self.svc.retry_budget().try_spend() {
+                self.emit_obs(|| EventKind::BudgetTrip {
+                    scope: BudgetScope::Retry,
+                    spent,
+                    limit,
+                });
                 return Err(RerankError::RetryBudgetExhausted {
                     retries_spent: spent,
                     limit,
@@ -371,8 +464,15 @@ impl<'a> Session<'a> {
             retries_this_step += 1;
             self.retries += 1;
             self.svc.stats_ref().on_retry();
+            self.emit_obs(|| EventKind::RetryAttempt {
+                retry_index: retries_this_step,
+            });
             let delay = self.retry.delay_ms(retries_this_step, &err);
             if delay > 0 {
+                self.emit_obs(|| EventKind::BackoffSleep {
+                    ms: delay,
+                    server_hinted: err.retry_after_hint().is_some(),
+                });
                 // The shared-state lock is NOT held here: other sessions
                 // keep working while this one backs off.
                 self.svc.clock().sleep_ms(delay);
@@ -416,16 +516,43 @@ impl<'a> Session<'a> {
         self.spent += dq;
         self.cost_spent += dc;
         self.svc.stats_ref().on_spend(dq, dc);
-        if let (Some(k), Some((bq, bc))) = (&self.knowledge, before_saved) {
-            let dsq = k.gate.queries_saved() - bq;
-            let dsc = k.gate.cost_units_saved() - bc;
-            if dsq > 0 || dsc > 0 {
-                self.saved += dsq;
-                self.cost_saved += dsc;
-                self.svc.stats_ref().on_saved(dsq, dsc);
+        let (dsq, dsc) = match (&self.knowledge, before_saved) {
+            (Some(k), Some((bq, bc))) => {
+                (k.gate.queries_saved() - bq, k.gate.cost_units_saved() - bc)
             }
+            _ => (0, 0),
+        };
+        if dsq > 0 || dsc > 0 {
+            self.saved += dsq;
+            self.cost_saved += dsc;
+            self.svc.stats_ref().on_saved(dsq, dsc);
         }
         drop(st);
+        // Observability, outside the lock: the deltas are already captured,
+        // so emission order cannot change attribution. `RequestCharged`
+        // carries the very numbers the ledgers above accumulated — the
+        // monitor's actual column reconciles exactly by construction.
+        if dq > 0 || dc > 0 {
+            self.emit_obs(|| EventKind::RequestCharged {
+                class: self.class,
+                queries: dq,
+                cost_units: dc,
+            });
+            if self.knowledge.is_some() {
+                // A gated step that still paid the server is a miss; the
+                // duplicate deltas let hit/miss ratios fold without joins.
+                self.emit_obs(|| EventKind::KnowledgeMiss {
+                    queries: dq,
+                    cost_units: dc,
+                });
+            }
+        }
+        if dsq > 0 || dsc > 0 {
+            self.emit_obs(|| EventKind::KnowledgeHit {
+                queries: dsq,
+                cost_units: dsc,
+            });
+        }
         t
     }
 
@@ -527,6 +654,21 @@ impl<'a> Session<'a> {
             retries_spent: self.retries,
             budget_limit: self.budget_limit,
         }
+    }
+}
+
+impl Drop for Session<'_> {
+    fn drop(&mut self) {
+        // The final ledger rides out on the close event, so subscribers
+        // need not track running sums; the monitor also unregisters the
+        // session ordinal here. One branch and nothing else when disabled.
+        self.emit_obs(|| EventKind::SessionClose {
+            emitted: self.emitted as u64,
+            queries_spent: self.spent,
+            cost_units_spent: self.cost_spent,
+            queries_saved: self.saved,
+            cost_units_saved: self.cost_saved,
+        });
     }
 }
 

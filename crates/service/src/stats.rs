@@ -76,7 +76,10 @@ pub struct ServiceStats {
 /// Point-in-time snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StatsSnapshot {
+    /// Sessions opened through `SessionBuilder::open` (refused opens are
+    /// not counted).
     pub sessions_started: u64,
+    /// Tuples emitted across all sessions.
     pub tuples_emitted: u64,
     /// Queries charged through this service's sessions (failed attempts'
     /// spend included — counted in-lock per cursor step, like the
@@ -138,6 +141,8 @@ impl ServiceStats {
         self.requests_cancelled.incr();
     }
 
+    /// Exact point-in-time totals (sum over the stripes; the read itself
+    /// is a racy-but-monotonic snapshot, as with any concurrent counter).
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             sessions_started: self.sessions_started.load(Ordering::Relaxed),

@@ -15,6 +15,8 @@
 //! * [`exec`] — dependency-free structured concurrency (scoped thread
 //!   pool, bounded MPMC channels, cancellation, deterministic immediate
 //!   mode),
+//! * [`obs`] — the observability plane: typed events, lock-striped
+//!   metrics, and the fleet monitor for predicted-vs-actual spend,
 //! * [`service`] — the thread-safe "as a service" facade, with the
 //!   concurrent `serve_batch` front-end and parallel federation.
 //!
@@ -24,6 +26,7 @@ pub use qrs_core as core;
 pub use qrs_datagen as datagen;
 pub use qrs_exec as exec;
 pub use qrs_knowledge as knowledge;
+pub use qrs_obs as obs;
 pub use qrs_ranking as ranking;
 pub use qrs_server as server;
 pub use qrs_service as service;

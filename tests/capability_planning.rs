@@ -90,7 +90,7 @@ fn every_profile_plans_exactly_or_refuses_typed() {
                         profile.name
                     )
                 }
-            }
+            };
         }
     }
     assert!(planned > 0, "some profile must plan");

@@ -1,0 +1,318 @@
+//! The observability plane end to end: events must *reconcile exactly*
+//! with the ledgers they narrate, striped counters must sum to the same
+//! totals the per-session accounting reports under contention, the bounded
+//! recorder must drop oldest without tearing, and — critically — a service
+//! with no observer attached must behave byte-identically to one that was
+//! never wired for observability at all.
+//!
+//! Seeds honor `QRS_TEST_SEED`; the batch leg drives `qrs-exec` pools via
+//! `Executor::from_env`, so CI's seed × `QRS_EXEC_THREADS` matrix sweeps
+//! both the schedule and the workload.
+
+use query_reranking::datagen::synthetic::uniform;
+use query_reranking::exec::Executor;
+use query_reranking::obs::{EventKind, ObsHandle, Recorder};
+use query_reranking::ranking::{LinearRank, RankFn};
+use query_reranking::server::{SimServer, SystemRank};
+use query_reranking::service::batch::BatchRequest;
+use query_reranking::service::{KnowledgePlane, RerankService};
+use query_reranking::types::{AttrId, Dataset, Interval, Query};
+use std::sync::Arc;
+
+fn seeded(base: u64) -> u64 {
+    let env: u64 = std::env::var("QRS_TEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    base ^ env.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn service(data: &Dataset) -> RerankService {
+    let server = SimServer::new(data.clone(), SystemRank::pseudo_random(17), 6);
+    RerankService::new(Arc::new(server), data.len())
+}
+
+fn rank() -> Arc<dyn RankFn> {
+    Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 0.7)]))
+}
+
+/// The acceptance scenario: a warm knowledge run with a `Recorder`
+/// attached must yield a `monitor_report()` whose actual spend columns
+/// reconcile *exactly* — queries AND cost units — with the per-session and
+/// service-wide ledgers, and whose predicted columns match the plan-time
+/// estimates.
+#[test]
+fn monitor_reconciles_exactly_with_ledgers() {
+    let data = uniform(300, 2, 1, seeded(0xB01) | 1);
+    let plane = Arc::new(KnowledgePlane::new());
+    let recorder = Arc::new(Recorder::with_capacity(4096));
+    let obs = ObsHandle::builder("site-a")
+        .subscriber(Arc::clone(&recorder) as _)
+        .build();
+    // Two services sharing one knowledge plane AND one observer: the first
+    // pass is cold, the second replays from the plane (exercising the
+    // KnowledgeHit / saved columns); the shared handle aggregates both
+    // into one monitor, as a fleet deployment would.
+    let services = [
+        service(&data)
+            .with_knowledge(Arc::clone(&plane), "site-a")
+            .with_observer(obs.clone()),
+        service(&data)
+            .with_knowledge(Arc::clone(&plane), "site-a")
+            .with_observer(obs.clone()),
+    ];
+
+    let mut session_totals = (0u64, 0u64, 0u64, 0u64); // spent q/c, saved q/c
+    let mut predicted = (0u64, 0u64);
+    for (pass, svc) in services.iter().enumerate() {
+        let builder = svc.session(Query::all(), rank());
+        let plan = builder.plan().unwrap();
+        predicted.0 += plan.estimate.queries;
+        predicted.1 += plan.estimate.cost_units;
+        let mut s = builder.open().unwrap();
+        // Drain to exhaustion so the cold pass seals a complete result
+        // stream and the warm pass replays it end to end.
+        let mut emitted = 0u64;
+        while let Some(_hit) = s.next().unwrap() {
+            emitted += 1;
+        }
+        assert!(emitted > 0, "pass {pass} emitted nothing");
+        let st = s.stats();
+        session_totals.0 += st.queries_spent;
+        session_totals.1 += st.cost_units_spent;
+        session_totals.2 += st.queries_saved;
+        session_totals.3 += st.cost_units_saved;
+        if pass == 1 {
+            assert!(st.queries_saved > 0, "warm pass must replay knowledge");
+        }
+        drop(s); // emits SessionClose
+    }
+    let svc = &services[1];
+
+    let report = svc.monitor_report();
+    assert!(!report.rows.is_empty());
+    assert!(report.rows.iter().all(|r| r.site == "site-a"));
+    assert_eq!(report.rows.iter().map(|r| r.sessions).sum::<u64>(), 2);
+
+    // Actual columns == per-session ledger sums, exactly.
+    assert_eq!(report.actual_queries_total(), session_totals.0);
+    assert_eq!(report.actual_cost_units_total(), session_totals.1);
+    assert_eq!(report.saved_queries_total(), session_totals.2);
+    assert_eq!(report.saved_cost_units_total(), session_totals.3);
+
+    // ... and == the service-wide striped ledgers, exactly (summed over
+    // the two services sharing the handle).
+    let spent_q: u64 = services.iter().map(|s| s.stats().queries_spent).sum();
+    let spent_c: u64 = services.iter().map(|s| s.stats().cost_units_spent).sum();
+    let saved_q: u64 = services.iter().map(|s| s.stats().queries_saved).sum();
+    let saved_c: u64 = services.iter().map(|s| s.stats().cost_units_saved).sum();
+    assert_eq!(report.actual_queries_total(), spent_q);
+    assert_eq!(report.actual_cost_units_total(), spent_c);
+    assert_eq!(report.saved_queries_total(), saved_q);
+    assert_eq!(report.saved_cost_units_total(), saved_c);
+
+    // Predicted columns seeded by the plan-time estimates.
+    let pred_q: u64 = report.rows.iter().map(|r| r.predicted_queries).sum();
+    let pred_c: u64 = report.rows.iter().map(|r| r.predicted_cost_units).sum();
+    assert_eq!(pred_q, predicted.0);
+    assert_eq!(pred_c, predicted.1);
+    assert!(report.rows.iter().any(|r| r.query_divergence().is_some()));
+
+    // The metrics registry folded the same events: same totals again.
+    let m = svc.observer().metrics().unwrap();
+    assert_eq!(m.queries_total(), spent_q);
+    assert_eq!(m.cost_units_total(), spent_c);
+    assert_eq!(m.queries_saved, saved_q);
+    assert_eq!(m.cost_units_saved, saved_c);
+    assert_eq!(m.sessions_opened, 2);
+    assert_eq!(m.sessions_closed, 2);
+
+    // The recorder saw the same story: fold its events by hand.
+    let (mut rq, mut rc, mut rsq, mut rsc) = (0u64, 0u64, 0u64, 0u64);
+    for e in recorder.events() {
+        match e.kind {
+            EventKind::RequestCharged {
+                queries,
+                cost_units,
+                ..
+            } => {
+                rq += queries;
+                rc += cost_units;
+            }
+            EventKind::KnowledgeHit {
+                queries,
+                cost_units,
+            } => {
+                rsq += queries;
+                rsc += cost_units;
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(recorder.dropped(), 0, "capacity must suffice here");
+    assert_eq!((rq, rc, rsq, rsc), session_totals);
+}
+
+/// Striped sum-on-read under real contention: many threads, each running
+/// whole sessions, must leave `ServiceStats` and the `MetricsRegistry`
+/// agreeing with the per-session ledger sums to the last unit. The batch
+/// leg runs on `Executor::from_env`, so `QRS_EXEC_THREADS={1,8}` sweeps
+/// single-threaded and wide schedules.
+#[test]
+fn striped_counters_match_ledger_sums_under_threads() {
+    let data = uniform(240, 2, 1, seeded(0xB02) | 1);
+    let svc = Arc::new(service(&data).with_observer(ObsHandle::for_site("site-b")));
+
+    let band = |lo: f64, hi: f64| Query::all().and_range(AttrId(0), Interval::closed(lo, hi));
+    let sels = [Query::all(), band(0.0, 0.6), band(0.2, 0.8), band(0.1, 0.5)];
+
+    // Leg 1: raw threads hammering sessions concurrently.
+    let from_threads: (u64, u64) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8usize)
+            .map(|i| {
+                let svc = Arc::clone(&svc);
+                let sel = sels[i % sels.len()].clone();
+                scope.spawn(move || {
+                    let mut s = svc.session(sel, rank()).open().unwrap();
+                    let (_, err) = s.top(5);
+                    assert!(err.is_none(), "{err:?}");
+                    let st = s.stats();
+                    (st.queries_spent, st.cost_units_spent)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+    });
+
+    // Leg 2: the batch front-end on the env-configured executor.
+    let exec = Executor::from_env();
+    let reqs: Vec<BatchRequest> = (0..8)
+        .map(|i| BatchRequest::new(sels[i % sels.len()].clone(), rank(), 4))
+        .collect();
+    let outcomes = svc.serve_batch(&exec, reqs);
+    let from_batch = outcomes.iter().fold((0u64, 0u64), |a, o| {
+        assert!(o.is_ok(), "{:?}", o.error);
+        (a.0 + o.stats.queries_spent, a.1 + o.stats.cost_units_spent)
+    });
+
+    let want_q = from_threads.0 + from_batch.0;
+    let want_c = from_threads.1 + from_batch.1;
+
+    let stats = svc.stats();
+    assert_eq!(stats.queries_spent, want_q, "ServiceStats sum-on-read");
+    assert_eq!(stats.cost_units_spent, want_c);
+    assert_eq!(stats.sessions_started, 16);
+
+    let m = svc.observer().metrics().unwrap();
+    assert_eq!(m.queries_total(), want_q, "MetricsRegistry sum-on-read");
+    assert_eq!(m.cost_units_total(), want_c);
+    assert_eq!(m.sessions_opened, 16);
+    assert_eq!(m.sessions_closed, 16);
+    assert_eq!(m.batches, 1);
+    assert_eq!(m.pulls, m.pull_latency_ms.count(), "every pull timed");
+
+    let report = svc.monitor_report();
+    assert_eq!(report.actual_queries_total(), want_q);
+    assert_eq!(report.actual_cost_units_total(), want_c);
+}
+
+/// The bounded recorder under concurrent emission: oldest events drop,
+/// nothing tears, and the accounting (`len + dropped == emitted`) is
+/// exact.
+#[test]
+fn recorder_drops_oldest_without_tearing() {
+    let recorder = Arc::new(Recorder::with_capacity(64));
+    let obs = ObsHandle::builder("site-c")
+        .subscriber(Arc::clone(&recorder) as _)
+        .build();
+    let obs = Arc::new(obs);
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 200;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let obs = Arc::clone(&obs);
+            scope.spawn(move || {
+                let session = obs.open_session();
+                for i in 0..PER_THREAD {
+                    obs.emit(
+                        t * 1_000_000 + i,
+                        session,
+                        EventKind::RequestCharged {
+                            class: query_reranking::obs::QueryClass::TopK,
+                            queries: t * 1_000_000 + i,
+                            cost_units: t * 1_000_000 + i,
+                        },
+                    );
+                }
+            });
+        }
+    });
+    let events = recorder.events();
+    assert_eq!(events.len(), 64, "ring filled to capacity");
+    assert_eq!(
+        events.len() as u64 + recorder.dropped(),
+        THREADS * PER_THREAD,
+        "drop accounting is exact"
+    );
+    for e in &events {
+        // No torn writes: the payload fields of one event must agree with
+        // each other and with its timestamp.
+        match e.kind {
+            EventKind::RequestCharged {
+                queries,
+                cost_units,
+                ..
+            } => {
+                assert_eq!(queries, cost_units, "torn event payload");
+                assert_eq!(queries, e.at_ms, "event fields mixed across events");
+            }
+            _ => panic!("unexpected event kind"),
+        }
+        // And the JSON encoding stays well-formed.
+        let line = e.to_json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+    // Every emission was folded into the registry even when the ring
+    // dropped it — metrics are exact, the recorder is best-effort.
+    let metrics = obs.metrics().unwrap();
+    assert_eq!(metrics.events, THREADS * PER_THREAD);
+}
+
+/// A service with `ObsHandle::disabled()` (the default) must produce the
+/// same results and the same ledgers as one never configured — the
+/// no-subscriber hot path adds one branch, nothing else.
+#[test]
+fn disabled_observer_is_byte_identical() {
+    let seed = seeded(0xB03) | 1;
+    let data = uniform(260, 2, 1, seed);
+
+    let run = |svc: &RerankService| {
+        let mut s = svc.session(Query::all(), rank()).open().unwrap();
+        let mut stream = Vec::new();
+        while let Ok(Some(hit)) = s.next() {
+            stream.push((hit.tuple.id.0, hit.score.to_bits()));
+            if stream.len() == 12 {
+                break;
+            }
+        }
+        let st = s.stats();
+        (
+            stream,
+            st.queries_spent,
+            st.cost_units_spent,
+            st.queries_saved,
+        )
+    };
+
+    let plain = service(&data);
+    let wired = service(&data).with_observer(ObsHandle::disabled());
+    let a = run(&plain);
+    let b = run(&wired);
+    assert_eq!(a, b, "disabled observer changed behavior");
+    assert_eq!(plain.queries_issued(), wired.queries_issued());
+    assert!(wired.observer().metrics().is_none());
+    assert!(wired.monitor_report().rows.is_empty());
+}
