@@ -6,14 +6,16 @@
 //! knowledge-plane reuse leg and one change-data-capture leg (a
 //! [`qrs_service::MaintainedSession`] delta-repairing its top-`h` through
 //! a pinned mutation batch, measured against the full re-drive a
-//! change-blind client would pay for). Every run of the same source tree
+//! change-blind client would pay for), an observability-overhead leg, and
+//! an adaptive-planner leg on a drifting-cost site (static vs switching
+//! vs calibration-warm spend). Every run of the same source tree
 //! produces the same deterministic ledger numbers (queries, cost units,
 //! emitted tuples; wall-clock is recorded but machine-dependent), so
 //! diffs of the output across PRs *are* the perf trajectory.
 //!
 //! The result is written as `BENCH_<idx>.json` at the repository root,
 //! where `idx` comes from the `QRS_BENCH_INDEX` environment variable
-//! (default `8`, this PR's slot — older `BENCH_*.json` artifacts are
+//! (default `9`, this PR's slot — older `BENCH_*.json` artifacts are
 //! prior PRs' trajectories and stay untouched). One JSON document: meta +
 //! one row per profile × workload cell. Cells the planner refuses
 //! (`Unplannable` — the profile genuinely cannot answer that shape
@@ -363,6 +365,98 @@ pub fn run(_scale: Scale) -> Vec<MacroRow> {
         });
     }
 
+    // Leg 5: the adaptive planner on a drifting-cost site. The site
+    // advertises ranges at 10 units and ORDER BY at 1 while billing
+    // ranges at 1 and ordered pages at 200 — a stale public price list —
+    // so static planning rides `ta-order-by` into the drift. Three runs:
+    // the static ride (replanning off; its finished session trains a
+    // shared calibration store), a cold adaptive run that trips the
+    // divergence ratio and switches to the md cursor mid-flight, and a
+    // calibration-warm run that plans the cursor outright. All three must
+    // emit identical rows, and the adaptive spends must not exceed the
+    // static one.
+    let w = &workloads()[1];
+    let drifted = || {
+        Arc::new(
+            qrs_server::SimServer::new(
+                qrs_datagen::synthetic::uniform(N, 2, 1, SEED_DATA),
+                SystemRank::pseudo_random(SEED_SYSRANK),
+                K,
+            )
+            .with_order_by(vec![AttrId(0), AttrId(1)])
+            .with_advertised_cost(qrs_types::CostModel::flat().with_range_cost(10))
+            .with_cost_model(qrs_types::CostModel::flat().with_ordered_cost(200)),
+        )
+    };
+    let run_drift = |svc: &RerankService| {
+        let t0 = Instant::now();
+        let mut s = svc
+            .session(w.sel.clone(), Arc::clone(&w.rank))
+            .horizon(TOP_H)
+            .open()
+            .expect("the drifted site plans TA and the md cursor");
+        let hits = s.try_top(TOP_H).expect("planned cells drive clean");
+        let ids: Vec<u32> = hits.iter().map(|h| h.tuple.id.0).collect();
+        let outcome = MacroOutcome {
+            emitted: hits.len(),
+            queries_spent: s.queries_spent(),
+            cost_units_spent: s.cost_units_spent(),
+            queries_saved: 0,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        };
+        (outcome, ids, s.strategy_switches())
+    };
+    let store = qrs_service::Calibration::shared();
+    let ride_svc = RerankService::new(drifted() as Arc<dyn SearchInterface>, N)
+        .with_adaptive(qrs_service::AdaptiveConfig::enabled().without_replan())
+        .with_calibration(Arc::clone(&store));
+    let (drift_static, static_ids, ride_switches) = run_drift(&ride_svc);
+    assert_eq!(ride_switches, 0, "macro_bench: replanning was opted out");
+    let switch_svc = RerankService::new(drifted() as Arc<dyn SearchInterface>, N)
+        .with_adaptive(qrs_service::AdaptiveConfig::enabled());
+    let (drift_switch, switch_ids, switches) = run_drift(&switch_svc);
+    assert_eq!(
+        switch_ids, static_ids,
+        "macro_bench: the mid-flight switch changed the answer"
+    );
+    assert_eq!(
+        switches, 1,
+        "macro_bench: the drifted site must trip one switch"
+    );
+    // The ride's finished session taught `store` TA's real cost ratio, so
+    // a service planning under it starts on the cursor and never diverges.
+    let warm_svc = RerankService::new(drifted() as Arc<dyn SearchInterface>, N)
+        .with_adaptive(qrs_service::AdaptiveConfig::enabled())
+        .with_calibration(Arc::clone(&store));
+    let (drift_warm, warm_ids, warm_switches) = run_drift(&warm_svc);
+    assert_eq!(warm_ids, static_ids);
+    assert_eq!(warm_switches, 0, "macro_bench: a warm plan must not switch");
+    assert!(
+        drift_switch.cost_units_spent <= drift_static.cost_units_spent,
+        "macro_bench: calibrated-adaptive spend ({}) must not exceed the \
+         static plan's spend ({}) under drift",
+        drift_switch.cost_units_spent,
+        drift_static.cost_units_spent,
+    );
+    assert!(
+        drift_warm.cost_units_spent <= drift_switch.cost_units_spent,
+        "macro_bench: the warm plan ({}) must not exceed the switching run ({})",
+        drift_warm.cost_units_spent,
+        drift_switch.cost_units_spent,
+    );
+    for (name, outcome) in [
+        ("drift+adaptive(static)", drift_static),
+        ("drift+adaptive(switch)", drift_switch),
+        ("drift+adaptive(warm)", drift_warm),
+    ] {
+        rows.push(MacroRow {
+            profile: name,
+            workload: w.name,
+            outcome: Some(outcome),
+            unplannable_reason: None,
+        });
+    }
+
     // Assemble and write the document.
     let body: Vec<String> = rows.iter().map(json_row).collect();
     let doc = format!(
@@ -372,7 +466,7 @@ pub fn run(_scale: Scale) -> Vec<MacroRow> {
          \"rows\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     );
-    let idx = std::env::var("QRS_BENCH_INDEX").unwrap_or_else(|_| "8".to_string());
+    let idx = std::env::var("QRS_BENCH_INDEX").unwrap_or_else(|_| "9".to_string());
     let path = format!("{}/../../BENCH_{idx}.json", env!("CARGO_MANIFEST_DIR"));
     std::fs::write(&path, &doc).unwrap_or_else(|e| panic!("macro_bench: cannot write {path}: {e}"));
     println!("{doc}");

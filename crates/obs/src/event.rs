@@ -101,6 +101,27 @@ pub enum EventKind {
         predicted_queries: u64,
         /// Plan-time estimate of weighted cost units.
         predicted_cost_units: u64,
+        /// The query estimate after calibration scaling — equal to
+        /// `predicted_queries` when the service plans statically.
+        calibrated_queries: u64,
+        /// The weighted-cost estimate after calibration scaling — equal to
+        /// `predicted_cost_units` when the service plans statically.
+        calibrated_cost_units: u64,
+    },
+    /// A running session's actual spend diverged past the configured ratio
+    /// of its calibrated prediction, and the session re-planned among the
+    /// remaining feasible candidates and switched strategies mid-flight.
+    Replanned {
+        /// The strategy the session was riding.
+        from_strategy: String,
+        /// The strategy it switched to.
+        to_strategy: String,
+        /// Tuples already emitted (and preserved) at the switch point.
+        at_emitted: u64,
+        /// Raw queries paid under the old strategy.
+        queries_spent: u64,
+        /// Weighted cost units paid under the old strategy.
+        cost_units_spent: u64,
     },
     /// A Get-Next pull began (one `Session::next` call).
     RequestIssued {
@@ -216,6 +237,7 @@ impl EventKind {
         match self {
             EventKind::SessionOpen { .. } => "session_open",
             EventKind::PlanChosen { .. } => "plan_chosen",
+            EventKind::Replanned { .. } => "replanned",
             EventKind::RequestIssued { .. } => "request_issued",
             EventKind::RequestCharged { .. } => "request_charged",
             EventKind::RetryAttempt { .. } => "retry_attempt",
@@ -301,12 +323,32 @@ impl Event {
                 strategy,
                 predicted_queries,
                 predicted_cost_units,
+                calibrated_queries,
+                calibrated_cost_units,
             } => {
                 s.push_str(",\"strategy\":\"");
                 escape_into(&mut s, strategy);
                 s.push('"');
                 field_u64(&mut s, "predicted_queries", *predicted_queries);
                 field_u64(&mut s, "predicted_cost_units", *predicted_cost_units);
+                field_u64(&mut s, "calibrated_queries", *calibrated_queries);
+                field_u64(&mut s, "calibrated_cost_units", *calibrated_cost_units);
+            }
+            EventKind::Replanned {
+                from_strategy,
+                to_strategy,
+                at_emitted,
+                queries_spent,
+                cost_units_spent,
+            } => {
+                s.push_str(",\"from_strategy\":\"");
+                escape_into(&mut s, from_strategy);
+                s.push_str("\",\"to_strategy\":\"");
+                escape_into(&mut s, to_strategy);
+                s.push('"');
+                field_u64(&mut s, "at_emitted", *at_emitted);
+                field_u64(&mut s, "queries_spent", *queries_spent);
+                field_u64(&mut s, "cost_units_spent", *cost_units_spent);
             }
             EventKind::RequestIssued { class } => {
                 s.push_str(",\"class\":\"");
@@ -418,6 +460,15 @@ mod tests {
                 strategy: "md-rerank".into(),
                 predicted_queries: 10,
                 predicted_cost_units: 20,
+                calibrated_queries: 12,
+                calibrated_cost_units: 26,
+            },
+            EventKind::Replanned {
+                from_strategy: "ta-order-by".into(),
+                to_strategy: "md-rerank".into(),
+                at_emitted: 3,
+                queries_spent: 9,
+                cost_units_spent: 27,
             },
             EventKind::RequestIssued {
                 class: QueryClass::TopK,

@@ -46,7 +46,7 @@ pub use handle::{ObsBuilder, ObsHandle};
 pub use metrics::{
     log2_bucket, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, HISTOGRAM_BUCKETS,
 };
-pub use monitor::{Monitor, MonitorReport, MonitorRow};
+pub use monitor::{Divergence, Monitor, MonitorReport, MonitorRow};
 pub use recorder::{Recorder, DEFAULT_BUFFER};
 
 /// An event sink. Implementations must be cheap and non-blocking-ish:

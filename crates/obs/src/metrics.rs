@@ -143,6 +143,7 @@ pub struct MetricsRegistry {
     pulls: StripedU64,
     queries_by_class: [StripedU64; 4],
     cost_units_by_class: [StripedU64; 4],
+    replans: StripedU64,
     retries: StripedU64,
     backoff_sleeps: StripedU64,
     backoff_slept_ms: StripedU64,
@@ -178,6 +179,8 @@ pub struct MetricsSnapshot {
     pub queries_by_class: [u64; 4],
     /// Weighted cost units charged, by [`crate::QueryClass`] index.
     pub cost_units_by_class: [u64; 4],
+    /// Divergence-triggered mid-flight strategy switches.
+    pub replans: u64,
     /// Retry attempts.
     pub retries: u64,
     /// Backoff sleeps taken.
@@ -234,6 +237,7 @@ impl MetricsRegistry {
         match &event.kind {
             EventKind::SessionOpen { .. } => self.sessions_opened.incr(),
             EventKind::PlanChosen { .. } => {}
+            EventKind::Replanned { .. } => self.replans.incr(),
             EventKind::RequestIssued { .. } => {}
             EventKind::RequestCharged {
                 class,
@@ -296,6 +300,7 @@ impl MetricsRegistry {
             pulls: self.pulls.sum(),
             queries_by_class: std::array::from_fn(|i| self.queries_by_class[i].sum()),
             cost_units_by_class: std::array::from_fn(|i| self.cost_units_by_class[i].sum()),
+            replans: self.replans.sum(),
             retries: self.retries.sum(),
             backoff_sleeps: self.backoff_sleeps.sum(),
             backoff_slept_ms: self.backoff_slept_ms.sum(),
@@ -365,6 +370,13 @@ mod tests {
             queries: 2,
             cost_units: 2,
         }));
+        m.fold(&ev(EventKind::Replanned {
+            from_strategy: "ta-order-by".into(),
+            to_strategy: "md-rerank".into(),
+            at_emitted: 2,
+            queries_spent: 6,
+            cost_units_spent: 18,
+        }));
         m.fold(&ev(EventKind::RetryAttempt { retry_index: 1 }));
         m.fold(&ev(EventKind::BackoffSleep {
             ms: 600,
@@ -396,7 +408,8 @@ mod tests {
         m.record_pull(900);
 
         let s = m.snapshot();
-        assert_eq!(s.events, 9);
+        assert_eq!(s.events, 10);
+        assert_eq!(s.replans, 1);
         assert_eq!(s.sessions_opened, 1);
         assert_eq!(s.sessions_closed, 1);
         assert_eq!(s.queries_by_class[QueryClass::TopK.index()], 3);

@@ -113,6 +113,11 @@ pub struct SimServer {
     /// How charged queries are priced; the weighted ledger accumulates in
     /// `cost_counter`. Flat by default (cost ≡ query count).
     cost_model: CostModel,
+    /// What `capabilities()` *advertises* when it differs from what
+    /// `cost_model` actually bills (None = honest site). The drift hook
+    /// the adaptive-planner tests lean on: a stale public price list over
+    /// live metered billing.
+    advertised_cost: Option<CostModel>,
     /// Weighted cost units charged so far, under `cost_model`.
     cost_counter: AtomicU64,
     system_rank: SystemRank,
@@ -146,6 +151,7 @@ impl SimServer {
             filters: Vec::new(),
             rate_limit: None,
             cost_model: CostModel::flat(),
+            advertised_cost: None,
             cost_counter: AtomicU64::new(0),
             system_rank,
             log: None,
@@ -158,6 +164,16 @@ impl SimServer {
     /// billing share one price list.
     pub fn with_cost_model(mut self, model: CostModel) -> Self {
         self.cost_model = model;
+        self
+    }
+
+    /// Advertise `model` through [`SearchInterface::capabilities`] while
+    /// the billing model set by [`SimServer::with_cost_model`] keeps
+    /// charging the ledger — a site whose public price list went stale.
+    /// Static planning prices candidates under the advertised lie; the
+    /// calibration layer learns the real ratio from charged deltas.
+    pub fn with_advertised_cost(mut self, model: CostModel) -> Self {
+        self.advertised_cost = Some(model);
         self
     }
 
@@ -451,7 +467,10 @@ impl SearchInterface for SimServer {
             max_page_size: Some(self.k),
             max_predicates: self.max_predicates,
             filters,
-            cost: self.cost_model.clone(),
+            cost: self
+                .advertised_cost
+                .clone()
+                .unwrap_or_else(|| self.cost_model.clone()),
             mutation_feed: true,
         }
     }
@@ -843,6 +862,20 @@ mod tests {
         assert_eq!(s.cost_units_issued(), 11);
         s.reset_counter();
         assert_eq!((s.queries_issued(), s.cost_units_issued()), (0, 0));
+    }
+
+    #[test]
+    fn advertised_cost_lies_while_billing_stays_honest() {
+        use qrs_types::CostModel;
+        let s = server(3)
+            .with_cost_model(CostModel::flat().with_range_cost(9))
+            .with_advertised_cost(CostModel::flat());
+        // Capabilities carry the stale public price list…
+        assert!(s.capabilities().cost.is_flat());
+        // …but the ledger bills the true model.
+        s.query(&Query::all().and_range(AttrId(0), Interval::open(1.0, 5.0)))
+            .unwrap();
+        assert_eq!(s.cost_units_issued(), 10);
     }
 
     #[test]

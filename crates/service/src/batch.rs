@@ -119,6 +119,7 @@ fn run_one(svc: &RerankService, req: BatchRequest, cancel: &CancelToken) -> Batc
         cost_units_saved: 0,
         attempts_made: 0,
         retries_spent: 0,
+        strategy_switches: 0,
         budget_limit: req.budget,
     };
     if cancel.is_cancelled() {

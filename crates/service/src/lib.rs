@@ -44,11 +44,21 @@
 //!   typed events, and [`RerankService::monitor_report`] folds them into
 //!   the fleet's predicted-vs-actual spend table. Disabled (the default),
 //!   every emission site is a single branch that constructs nothing.
+//! * adaptive planning — [`RerankService::with_adaptive`] closes the
+//!   predict-observe loop: a [`calibration::Calibration`] store learns
+//!   per-strategy actual/predicted spend ratios from the charged ledger
+//!   deltas and scales future plan-time estimates, and a running `Auto`
+//!   session whose spend diverges past the configured ratio re-plans
+//!   mid-flight and switches strategies without losing paid-for rows
+//!   (emitting a typed [`EventKind::Replanned`]). Off by default —
+//!   [`qrs_types::AdaptiveConfig::disabled`] keeps the static planner bit
+//!   for bit.
 
 #![deny(missing_docs)]
 
 pub mod batch;
 pub mod budget;
+pub mod calibration;
 pub mod federation;
 pub mod maintained;
 pub mod planner;
@@ -60,6 +70,7 @@ pub mod stats;
 
 pub use batch::{drive, BatchOutcome, BatchRequest};
 pub use budget::QueryBudget;
+pub use calibration::{Calibration, StrategyCalibration};
 pub use federation::{FederatedHit, FederatedSession, FederationBuilder, SourceReport};
 pub use maintained::{MaintainedSession, RefreshOutcome};
 pub use planner::{Plan, Planner, RankedCandidate};
@@ -71,6 +82,9 @@ pub use stats::ServiceStats;
 // The strategy vocabulary sessions are driven by — re-exported so callers
 // registering a custom strategy need only this crate.
 pub use qrs_core::strategy::{CostEstimate, PlanContext, RerankStrategy, StrategyIo, StrategyStep};
+// The adaptive-planner knobs — re-exported so opting a service in needs
+// only this crate.
+pub use qrs_types::AdaptiveConfig;
 // The knowledge plane: build one, share it across services (and processes'
 // worth of tenants) via `RerankService::with_knowledge`.
 pub use qrs_knowledge::{KnowledgePlane, PlaneStats, ShardStats, SourceShard};

@@ -8,10 +8,11 @@
 //! [`RerankError`] at open time, never as a panic deep inside an algorithm.
 
 use crate::budget::QueryBudget;
+use crate::calibration::Calibration;
 use crate::maintained::{MaintainedConfig, MaintainedSession};
 use crate::planner::{Plan, Planner, RankedCandidate};
 use crate::retry::{RetryBudget, RetryRunner};
-use crate::session::{Session, SessionKnowledge};
+use crate::session::{AdaptiveState, Session, SessionKnowledge};
 use crate::stats::ServiceStats;
 use parking_lot::Mutex;
 use qrs_core::md::ta::SortedAccess;
@@ -25,7 +26,7 @@ use qrs_knowledge::{query_key, KnowledgePlane, ResultKey};
 use qrs_obs::{EventKind, MonitorReport, ObsHandle, QueryClass};
 use qrs_ranking::RankFn;
 use qrs_server::{Clock, SearchInterface, SystemClock};
-use qrs_types::{Capability, Query, RerankError, RetryPolicy};
+use qrs_types::{AdaptiveConfig, Capability, Query, RerankError, RetryPolicy};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -92,6 +93,14 @@ pub struct RerankService {
     /// The observability plane (disabled by default: one branch per
     /// emission site, nothing constructed).
     obs: ObsHandle,
+    /// The adaptive-planner knobs: calibration + mid-flight re-planning.
+    /// [`AdaptiveConfig::disabled`] by default — the static planner, bit
+    /// for bit.
+    adaptive: AdaptiveConfig,
+    /// Observed-cost store the adaptive loops train and consult. Always
+    /// present (it is inert until `adaptive.calibrate` turns it on) so
+    /// callers can pre-train or share one across services.
+    calibration: Arc<Calibration>,
     /// The server's mutation sequence number the shared state was built
     /// against. When the feed moves past it, the history and dense indexes
     /// describe an older snapshot and are rebuilt empty at the next open.
@@ -120,6 +129,8 @@ impl RerankService {
             clock: Arc::new(SystemClock::new()),
             kplane: None,
             obs: ObsHandle::disabled(),
+            adaptive: AdaptiveConfig::disabled(),
+            calibration: Calibration::shared(),
             state_watermark,
         }
     }
@@ -224,6 +235,43 @@ impl RerankService {
         self
     }
 
+    /// Opt into the closed-loop adaptive planner: with
+    /// [`AdaptiveConfig::enabled`] (or any config whose
+    /// [`AdaptiveConfig::is_active`] holds), the service's
+    /// [`Calibration`] store learns per-strategy actual/predicted spend
+    /// ratios from the charged ledger deltas, [`RerankService::planner`]
+    /// scales candidate estimates by them before ranking, and a running
+    /// [`Algorithm::Auto`] session whose weighted spend exceeds
+    /// `divergence_ratio ×` its calibrated prediction re-plans among the
+    /// remaining feasible candidates and switches strategies mid-flight
+    /// (at most once, keeping every paid-for row). The default is
+    /// [`AdaptiveConfig::disabled`]: static planning, bit for bit.
+    pub fn with_adaptive(mut self, cfg: AdaptiveConfig) -> Self {
+        self.adaptive = cfg;
+        self
+    }
+
+    /// Share a caller-owned [`Calibration`] store: several services (or a
+    /// bench's before/after phases) training and consulting one model —
+    /// the same cross-tenant amortization argument as
+    /// [`RerankService::with_knowledge`].
+    pub fn with_calibration(mut self, store: Arc<Calibration>) -> Self {
+        self.calibration = store;
+        self
+    }
+
+    /// The observed-cost calibration store (inert unless the service was
+    /// opted in via [`RerankService::with_adaptive`]). Inspect it with
+    /// [`Calibration::snapshot`].
+    pub fn calibration(&self) -> &Arc<Calibration> {
+        &self.calibration
+    }
+
+    /// The adaptive-planner knobs this service runs under.
+    pub fn adaptive(&self) -> &AdaptiveConfig {
+        &self.adaptive
+    }
+
     /// The attached observability handle (disabled unless the service was
     /// built [`RerankService::with_observer`]). Use it to snapshot
     /// [`qrs_obs::MetricsSnapshot`] counters and histograms.
@@ -285,12 +333,17 @@ impl RerankService {
     /// [`SessionBuilder::open`] runs the same planner for
     /// [`Algorithm::Auto`] sessions.
     pub fn planner(&self) -> Planner {
-        Planner::new(
+        let planner = Planner::new(
             self.server.capabilities(),
             Arc::clone(self.server.schema()),
             self.server.k(),
             self.n_estimate(),
-        )
+        );
+        if self.adaptive.calibrate {
+            planner.with_calibration(Arc::clone(&self.calibration))
+        } else {
+            planner
+        }
     }
 
     /// The database-size estimate the service was built with (drives the
@@ -531,10 +584,14 @@ impl<'a> SessionBuilder<'a> {
                 server_query: self.sel.clone(),
                 residual: None,
                 estimate,
+                calibrated_estimate: estimate,
                 candidates: vec![RankedCandidate {
                     name: custom.name().to_string(),
                     algorithm: Algorithm::Custom,
                     estimate,
+                    calibrated: estimate,
+                    server_query: self.sel.clone(),
+                    residual: None,
                     relaxed: false,
                 }],
                 rationale: format!(
@@ -560,10 +617,14 @@ impl<'a> SessionBuilder<'a> {
                     server_query: self.sel.clone(),
                     residual: None,
                     estimate,
+                    calibrated_estimate: estimate,
                     candidates: vec![RankedCandidate {
                         name: algorithm_name(&explicit).to_string(),
                         algorithm: explicit,
                         estimate,
+                        calibrated: estimate,
+                        server_query: self.sel.clone(),
+                        residual: None,
                         relaxed: false,
                     }],
                     rationale: "explicit algorithm choice: planner bypassed, the caller \
@@ -608,31 +669,13 @@ impl<'a> SessionBuilder<'a> {
     /// Construct the strategy object the session will drive, from a plan's
     /// algorithm and (possibly relaxed) server-side query.
     fn build_strategy(&self, plan: &Plan) -> Box<dyn RerankStrategy> {
-        let server = self.svc.server();
-        let sel = plan.server_query.clone();
-        let rank = Arc::clone(&self.rank);
-        match plan.algorithm {
-            Algorithm::OneD(strategy) => Box::new(OneDCursorStrategy::new(
-                OneDSpec::new(rank.attrs()[0], rank.directions()[0], sel),
-                strategy,
-                self.tie,
-            )),
-            Algorithm::Md(opts) => {
-                Box::new(MdCursorStrategy::new(rank, sel, opts, server.schema()))
-            }
-            Algorithm::Ta(access) => Box::new(TaCursorStrategy::new(
-                rank,
-                sel,
-                access,
-                server.schema(),
-                &server.capabilities(),
-            )),
-            Algorithm::PageDown { max_pages } => {
-                Box::new(PageDownStrategy::new(sel, rank, max_pages))
-            }
-            Algorithm::Auto => unreachable!("resolved by the planner"),
-            Algorithm::Custom => unreachable!("custom strategies are supplied, not built"),
-        }
+        build_strategy_for(
+            self.svc,
+            Arc::clone(&self.rank),
+            self.tie,
+            &plan.algorithm,
+            plan.server_query.clone(),
+        )
     }
 
     /// Validate the request and open the session.
@@ -739,9 +782,30 @@ impl<'a> SessionBuilder<'a> {
                     strategy: strategy.name().to_string(),
                     predicted_queries: plan.estimate.queries,
                     predicted_cost_units: plan.estimate.cost_units,
+                    calibrated_queries: plan.calibrated_estimate.queries,
+                    calibrated_cost_units: plan.calibrated_estimate.cost_units,
                 },
             );
         }
+        // Arm the adaptive loops for this session: built-in strategies
+        // only (a custom strategy's spend describes nothing the planner
+        // priced). The alternates come from the plan's cost ranking —
+        // empty under an explicit algorithm choice or a custom strategy,
+        // which therefore never switch.
+        let adaptive =
+            if self.svc.adaptive().is_active() && !matches!(plan.algorithm, Algorithm::Custom) {
+                Some(AdaptiveState::new(
+                    self.svc.adaptive().clone(),
+                    strategy.name().to_string(),
+                    plan.estimate,
+                    plan.calibrated_estimate,
+                    self.horizon.unwrap_or_else(|| self.svc.server().k()).max(1),
+                    plan.candidates.get(1..).unwrap_or_default().to_vec(),
+                    self.tie,
+                ))
+            } else {
+                None
+            };
         Ok(Session::new(
             self.svc,
             self.rank,
@@ -752,6 +816,7 @@ impl<'a> SessionBuilder<'a> {
             knowledge,
             obs_id,
             query_class(&plan.algorithm),
+            adaptive,
         ))
     }
 
@@ -801,6 +866,39 @@ impl<'a> SessionBuilder<'a> {
             use_knowledge: self.use_knowledge,
         };
         MaintainedSession::open(self.svc, self.sel, self.rank, cfg, horizon.max(1))
+    }
+}
+
+/// Construct the strategy object driving `algorithm` over `server_query`
+/// for a session on `svc` — shared between [`SessionBuilder::open`] and
+/// the mid-flight re-planner, which rebuilds a strategy for an alternate
+/// candidate while the session is already running.
+pub(crate) fn build_strategy_for(
+    svc: &RerankService,
+    rank: Arc<dyn RankFn>,
+    tie: TiePolicy,
+    algorithm: &Algorithm,
+    server_query: Query,
+) -> Box<dyn RerankStrategy> {
+    let server = svc.server();
+    let sel = server_query;
+    match *algorithm {
+        Algorithm::OneD(strategy) => Box::new(OneDCursorStrategy::new(
+            OneDSpec::new(rank.attrs()[0], rank.directions()[0], sel),
+            strategy,
+            tie,
+        )),
+        Algorithm::Md(opts) => Box::new(MdCursorStrategy::new(rank, sel, opts, server.schema())),
+        Algorithm::Ta(access) => Box::new(TaCursorStrategy::new(
+            rank,
+            sel,
+            access,
+            server.schema(),
+            &server.capabilities(),
+        )),
+        Algorithm::PageDown { max_pages } => Box::new(PageDownStrategy::new(sel, rank, max_pages)),
+        Algorithm::Auto => unreachable!("resolved by the planner"),
+        Algorithm::Custom => unreachable!("custom strategies are supplied, not built"),
     }
 }
 

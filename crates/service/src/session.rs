@@ -23,15 +23,16 @@
 //! Attempt counts and retries are tracked in [`SessionStats`] so budget
 //! attribution stays exact even for steps that ultimately fail.
 
+use crate::planner::RankedCandidate;
 use crate::retry::RetryRunner;
-use crate::service::RerankService;
-use qrs_core::strategy::{RerankStrategy, StrategyIo, StrategyStep};
-use qrs_core::KnowledgeGate;
+use crate::service::{build_strategy_for, query_class, RerankService};
+use qrs_core::strategy::{CostEstimate, RerankStrategy, StrategyIo, StrategyStep};
+use qrs_core::{KnowledgeGate, TiePolicy};
 use qrs_knowledge::ResultKey;
 use qrs_obs::{BudgetScope, EventKind, QueryClass};
 use qrs_ranking::RankFn;
 use qrs_server::SearchInterface;
-use qrs_types::{Query, RerankError, Tuple};
+use qrs_types::{AdaptiveConfig, Query, RerankError, Tuple};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -96,6 +97,62 @@ impl SessionKnowledge {
     }
 }
 
+/// Mid-flight re-planning state, armed at open time for built-in-strategy
+/// sessions on a service opted into the adaptive planner
+/// (`RerankService::with_adaptive`).
+///
+/// The session watches its own weighted spend against the calibrated
+/// plan-time prediction; past the configured divergence ratio it re-ranks
+/// the plan's remaining feasible candidates under the *current*
+/// calibration, rebuilds the cheapest one's strategy, and swaps it in —
+/// at most once per session, swallowing the new strategy's re-derivation
+/// of the already-emitted prefix so the user-visible stream stays exact.
+pub(crate) struct AdaptiveState {
+    cfg: AdaptiveConfig,
+    /// Strategy name the session was planned with — the calibration key
+    /// its end-of-life actual/predicted ratios are filed under.
+    planned_name: String,
+    /// The static plan-time estimate.
+    predicted: CostEstimate,
+    /// The calibration-scaled plan-time estimate the divergence trigger
+    /// compares spend against.
+    calibrated: CostEstimate,
+    /// Pull horizon the estimates were computed for; past it, spending
+    /// more than predicted is expected, not divergence.
+    horizon: usize,
+    /// The plan's remaining feasible candidates (cheapest-first at plan
+    /// time), each carrying its own server query and residual. Empty for
+    /// explicit-algorithm and custom sessions — which therefore never
+    /// switch.
+    alternates: Vec<RankedCandidate>,
+    tie: TiePolicy,
+    /// Latch: one switch max per session.
+    switched: bool,
+}
+
+impl AdaptiveState {
+    pub(crate) fn new(
+        cfg: AdaptiveConfig,
+        planned_name: String,
+        predicted: CostEstimate,
+        calibrated: CostEstimate,
+        horizon: usize,
+        alternates: Vec<RankedCandidate>,
+        tie: TiePolicy,
+    ) -> Self {
+        AdaptiveState {
+            cfg,
+            planned_name,
+            predicted,
+            calibrated,
+            horizon,
+            alternates,
+            tie,
+            switched: false,
+        }
+    }
+}
+
 /// One emitted answer: global rank (1-based), user score, tuple.
 #[derive(Debug, Clone)]
 pub struct RankedTuple {
@@ -135,6 +192,9 @@ pub struct SessionStats {
     pub attempts_made: u64,
     /// Retries spent (attempts beyond the first for a given step).
     pub retries_spent: u64,
+    /// Divergence-triggered mid-flight strategy switches (0 or 1: the
+    /// adaptive re-planner switches at most once per session).
+    pub strategy_switches: u64,
     /// The per-session query cap, if any.
     pub budget_limit: Option<u64>,
 }
@@ -182,8 +242,18 @@ pub struct Session<'a> {
     /// service has no observer attached).
     obs_id: u64,
     /// The request class this session's charges are bucketed under on the
-    /// metrics plane.
+    /// metrics plane. Re-pointed by a mid-flight switch so post-switch
+    /// charges land in the new strategy's bucket.
     class: QueryClass,
+    /// Mid-flight re-planning state (`None` on non-adaptive services and
+    /// custom-strategy sessions).
+    adaptive: Option<AdaptiveState>,
+    /// After a plane-less switch: user-visible emissions the replacement
+    /// strategy will re-derive and the session must swallow. (With a
+    /// knowledge plane attached, its `skip` machinery does this instead.)
+    switch_skip: usize,
+    /// Divergence-triggered switches performed (0 or 1).
+    switches: u64,
 }
 
 impl<'a> Session<'a> {
@@ -198,6 +268,7 @@ impl<'a> Session<'a> {
         knowledge: Option<SessionKnowledge>,
         obs_id: u64,
         class: QueryClass,
+        adaptive: Option<AdaptiveState>,
     ) -> Self {
         Session {
             svc,
@@ -216,6 +287,9 @@ impl<'a> Session<'a> {
             knowledge,
             obs_id,
             class,
+            adaptive,
+            switch_skip: 0,
+            switches: 0,
         }
     }
 
@@ -317,6 +391,10 @@ impl<'a> Session<'a> {
                 return Ok(None);
             }
         }
+        // Divergence check before paying for more: past this point the
+        // replay (which costs nothing) is drained, so everything spent so
+        // far was measured against the calibrated prediction.
+        self.maybe_replan();
         let mut retries_this_step: u32 = 0;
         loop {
             // Budget gates re-checked before every attempt: a retry must
@@ -381,6 +459,14 @@ impl<'a> Session<'a> {
                             retries_this_step = 0;
                             continue;
                         }
+                    } else if self.switch_skip > 0 {
+                        // Plane-less mid-flight switch: the replacement
+                        // strategy re-derives the rows the abandoned one
+                        // already emitted; swallow them so the
+                        // user-visible stream stays exact.
+                        self.switch_skip -= 1;
+                        retries_this_step = 0;
+                        continue;
                     }
                     self.emitted += 1;
                     self.svc.stats_ref().on_emit();
@@ -480,6 +566,92 @@ impl<'a> Session<'a> {
         }
     }
 
+    /// The mid-flight divergence check: when this session's weighted spend
+    /// exceeds `divergence_ratio ×` its calibrated prediction while rows
+    /// remain to the horizon (and at least `min_spend` units were paid —
+    /// front-loaded strategies pay for their whole drain up front), re-rank
+    /// the plan's remaining feasible candidates under the *current*
+    /// calibration and switch to the cheapest. At most once per session;
+    /// already-emitted rows are kept and the replacement strategy's
+    /// re-derivation of them is swallowed, so the user-visible stream is
+    /// byte-identical to never having switched.
+    fn maybe_replan(&mut self) {
+        let Some(ad) = &self.adaptive else { return };
+        if ad.switched
+            || !ad.cfg.replan
+            || ad.alternates.is_empty()
+            || self.emitted >= ad.horizon
+            || self.cost_spent < ad.cfg.min_spend
+        {
+            return;
+        }
+        let threshold = ad.cfg.divergence_ratio * ad.calibrated.cost_units.max(1) as f64;
+        if self.cost_spent as f64 <= threshold {
+            return;
+        }
+        // Re-rank the alternates under what calibration knows *now* — the
+        // very charges that tripped this trigger may already have
+        // re-ordered them. Ties keep plan order (min_by_key returns the
+        // first minimum).
+        let store = self.svc.calibration();
+        let calibrating = ad.cfg.calibrate;
+        let pick = ad
+            .alternates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| {
+                if calibrating {
+                    store.calibrate(&c.name, c.estimate).cost_units
+                } else {
+                    c.estimate.cost_units
+                }
+            })
+            .map(|(i, _)| i)
+            .expect("alternates is non-empty");
+        let (chosen, tie) = {
+            let ad = self.adaptive.as_mut().expect("checked above");
+            ad.switched = true;
+            (ad.alternates.swap_remove(pick), ad.tie)
+        };
+        let from = self.strategy.name().to_string();
+        self.strategy = build_strategy_for(
+            self.svc,
+            Arc::clone(&self.rank),
+            tie,
+            &chosen.algorithm,
+            chosen.server_query.clone(),
+        );
+        self.residual = chosen.residual.clone();
+        self.class = query_class(&chosen.algorithm);
+        match &mut self.knowledge {
+            Some(k) => {
+                // The switched session's stream no longer matches the
+                // planned strategy's cache key — stop recording (a blended
+                // ledger would poison a future replay's credit), and let
+                // the skip machinery swallow the re-derived prefix. The
+                // response-level gate still serves the replacement's
+                // requests, which is where "without losing paid-for
+                // knowledge" comes from: probes the abandoned strategy
+                // paid for replay free.
+                k.result_key = None;
+                k.strategy_emitted = 0;
+                k.skip = self.emitted;
+            }
+            None => self.switch_skip = self.emitted,
+        }
+        self.switches += 1;
+        self.svc.stats_ref().on_switch();
+        let (at, q, c) = (self.emitted as u64, self.spent, self.cost_spent);
+        let to = self.strategy.name().to_string();
+        self.emit_obs(|| EventKind::Replanned {
+            from_strategy: from,
+            to_strategy: to,
+            at_emitted: at,
+            queries_spent: q,
+            cost_units_spent: c,
+        });
+    }
+
     /// One strategy step under the shared-state lock.
     ///
     /// Exact per-session attribution: every service query happens inside a
@@ -533,6 +705,15 @@ impl<'a> Session<'a> {
         // carries the very numbers the ledgers above accumulated — the
         // monitor's actual column reconciles exactly by construction.
         if dq > 0 || dc > 0 {
+            // Train the calibration store with the same in-lock delta the
+            // ledgers just accumulated — outside the lock, like obs.
+            if let Some(ad) = &self.adaptive {
+                if ad.cfg.calibrate {
+                    self.svc
+                        .calibration()
+                        .on_charge(self.strategy.name(), self.class, dq, dc);
+                }
+            }
             self.emit_obs(|| EventKind::RequestCharged {
                 class: self.class,
                 queries: dq,
@@ -640,6 +821,18 @@ impl<'a> Session<'a> {
         self.retries
     }
 
+    /// Divergence-triggered mid-flight strategy switches (0 or 1). Nonzero
+    /// only on services opted into the adaptive planner.
+    pub fn strategy_switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// The strategy currently driving this session — the planned one, or
+    /// the replacement after a divergence-triggered switch.
+    pub fn strategy_name(&self) -> &str {
+        self.strategy.name()
+    }
+
     /// Full accounting snapshot. Exact even when the last `top` returned
     /// `(hits, Some(err))`: attempts and spend are counted in-lock per
     /// cursor call, so failed and retried steps are attributed too.
@@ -652,6 +845,7 @@ impl<'a> Session<'a> {
             cost_units_saved: self.cost_saved,
             attempts_made: self.attempts,
             retries_spent: self.retries,
+            strategy_switches: self.switches,
             budget_limit: self.budget_limit,
         }
     }
@@ -659,6 +853,23 @@ impl<'a> Session<'a> {
 
 impl Drop for Session<'_> {
     fn drop(&mut self) {
+        // Close the calibration loop: file this session's actual-vs-
+        // predicted spend under the strategy it was planned with. Switched
+        // sessions are excluded (their blended ledger describes neither
+        // strategy), as are sessions that emitted nothing or paid nothing
+        // (a fully knowledge-replayed run says nothing about the site's
+        // prices).
+        if let Some(ad) = &self.adaptive {
+            if ad.cfg.calibrate && !ad.switched && self.emitted > 0 && self.spent > 0 {
+                self.svc.calibration().observe_session(
+                    &ad.planned_name,
+                    ad.predicted,
+                    self.spent,
+                    self.cost_spent,
+                    self.emitted as u64,
+                );
+            }
+        }
         // The final ledger rides out on the close event, so subscribers
         // need not track running sums; the monitor also unregisters the
         // session ordinal here. One branch and nothing else when disabled.
@@ -683,6 +894,7 @@ impl std::fmt::Debug for Session<'_> {
             .field("cost_units_saved", &self.cost_saved)
             .field("attempts_made", &self.attempts)
             .field("retries_spent", &self.retries)
+            .field("strategy_switches", &self.switches)
             .field("budget_limit", &self.budget_limit)
             .finish()
     }

@@ -68,6 +68,7 @@ pub struct ServiceStats {
     queries_saved: StripedU64,
     cost_units_saved: StripedU64,
     retries_spent: StripedU64,
+    strategy_switches: StripedU64,
     batches_served: StripedU64,
     requests_served: StripedU64,
     requests_cancelled: StripedU64,
@@ -98,6 +99,10 @@ pub struct StatsSnapshot {
     /// Retries spent across all sessions (the recovery effort the service
     /// has burned on transient server failures).
     pub retries_spent: u64,
+    /// Divergence-triggered mid-flight strategy switches across all
+    /// sessions — zero unless the service was opted into the adaptive
+    /// planner via `with_adaptive`.
+    pub strategy_switches: u64,
     /// Concurrent batches accepted by `serve_batch`.
     pub batches_served: u64,
     /// Individual batch requests taken off the pool (cancelled included).
@@ -129,6 +134,10 @@ impl ServiceStats {
         self.retries_spent.incr();
     }
 
+    pub(crate) fn on_switch(&self) {
+        self.strategy_switches.incr();
+    }
+
     pub(crate) fn on_batch(&self) {
         self.batches_served.incr();
     }
@@ -152,6 +161,7 @@ impl ServiceStats {
             queries_saved: self.queries_saved.sum(),
             cost_units_saved: self.cost_units_saved.sum(),
             retries_spent: self.retries_spent.sum(),
+            strategy_switches: self.strategy_switches.sum(),
             batches_served: self.batches_served.sum(),
             requests_served: self.requests_served.sum(),
             requests_cancelled: self.requests_cancelled.sum(),
@@ -176,6 +186,7 @@ mod tests {
         s.on_retry();
         s.on_retry();
         s.on_retry();
+        s.on_switch();
         s.on_batch();
         s.on_request();
         s.on_request();
@@ -188,6 +199,7 @@ mod tests {
         assert_eq!(snap.queries_saved, 2);
         assert_eq!(snap.cost_units_saved, 6);
         assert_eq!(snap.retries_spent, 3);
+        assert_eq!(snap.strategy_switches, 1);
         assert_eq!(snap.batches_served, 1);
         assert_eq!(snap.requests_served, 2);
         assert_eq!(snap.requests_cancelled, 1);

@@ -24,13 +24,16 @@
 //! * [`RetryPolicy`] — declarative retry/backoff configuration consumed by
 //!   the `qrs-service` retry loop,
 //! * [`CostModel`] — per-query-class unit costs a metered site advertises
-//!   and charges by; the currency of the cost-based planner.
+//!   and charges by; the currency of the cost-based planner,
+//! * [`AdaptiveConfig`], [`Ewma`] — knobs and the deterministic moving
+//!   average behind the `qrs-service` calibration/re-planning loop.
 //!
 //! Everything downstream (`qrs-server`, `qrs-core`, …) is written against
 //! these types.
 
 #![deny(missing_docs)]
 
+pub mod adaptive;
 pub mod capability;
 pub mod circuit;
 pub mod cost;
@@ -47,6 +50,7 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
+pub use adaptive::{AdaptiveConfig, Ewma};
 pub use capability::FilterSupport;
 pub use circuit::CircuitPolicy;
 pub use cost::{CostModel, RequestKind};

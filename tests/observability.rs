@@ -116,7 +116,10 @@ fn monitor_reconciles_exactly_with_ledgers() {
     let pred_c: u64 = report.rows.iter().map(|r| r.predicted_cost_units).sum();
     assert_eq!(pred_q, predicted.0);
     assert_eq!(pred_c, predicted.1);
-    assert!(report.rows.iter().any(|r| r.query_divergence().is_some()));
+    assert!(report
+        .rows
+        .iter()
+        .any(|r| r.query_divergence().ratio().is_some()));
 
     // The metrics registry folded the same events: same totals again.
     let m = svc.observer().metrics().unwrap();
