@@ -6,16 +6,20 @@
 //! knowledge-plane reuse leg and one change-data-capture leg (a
 //! [`qrs_service::MaintainedSession`] delta-repairing its top-`h` through
 //! a pinned mutation batch, measured against the full re-drive a
-//! change-blind client would pay for), an observability-overhead leg, and
-//! an adaptive-planner leg on a drifting-cost site (static vs switching
-//! vs calibration-warm spend). Every run of the same source tree
+//! change-blind client would pay for), an observability-overhead leg, an
+//! adaptive-planner leg on a drifting-cost site (static vs switching
+//! vs calibration-warm spend), and an HTTP-edge leg (the same batch
+//! served in-process and through a real loopback socket via
+//! `qrs_edge::EdgeServer`/`EdgeClient` — bit-identical answers and
+//! ledgers required, the wall-clock delta recording what the wire hop
+//! costs). Every run of the same source tree
 //! produces the same deterministic ledger numbers (queries, cost units,
 //! emitted tuples; wall-clock is recorded but machine-dependent), so
 //! diffs of the output across PRs *are* the perf trajectory.
 //!
 //! The result is written as `BENCH_<idx>.json` at the repository root,
 //! where `idx` comes from the `QRS_BENCH_INDEX` environment variable
-//! (default `9`, this PR's slot — older `BENCH_*.json` artifacts are
+//! (default `10`, this PR's slot — older `BENCH_*.json` artifacts are
 //! prior PRs' trajectories and stay untouched). One JSON document: meta +
 //! one row per profile × workload cell. Cells the planner refuses
 //! (`Unplannable` — the profile genuinely cannot answer that shape
@@ -135,7 +139,7 @@ fn json_row(row: &MacroRow) -> String {
 }
 
 /// Run the macro-workload and write `BENCH_<QRS_BENCH_INDEX>.json`
-/// (default `BENCH_8.json`) at the repo root. Returns the rows for tests.
+/// (default `BENCH_10.json`) at the repo root. Returns the rows for tests.
 /// `Scale` is accepted for interface symmetry; the workload is pinned
 /// regardless (a trajectory must not move with flags).
 pub fn run(_scale: Scale) -> Vec<MacroRow> {
@@ -457,6 +461,120 @@ pub fn run(_scale: Scale) -> Vec<MacroRow> {
         });
     }
 
+    // Leg 6: the HTTP edge. The full three-cell batch served in-process
+    // and again through a real loopback socket (`EdgeServer` +
+    // `EdgeClient`). A single-worker pool pins the batch's execution
+    // order, so both runs are deterministic and must agree bit for bit —
+    // hits, scores, and every ledger number; the two rows record what the
+    // wire hop costs in wall-clock. The tenant ledger must equal the
+    // summed session spend exactly.
+    let exec = Arc::new(qrs_exec::Executor::pool(1));
+    let wire_dir = qrs_types::Direction::Asc;
+    let wire_ranks: Vec<Vec<(usize, qrs_types::Direction, f64)>> = vec![
+        vec![(0, wire_dir, 1.0)],
+        vec![(0, wire_dir, 1.0), (1, wire_dir, 0.75)],
+        vec![(0, wire_dir, 0.5), (1, wire_dir, 1.25)],
+    ];
+    let profile = SiteProfile::open_site(K);
+    let local = build_service(&profile, None);
+    let t0 = Instant::now();
+    let want = local.serve_batch(
+        &exec,
+        workloads()
+            .iter()
+            .map(|w| qrs_service::BatchRequest::new(w.sel.clone(), Arc::clone(&w.rank), TOP_H))
+            .collect(),
+    );
+    let in_process_ms = t0.elapsed().as_secs_f64() * 1e3;
+    for (w, o) in workloads().iter().zip(&want) {
+        assert!(
+            o.error.is_none(),
+            "macro_bench: edge leg reference cell {} failed: {:?}",
+            w.name,
+            o.error
+        );
+    }
+
+    let remote_svc = Arc::new(build_service(&profile, None));
+    let handle = qrs_edge::EdgeServer::serve(
+        Arc::clone(&remote_svc),
+        Arc::clone(&exec),
+        qrs_edge::EdgeConfig::default(),
+    )
+    .expect("macro_bench: loopback bind");
+    let client = qrs_edge::EdgeClient::new(handle.addr(), "macro-bench");
+    let t0 = Instant::now();
+    let reply = client
+        .rerank(
+            workloads()
+                .iter()
+                .zip(&wire_ranks)
+                .map(|(w, r)| qrs_edge::EdgeClient::request(&w.sel, r, TOP_H, None, None, None))
+                .collect(),
+        )
+        .expect("macro_bench: edge batch");
+    let wire_ms = t0.elapsed().as_secs_f64() * 1e3;
+    for (i, (got, want)) in reply.outcomes.iter().zip(&want).enumerate() {
+        assert_eq!(got.error_code, None, "macro_bench: edge cell {i} errored");
+        let want_fp: Vec<(u32, u64)> = want
+            .hits
+            .iter()
+            .map(|h| (h.tuple.id.0, h.score.to_bits()))
+            .collect();
+        let got_fp: Vec<(u32, u64)> = got
+            .hits
+            .iter()
+            .map(|(_, score, t)| (t.id.0, score.to_bits()))
+            .collect();
+        assert_eq!(
+            got_fp, want_fp,
+            "macro_bench: the wire changed the answer of cell {i}"
+        );
+        assert_eq!(
+            (got.queries_spent, got.cost_units_spent),
+            (want.stats.queries_spent, want.stats.cost_units_spent),
+            "macro_bench: the wire changed the ledger of cell {i}"
+        );
+    }
+    let edge_spent: u64 = reply.outcomes.iter().map(|o| o.queries_spent).sum();
+    assert_eq!(
+        reply.tenant.0, edge_spent,
+        "macro_bench: tenant ledger must equal summed session spend"
+    );
+    let sum = |outs: &[qrs_service::BatchOutcome]| {
+        (
+            outs.iter().map(|o| o.hits.len()).sum::<usize>(),
+            outs.iter().map(|o| o.stats.queries_spent).sum::<u64>(),
+            outs.iter().map(|o| o.stats.cost_units_spent).sum::<u64>(),
+        )
+    };
+    let (emitted, queries_spent, cost_units_spent) = sum(&want);
+    rows.push(MacroRow {
+        profile: "edge(in_process)",
+        workload: "batch_all",
+        outcome: Some(MacroOutcome {
+            emitted,
+            queries_spent,
+            cost_units_spent,
+            queries_saved: 0,
+            wall_ms: in_process_ms,
+        }),
+        unplannable_reason: None,
+    });
+    rows.push(MacroRow {
+        profile: "edge(wire)",
+        workload: "batch_all",
+        outcome: Some(MacroOutcome {
+            emitted: reply.outcomes.iter().map(|o| o.hits.len()).sum(),
+            queries_spent: edge_spent,
+            cost_units_spent: reply.outcomes.iter().map(|o| o.cost_units_spent).sum(),
+            queries_saved: 0,
+            wall_ms: wire_ms,
+        }),
+        unplannable_reason: None,
+    });
+    handle.shutdown();
+
     // Assemble and write the document.
     let body: Vec<String> = rows.iter().map(json_row).collect();
     let doc = format!(
@@ -466,7 +584,7 @@ pub fn run(_scale: Scale) -> Vec<MacroRow> {
          \"rows\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     );
-    let idx = std::env::var("QRS_BENCH_INDEX").unwrap_or_else(|_| "9".to_string());
+    let idx = std::env::var("QRS_BENCH_INDEX").unwrap_or_else(|_| "10".to_string());
     let path = format!("{}/../../BENCH_{idx}.json", env!("CARGO_MANIFEST_DIR"));
     std::fs::write(&path, &doc).unwrap_or_else(|e| panic!("macro_bench: cannot write {path}: {e}"));
     println!("{doc}");

@@ -1,0 +1,336 @@
+//! Minimal HTTP/1.1 framing over a byte stream — just enough for the wire
+//! protocol, shared by both halves.
+//!
+//! One request per connection (`Connection: close`), bodies framed by
+//! `Content-Length` only. No chunked encoding, no keep-alive, no TLS:
+//! the edge is a protocol boundary, not a web server, and the simplest
+//! framing is the easiest to prove byte-identical under fault injection —
+//! a truncated body is detected by `read_exact`, not by a parser
+//! heuristic.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Largest accepted header block and body (1 MiB each) — a wire-level
+/// guard so a malformed peer cannot make the edge allocate unboundedly.
+const MAX_BYTES: usize = 1 << 20;
+
+/// A transport-level failure: the peer closed early, sent malformed
+/// framing, or exceeded the size guard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// Human-readable description of the framing failure.
+    pub reason: String,
+}
+
+impl HttpError {
+    fn new(reason: impl Into<String>) -> Self {
+        HttpError {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "http framing error: {}", self.reason)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::new(format!("io: {e}"))
+    }
+}
+
+/// A parsed request: method, target (path + optional query string), the
+/// headers the protocol cares about, and the body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The HTTP method, uppercase (`GET`, `POST`).
+    pub method: String,
+    /// The request target, e.g. `/site/mutations?since=3`.
+    pub target: String,
+    /// Headers as lowercased `(name, value)` pairs, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with this (case-insensitive) name, if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target's path, without the query string.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// The value of one query-string parameter, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        let qs = self.target.split_once('?')?.1;
+        qs.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// A response: status code, headers, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The HTTP status code.
+    pub status: u16,
+    /// Extra headers as `(name, value)` pairs (`Content-Length` and
+    /// `Connection: close` are added by [`write_response`]).
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            headers: vec![("content-type".into(), "application/json".into())],
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Attach one header.
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.headers.push((name.to_ascii_lowercase(), value));
+        self
+    }
+
+    /// The first header with this (case-insensitive) name, if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Status",
+    }
+}
+
+/// Read one request from the stream. A clean EOF before any byte returns
+/// `Ok(None)` (the peer connected and went away — the accept loop's
+/// shutdown nudge does exactly this).
+pub fn read_request<R: Read>(stream: R) -> Result<Option<Request>, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.trim_end().splitn(3, ' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::new("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::new("request line missing target"))?
+        .to_string();
+    let (headers, content_length) = read_headers(&mut reader)?;
+    let body = read_body(&mut reader, content_length)?;
+    Ok(Some(Request {
+        method,
+        target,
+        headers,
+        body,
+    }))
+}
+
+/// Read one response from the stream. An EOF before the status line — or a
+/// body shorter than its `Content-Length` — is a framing error: the
+/// client half maps it to a *transient* server failure.
+pub fn read_response<R: Read>(stream: R) -> Result<Response, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(HttpError::new("connection closed before status line"));
+    }
+    let mut parts = line.trim_end().splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new("not an HTTP/1.x response"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::new("bad status code"))?;
+    let (headers, content_length) = read_headers(&mut reader)?;
+    let body = read_body(&mut reader, content_length)?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+type Headers = Vec<(String, String)>;
+
+fn read_headers<R: BufRead>(reader: &mut R) -> Result<(Headers, usize), HttpError> {
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    let mut total = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(HttpError::new("connection closed inside headers"));
+        }
+        total += line.len();
+        if total > MAX_BYTES {
+            return Err(HttpError::new("header block too large"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            return Ok((headers, content_length));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::new("malformed header line"))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::new("bad content-length"))?;
+            if content_length > MAX_BYTES {
+                return Err(HttpError::new("body too large"));
+            }
+        }
+        headers.push((name, value));
+    }
+}
+
+fn read_body<R: Read>(reader: &mut R, len: usize) -> Result<Vec<u8>, HttpError> {
+    let mut body = vec![0u8; len];
+    reader
+        .read_exact(&mut body)
+        .map_err(|_| HttpError::new("body shorter than content-length"))?;
+    Ok(body)
+}
+
+/// Write one request (with `Connection: close` and `Content-Length`).
+pub fn write_request<W: Write>(
+    mut stream: W,
+    method: &str,
+    target: &str,
+    headers: &[(String, String)],
+    body: &[u8],
+) -> Result<(), HttpError> {
+    let mut head = format!("{method} {target} HTTP/1.1\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!(
+        "content-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    ));
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Write one response (with `Connection: close` and `Content-Length`).
+pub fn write_response<W: Write>(mut stream: W, response: &Response) -> Result<(), HttpError> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\n",
+        response.status,
+        status_text(response.status)
+    );
+    for (name, value) in &response.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!(
+        "content-length: {}\r\nconnection: close\r\n\r\n",
+        response.body.len()
+    ));
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_a_buffer() {
+        let mut buf = Vec::new();
+        write_request(
+            &mut buf,
+            "POST",
+            "/v1/rerank?x=1",
+            &[("x-tenant".into(), "t1".into())],
+            b"{\"a\":1}",
+        )
+        .unwrap();
+        let req = read_request(&buf[..]).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path(), "/v1/rerank");
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("y"), None);
+        assert_eq!(req.header("X-Tenant"), Some("t1"));
+        assert_eq!(req.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn response_round_trips_with_headers() {
+        let mut buf = Vec::new();
+        let resp = Response::json(429, "{\"e\":1}".into()).with_header("Retry-After", "2".into());
+        write_response(&mut buf, &resp).unwrap();
+        let back = read_response(&buf[..]).unwrap();
+        assert_eq!(back.status, 429);
+        assert_eq!(back.header("retry-after"), Some("2"));
+        assert_eq!(back.body, b"{\"e\":1}");
+    }
+
+    #[test]
+    fn eof_before_request_is_none_and_truncation_is_an_error() {
+        assert_eq!(read_request(&b""[..]).unwrap(), None);
+        // A body shorter than its content-length is detected, not padded.
+        let text = b"HTTP/1.1 200 OK\r\ncontent-length: 10\r\n\r\nshort";
+        let e = read_response(&text[..]).unwrap_err();
+        assert!(e.reason.contains("shorter"));
+        // EOF mid-headers is an error too.
+        assert!(read_request(&b"GET / HTTP/1.1\r\nx: 1\r\n"[..]).is_err());
+    }
+
+    #[test]
+    fn size_guards_refuse_oversized_frames() {
+        let text = format!(
+            "GET / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BYTES + 1
+        );
+        assert!(read_request(text.as_bytes()).is_err());
+    }
+}

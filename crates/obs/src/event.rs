@@ -228,6 +228,17 @@ pub enum EventKind {
         /// Requests in the batch.
         requests: u64,
     },
+    /// The HTTP edge admitted a wire batch past admission control.
+    EdgeAdmitted {
+        /// Requests in the admitted wire batch.
+        requests: u64,
+    },
+    /// The HTTP edge refused a wire batch at the gate — before any query
+    /// was issued or charged (capacity or tenant-budget admission).
+    EdgeRejected {
+        /// Stable refusal class: `"capacity"` or `"tenant_budget"`.
+        reason: String,
+    },
 }
 
 impl EventKind {
@@ -251,6 +262,8 @@ impl EventKind {
             EventKind::BudgetTrip { .. } => "budget_trip",
             EventKind::SessionClose { .. } => "session_close",
             EventKind::BatchServed { .. } => "batch_served",
+            EventKind::EdgeAdmitted { .. } => "edge_admitted",
+            EventKind::EdgeRejected { .. } => "edge_rejected",
         }
     }
 }
@@ -437,8 +450,13 @@ impl Event {
                 field_u64(&mut s, "queries_saved", *queries_saved);
                 field_u64(&mut s, "cost_units_saved", *cost_units_saved);
             }
-            EventKind::BatchServed { requests } => {
+            EventKind::BatchServed { requests } | EventKind::EdgeAdmitted { requests } => {
                 field_u64(&mut s, "requests", *requests);
+            }
+            EventKind::EdgeRejected { reason } => {
+                s.push_str(",\"reason\":\"");
+                escape_into(&mut s, reason);
+                s.push('"');
             }
         }
         s.push('}');
@@ -517,6 +535,10 @@ mod tests {
                 cost_units_saved: 0,
             },
             EventKind::BatchServed { requests: 8 },
+            EventKind::EdgeAdmitted { requests: 3 },
+            EventKind::EdgeRejected {
+                reason: "capacity".into(),
+            },
         ];
         let site: Arc<str> = Arc::from("dealer-a");
         for kind in kinds {

@@ -159,6 +159,8 @@ pub struct MetricsRegistry {
     redrives: StripedU64,
     budget_trips: StripedU64,
     batches: StripedU64,
+    edge_admitted: StripedU64,
+    edge_rejected: StripedU64,
     pull_latency_ms: StripedHistogram,
     backoff_ms: StripedHistogram,
 }
@@ -211,6 +213,10 @@ pub struct MetricsSnapshot {
     pub budget_trips: u64,
     /// Batches dispatched through `serve_batch`.
     pub batches: u64,
+    /// Wire batches admitted past the HTTP edge's admission control.
+    pub edge_admitted: u64,
+    /// Wire batches refused at the edge gate, uncharged.
+    pub edge_rejected: u64,
     /// Per-pull latency distribution (ms, log2 buckets).
     pub pull_latency_ms: HistogramSnapshot,
     /// Backoff sleep distribution (ms, log2 buckets).
@@ -279,6 +285,8 @@ impl MetricsRegistry {
             EventKind::BudgetTrip { .. } => self.budget_trips.incr(),
             EventKind::SessionClose { .. } => self.sessions_closed.incr(),
             EventKind::BatchServed { .. } => self.batches.incr(),
+            EventKind::EdgeAdmitted { .. } => self.edge_admitted.incr(),
+            EventKind::EdgeRejected { .. } => self.edge_rejected.incr(),
         }
     }
 
@@ -316,6 +324,8 @@ impl MetricsRegistry {
             redrives: self.redrives.sum(),
             budget_trips: self.budget_trips.sum(),
             batches: self.batches.sum(),
+            edge_admitted: self.edge_admitted.sum(),
+            edge_rejected: self.edge_rejected.sum(),
             pull_latency_ms: self.pull_latency_ms.snapshot(),
             backoff_ms: self.backoff_ms.snapshot(),
         }

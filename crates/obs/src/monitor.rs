@@ -136,28 +136,33 @@ impl Monitor {
     }
 
     /// Snapshot the fleet table, rows sorted by (site, strategy).
+    ///
+    /// The order is a pinned contract, not an accident of storage: reports
+    /// must diff cleanly across runs and across however many threads fed
+    /// the monitor, so the snapshot re-sorts explicitly even though the
+    /// backing `BTreeMap` already iterates in key order.
     pub fn report(&self) -> MonitorReport {
         let inner = self.inner.lock();
-        MonitorReport {
-            rows: inner
-                .rows
-                .iter()
-                .map(|((site, strategy), a)| MonitorRow {
-                    site: site.clone(),
-                    strategy: strategy.clone(),
-                    sessions: a.sessions,
-                    predicted_queries: a.predicted_queries,
-                    predicted_cost_units: a.predicted_cost_units,
-                    calibrated_queries: a.calibrated_queries,
-                    calibrated_cost_units: a.calibrated_cost_units,
-                    actual_queries: a.actual_queries,
-                    actual_cost_units: a.actual_cost_units,
-                    saved_queries: a.saved_queries,
-                    saved_cost_units: a.saved_cost_units,
-                    switches: a.switches,
-                })
-                .collect(),
-        }
+        let mut rows: Vec<MonitorRow> = inner
+            .rows
+            .iter()
+            .map(|((site, strategy), a)| MonitorRow {
+                site: site.clone(),
+                strategy: strategy.clone(),
+                sessions: a.sessions,
+                predicted_queries: a.predicted_queries,
+                predicted_cost_units: a.predicted_cost_units,
+                calibrated_queries: a.calibrated_queries,
+                calibrated_cost_units: a.calibrated_cost_units,
+                actual_queries: a.actual_queries,
+                actual_cost_units: a.actual_cost_units,
+                saved_queries: a.saved_queries,
+                saved_cost_units: a.saved_cost_units,
+                switches: a.switches,
+            })
+            .collect();
+        rows.sort_by(|a, b| (&a.site, &a.strategy).cmp(&(&b.site, &b.strategy)));
+        MonitorReport { rows }
     }
 }
 
@@ -433,6 +438,83 @@ mod tests {
             },
         ));
         assert_eq!(m.report().actual_queries_total(), 2);
+    }
+
+    #[test]
+    fn report_order_is_deterministic_under_concurrent_feeds() {
+        // Many threads hammer one monitor with interleaved sessions across
+        // shuffled (site, strategy) pairs; every snapshot must come back
+        // sorted by (site, strategy) and identical across repeated calls —
+        // the diff-cleanly contract, independent of feed schedule.
+        use std::sync::Arc as StdArc;
+        let m = StdArc::new(Monitor::new());
+        let pairs = [
+            ("zeta", "md-rerank"),
+            ("alpha", "ta-order-by"),
+            ("mid", "1d-rerank"),
+            ("alpha", "1d-rerank"),
+            ("zeta", "1d-rerank"),
+        ];
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let m = StdArc::clone(&m);
+                std::thread::spawn(move || {
+                    for (i, (site, strat)) in pairs.iter().enumerate() {
+                        let site: Arc<str> = Arc::from(*site);
+                        // Distinct session ordinals per thread so joins
+                        // never collide across threads.
+                        let sess = (t * pairs.len() + i + 1) as u64;
+                        let m = &*m;
+                        m.fold(&Event {
+                            at_ms: 0,
+                            site: Arc::clone(&site),
+                            session: sess,
+                            kind: EventKind::SessionOpen {
+                                strategy: (*strat).into(),
+                            },
+                        });
+                        m.fold(&Event {
+                            at_ms: 0,
+                            site: Arc::clone(&site),
+                            session: sess,
+                            kind: EventKind::RequestCharged {
+                                class: QueryClass::TopK,
+                                queries: 1,
+                                cost_units: 2,
+                            },
+                        });
+                        m.fold(&Event {
+                            at_ms: 0,
+                            site,
+                            session: sess,
+                            kind: EventKind::SessionClose {
+                                emitted: 1,
+                                queries_spent: 1,
+                                cost_units_spent: 2,
+                                queries_saved: 0,
+                                cost_units_saved: 0,
+                            },
+                        });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let report = m.report();
+        let keys: Vec<(String, String)> = report
+            .rows
+            .iter()
+            .map(|r| (r.site.clone(), r.strategy.clone()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "rows must be sorted by (site, strategy)");
+        assert_eq!(report.rows.len(), 5, "one row per distinct pair");
+        assert_eq!(report.actual_queries_total(), 8 * 5);
+        // Snapshots are stable: a second report is identical.
+        assert_eq!(report, m.report());
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 use crate::service::{Algorithm, RerankService};
 use crate::session::{RankedTuple, SessionStats};
+use qrs_core::TiePolicy;
 use qrs_exec::{CancelToken, Executor, TaskHandle};
 use qrs_ranking::RankFn;
 use qrs_types::{Query, RerankError, RetryPolicy};
@@ -44,6 +45,12 @@ pub struct BatchRequest {
     pub budget: Option<u64>,
     /// Per-session retry override (else the service default).
     pub retry: Option<RetryPolicy>,
+    /// Tie-handling override for 1-D rank functions (else the session
+    /// default, [`qrs_core::TiePolicy::Exact`]).
+    pub tie: Option<TiePolicy>,
+    /// Plan horizon override: how many answers the planner prices for
+    /// (else it prices for `top`).
+    pub horizon: Option<usize>,
 }
 
 impl BatchRequest {
@@ -56,6 +63,8 @@ impl BatchRequest {
             top,
             budget: None,
             retry: None,
+            tie: None,
+            horizon: None,
         }
     }
 
@@ -74,6 +83,18 @@ impl BatchRequest {
     /// Builder: override the retry policy for this request.
     pub fn retry(mut self, policy: RetryPolicy) -> Self {
         self.retry = Some(policy);
+        self
+    }
+
+    /// Builder: override the tie policy for this request.
+    pub fn tie(mut self, policy: TiePolicy) -> Self {
+        self.tie = Some(policy);
+        self
+    }
+
+    /// Builder: override the plan horizon for this request.
+    pub fn horizon(mut self, h: usize) -> Self {
+        self.horizon = Some(h);
         self
     }
 }
@@ -137,6 +158,12 @@ fn run_one(svc: &RerankService, req: BatchRequest, cancel: &CancelToken) -> Batc
     }
     if let Some(policy) = req.retry {
         builder = builder.retry(policy);
+    }
+    if let Some(policy) = req.tie {
+        builder = builder.tie_policy(policy);
+    }
+    if let Some(h) = req.horizon {
+        builder = builder.horizon(h);
     }
     let mut sess = match builder.open() {
         Ok(s) => s,

@@ -104,6 +104,17 @@ impl Calibration {
         }
     }
 
+    /// An empty store whose decay is expressed as a **half-life in
+    /// sessions** ([`Ewma::with_half_life`]): after `half_life` further
+    /// observed sessions, an old drift's weight has decayed to one half.
+    /// The windowing knob for sites whose prices drift and then drift
+    /// *back* — the calibrated estimate re-converges toward the advertised
+    /// model at a guaranteed geometric rate instead of lingering on stale
+    /// history.
+    pub fn with_half_life(half_life: f64) -> Self {
+        Calibration::with_alpha(Ewma::with_half_life(half_life).alpha())
+    }
+
     /// An empty store behind an [`Arc`], ready for
     /// `RerankService::with_calibration`.
     pub fn shared() -> Arc<Self> {
@@ -306,6 +317,52 @@ mod tests {
         assert_eq!(s.class_cost_per_query[QueryClass::Page.index()], Some(2.0));
         assert_eq!(s.class_cost_per_query[QueryClass::TopK.index()], None);
         assert_eq!(s.sessions, 0);
+    }
+
+    #[test]
+    fn reverted_drift_reconverges_within_the_half_life_window() {
+        // A site drifts to 3× the advertised cost, trains the store, then
+        // reverts to honest billing. With a half-life of 4 sessions the
+        // residual bias must halve every 4 honest sessions — so two windows
+        // shrink the drift bias to a quarter of its peak.
+        let half_life = 4.0;
+        let c = Calibration::with_half_life(half_life);
+        let predicted = CostEstimate {
+            queries: 10,
+            cost_units: 20,
+        };
+        // Long drifted phase: the scale converges to (1.0, 3.0).
+        for _ in 0..64 {
+            c.observe_session("ta-order-by", predicted, 10, 60, 5);
+        }
+        let (_, drifted) = c.scale("ta-order-by").unwrap();
+        assert!((drifted - 3.0).abs() < 1e-6, "drifted scale: {drifted}");
+        // The site reverts: honest sessions, one half-life's worth.
+        for _ in 0..4 {
+            c.observe_session("ta-order-by", predicted, 10, 20, 5);
+        }
+        let (_, after_one) = c.scale("ta-order-by").unwrap();
+        let bias_one = after_one - 1.0;
+        assert!(
+            (bias_one - (drifted - 1.0) / 2.0).abs() < 1e-9,
+            "one window must halve the bias: {after_one}"
+        );
+        // A second window halves it again — a quarter of the peak bias.
+        for _ in 0..4 {
+            c.observe_session("ta-order-by", predicted, 10, 20, 5);
+        }
+        let (_, after_two) = c.scale("ta-order-by").unwrap();
+        assert!(
+            (after_two - 1.0).abs() <= 0.5 + 1e-9,
+            "two windows must shrink the bias to a quarter: {after_two}"
+        );
+        // And the scaled estimate has actually moved back toward advertised.
+        let cal = c.calibrate("ta-order-by", predicted);
+        assert!(
+            cal.cost_units < 40,
+            "a reverted site must shed its stale 3x estimate, got {}",
+            cal.cost_units
+        );
     }
 
     #[test]

@@ -364,7 +364,11 @@ impl RerankService {
         &self.retry_budget
     }
 
-    pub(crate) fn clock(&self) -> &Arc<dyn Clock> {
+    /// The injectable clock this service runs on — the same time base as
+    /// backoff sleeps, batch latency, and the observability plane. Front
+    /// ends (like the HTTP edge) stamp their own events on it so a whole
+    /// stack shares one notion of time under a `MockClock`.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
         &self.clock
     }
 

@@ -135,6 +135,30 @@ impl Ewma {
         }
     }
 
+    /// An empty average whose smoothing factor is expressed as a
+    /// **half-life in observations**: after `half_life` further samples, an
+    /// old value's weight has decayed to one half (`(1 − α)^h = 1/2`, so
+    /// `α = 1 − 2^(−1/h)`). The windowed way to say "forget drift that
+    /// reverted": a site whose prices drift and then drift *back* halves
+    /// its residual bias every `half_life` sessions. Non-positive or NaN
+    /// half-lives collapse to `α = 1` (only the newest sample counts); an
+    /// infinite one clamps to the smallest positive weight.
+    pub fn with_half_life(half_life: f64) -> Self {
+        let alpha = if half_life > 0.0 {
+            // An infinite half-life drives α to 0, which `Ewma::new` clamps
+            // to the smallest positive weight — "effectively never forget".
+            1.0 - 2f64.powf(-1.0 / half_life)
+        } else {
+            1.0
+        };
+        Ewma::new(alpha)
+    }
+
+    /// The smoothing factor α ∈ (0, 1].
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
     /// Fold one observation in. Non-finite observations are ignored — a
     /// poisoned sample must never poison every later prediction.
     pub fn observe(&mut self, x: f64) {
@@ -219,5 +243,49 @@ mod tests {
         g.observe(1.0);
         g.observe(7.0);
         assert_eq!(g.value(), Some(7.0));
+    }
+
+    #[test]
+    fn half_life_halves_residual_bias_per_window() {
+        // Seed at 3.0, then observe 1.0 forever: the deviation from 1.0
+        // must halve every `half_life` observations, exactly.
+        let h = 4.0;
+        let mut e = Ewma::with_half_life(h);
+        e.observe(3.0);
+        for _ in 0..4 {
+            e.observe(1.0);
+        }
+        let dev_after_one_window = e.value().unwrap() - 1.0;
+        assert!(
+            (dev_after_one_window - 1.0).abs() < 1e-12,
+            "deviation 2.0 must halve to 1.0 after one half-life, got {dev_after_one_window}"
+        );
+        for _ in 0..4 {
+            e.observe(1.0);
+        }
+        let dev_after_two = e.value().unwrap() - 1.0;
+        assert!(
+            (dev_after_two - 0.5).abs() < 1e-12,
+            "deviation must halve again to 0.5, got {dev_after_two}"
+        );
+    }
+
+    #[test]
+    fn degenerate_half_lives_track_the_newest_sample() {
+        for h in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            let mut e = Ewma::with_half_life(h);
+            e.observe(10.0);
+            e.observe(2.0);
+            // Infinity gives alpha → 0, clamped to MIN_POSITIVE: ~keeps
+            // the seed; all others collapse to alpha = 1.
+            if h.is_infinite() {
+                assert!((e.value().unwrap() - 10.0).abs() < 1e-9);
+            } else {
+                assert_eq!(e.value(), Some(2.0), "half_life {h}");
+            }
+        }
+        // A sane half-life sits strictly inside (0, 1).
+        let a = Ewma::with_half_life(4.0).alpha();
+        assert!(a > 0.0 && a < 1.0);
     }
 }

@@ -18,12 +18,15 @@
 //! * [`obs`] — the observability plane: typed events, lock-striped
 //!   metrics, and the fleet monitor for predicted-vs-actual spend,
 //! * [`service`] — the thread-safe "as a service" facade, with the
-//!   concurrent `serve_batch` front-end and parallel federation.
+//!   concurrent `serve_batch` front-end and parallel federation,
+//! * [`edge`] — the std-only HTTP/1.1 wire layer: the admission-controlled
+//!   server front door and the `SearchInterface` client adapter.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use qrs_core as core;
 pub use qrs_datagen as datagen;
+pub use qrs_edge as edge;
 pub use qrs_exec as exec;
 pub use qrs_knowledge as knowledge;
 pub use qrs_obs as obs;

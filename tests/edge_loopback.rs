@@ -1,0 +1,579 @@
+//! The edge's proof: loopback round trips over a real socket.
+//!
+//! A `SimServer` is served by [`EdgeServer`] and consumed back through
+//! [`HttpSiteAdapter`] — a completely ordinary session on the client side
+//! drives a *remote* site — and the result stream must be **byte
+//! identical** (tuple ids *and* score bit patterns) to the same session
+//! run in-process, with ledgers that reconcile **exactly**: the adapter's
+//! atomic mirrors equal the far server's since-birth counters, drop by
+//! drop, truncation by truncation.
+//!
+//! Legs:
+//! * clean loopback, 1D cursor (public `ORDER BY` route) and MD
+//!   (query/page routes),
+//! * a 429 storm injected *behind* the edge, absorbed by the client-side
+//!   `RetryPolicy` on a mock clock — refusals charge nothing,
+//! * a deterministic TCP fault proxy dropping and truncating whole
+//!   responses — transport loss is transient, and cumulative ledgers
+//!   absorb every missed charge,
+//! * admission control: capacity and tenant-budget refusals are typed
+//!   `429`s with `Retry-After` that charge **neither** ledger,
+//! * the front door: `/v1/rerank` via [`EdgeClient`] versus an in-process
+//!   `serve_batch`, outcome for outcome.
+//!
+//! Suites run on `Executor::from_env`, so CI's seed × `QRS_EXEC_THREADS`
+//! matrix sweeps pool shapes over the same wire.
+
+use query_reranking::datagen::synthetic::uniform;
+use query_reranking::edge::http::{read_request, read_response, write_request, write_response};
+use query_reranking::edge::{EdgeClient, EdgeClientError, EdgeConfig, EdgeServer, HttpSiteAdapter};
+use query_reranking::exec::Executor;
+use query_reranking::ranking::{LinearRank, RankFn};
+use query_reranking::server::{
+    Clock, Fault, FaultyServer, MockClock, SearchInterface, SimServer, SystemRank,
+};
+use query_reranking::service::{BatchRequest, RerankService};
+use query_reranking::types::{AttrId, Dataset, Direction, Query, RerankError, RetryPolicy};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Mix the CI-provided seed into the workload, so the matrix proves the
+/// wire is transparent for more than one dataset.
+fn test_seed() -> u64 {
+    std::env::var("QRS_TEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xED6E)
+}
+
+/// An anti-correlated system ranking maximizes query traffic, so the
+/// wire actually carries a conversation, not two packets.
+fn anti_server(data: &Dataset, k: usize) -> SimServer {
+    SimServer::new(
+        data.clone(),
+        SystemRank::linear("anti", vec![(AttrId(0), -1.0), (AttrId(1), -1.0)]),
+        k,
+    )
+}
+
+fn fingerprint(hits: &[query_reranking::service::RankedTuple]) -> Vec<(u32, u64)> {
+    hits.iter()
+        .map(|r| (r.tuple.id.0, r.score.to_bits()))
+        .collect()
+}
+
+/// Serve `remote` behind an edge and return (handle, adapter): the same
+/// site, observed through the wire.
+fn loopback(
+    remote: Arc<dyn SearchInterface>,
+    n: usize,
+    exec: &Arc<Executor>,
+) -> (query_reranking::edge::EdgeHandle, Arc<HttpSiteAdapter>) {
+    let svc = Arc::new(RerankService::new(remote, n));
+    let handle = EdgeServer::serve(svc, Arc::clone(exec), EdgeConfig::default()).expect("bind");
+    let adapter = Arc::new(HttpSiteAdapter::connect(handle.addr()).expect("connect"));
+    (handle, adapter)
+}
+
+/// Clean loopback: both strategy families, byte-identical streams, and
+/// ledgers equal on *three* books — the local site, the remote site, and
+/// the adapter's mirrors.
+#[test]
+fn loopback_streams_are_byte_identical_and_ledgers_reconcile() {
+    let exec = Arc::new(Executor::from_env());
+    let data = uniform(150, 2, 1, test_seed());
+    let ranks: Vec<(&str, Arc<dyn RankFn>)> = vec![
+        ("1d", Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0)]))),
+        (
+            "md",
+            Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)])),
+        ),
+    ];
+    for (label, rank) in ranks {
+        // In-process reference.
+        let local = Arc::new(anti_server(&data, 3));
+        let svc = RerankService::new(Arc::clone(&local) as Arc<dyn SearchInterface>, data.len());
+        let mut s = svc.session(Query::all(), Arc::clone(&rank)).open().unwrap();
+        let (want_hits, err) = s.top(8);
+        assert!(err.is_none(), "{label}: clean local run failed: {err:?}");
+
+        // The same site, over the wire.
+        let remote = Arc::new(anti_server(&data, 3));
+        let (handle, adapter) = loopback(
+            Arc::clone(&remote) as Arc<dyn SearchInterface>,
+            data.len(),
+            &exec,
+        );
+        let svc = RerankService::new(Arc::clone(&adapter) as Arc<dyn SearchInterface>, data.len());
+        let mut s = svc.session(Query::all(), Arc::clone(&rank)).open().unwrap();
+        let (got_hits, err) = s.top(8);
+        assert!(err.is_none(), "{label}: loopback run failed: {err:?}");
+
+        assert_eq!(
+            fingerprint(&got_hits),
+            fingerprint(&want_hits),
+            "{label}: the wire changed the answer"
+        );
+        // Three-way ledger reconciliation: the wire neither added nor lost
+        // a single charge.
+        assert_eq!(remote.queries_issued(), local.queries_issued(), "{label}");
+        assert_eq!(adapter.queries_issued(), remote.queries_issued(), "{label}");
+        assert_eq!(
+            adapter.cost_units_issued(),
+            remote.cost_units_issued(),
+            "{label}"
+        );
+        handle.shutdown();
+    }
+}
+
+/// A rate-limit storm behind the edge: typed `429`s cross the wire with
+/// their `retry_after_ms` hints intact, the client-side retry policy
+/// absorbs them on a mock clock, and refusals charge nothing.
+#[test]
+fn rate_limit_storm_crosses_the_wire_as_typed_hints() {
+    let exec = Arc::new(Executor::from_env());
+    let data = uniform(150, 2, 1, test_seed() ^ 0x429);
+    let rank: Arc<dyn RankFn> = Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0)]));
+
+    // Fault-free reference (for the answer and the exact query count).
+    let inner = Arc::new(anti_server(&data, 3));
+    let svc = RerankService::new(Arc::clone(&inner) as Arc<dyn SearchInterface>, data.len());
+    let mut s = svc.session(Query::all(), Arc::clone(&rank)).open().unwrap();
+    let (want, err) = s.top(6);
+    assert!(err.is_none(), "{err:?}");
+    let clean_cost = inner.queries_issued();
+
+    // Six consecutive rate limits starting at backend call 3, served from
+    // *behind* the edge.
+    let inner = Arc::new(anti_server(&data, 3));
+    let faulty = Arc::new(
+        FaultyServer::new(Arc::clone(&inner) as Arc<dyn SearchInterface>).with_storm(
+            3,
+            6,
+            Fault::RateLimit {
+                retry_after_ms: Some(250),
+            },
+        ),
+    );
+    let (handle, adapter) = loopback(
+        Arc::clone(&faulty) as Arc<dyn SearchInterface>,
+        data.len(),
+        &exec,
+    );
+    let clock = Arc::new(MockClock::new());
+    let svc = RerankService::new(Arc::clone(&adapter) as Arc<dyn SearchInterface>, data.len())
+        // Computed backoff (10 ms) is far below the 250 ms hint: only hint
+        // dominance — the hint surviving its trip through the wire — makes
+        // every sleep land on exactly 250.
+        .with_retry_policy(RetryPolicy::none().attempts(10).backoff(10, 50_000))
+        .with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+    let mut s = svc.session(Query::all(), Arc::clone(&rank)).open().unwrap();
+    let (hits, err) = s.top(6);
+    assert!(err.is_none(), "storm should be absorbed: {err:?}");
+    assert_eq!(
+        fingerprint(&hits).iter().map(|h| h.1).collect::<Vec<_>>(),
+        want.iter().map(|r| r.score.to_bits()).collect::<Vec<_>>(),
+        "faults must not change the exact answer"
+    );
+    // Refusals were never charged: the backend saw exactly the clean run.
+    assert_eq!(inner.queries_issued(), clean_cost);
+    assert_eq!(s.retries_spent(), 6, "one retry per injected rate limit");
+    assert_eq!(
+        clock.sleeps(),
+        vec![250; 6],
+        "the server's retry_after_ms hint crossed the wire intact"
+    );
+    handle.shutdown();
+}
+
+/// What the TCP fault proxy does to one proxied connection.
+#[derive(Clone, Copy, PartialEq)]
+enum ProxyFault {
+    /// Shuttle request and response through untouched.
+    Pass,
+    /// Accept, then hang up before contacting the edge: the request is
+    /// lost *before* the server sees it — an uncharged transport fault.
+    Drop,
+    /// Forward the request, then send only half the response bytes: the
+    /// server answered (and charged), the client never saw it.
+    Truncate,
+}
+
+/// A deterministic person-in-the-middle: connection `i` gets `faults[i]`
+/// (`Pass` past the end of the schedule). Returns its listen address and
+/// a counter of injected faults.
+fn fault_proxy(upstream: SocketAddr, faults: Vec<ProxyFault>) -> (SocketAddr, Arc<AtomicUsize>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("proxy bind");
+    let addr = listener.local_addr().unwrap();
+    let injected = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&injected);
+    thread::spawn(move || {
+        for (i, conn) in listener.incoming().enumerate() {
+            let Ok(client) = conn else { break };
+            let fault = faults.get(i).copied().unwrap_or(ProxyFault::Pass);
+            match fault {
+                ProxyFault::Drop => {
+                    seen.fetch_add(1, Ordering::SeqCst);
+                    drop(client); // hang up: the edge never hears of it
+                }
+                ProxyFault::Pass | ProxyFault::Truncate => {
+                    let Ok(Some(req)) = read_request(&client) else {
+                        continue;
+                    };
+                    let up = TcpStream::connect(upstream).expect("proxy upstream");
+                    write_request(&up, &req.method, &req.target, &req.headers, &req.body)
+                        .expect("proxy forward");
+                    let resp = read_response(&up).expect("proxy upstream response");
+                    if fault == ProxyFault::Truncate {
+                        seen.fetch_add(1, Ordering::SeqCst);
+                        let mut buf = Vec::new();
+                        write_response(&mut buf, &resp).unwrap();
+                        let half = buf.len() / 2;
+                        use std::io::Write;
+                        let _ = (&client).write_all(&buf[..half]);
+                        // hang up mid-body
+                    } else {
+                        write_response(&client, &resp).expect("proxy reply");
+                    }
+                }
+            }
+        }
+    });
+    (addr, injected)
+}
+
+/// Drops and truncations between adapter and edge: both are transient,
+/// both are retried, the answer is unchanged — and because every response
+/// carries *cumulative* ledgers, the adapter's mirrors reconcile exactly
+/// with the far server even though whole responses (ledger updates
+/// included) were destroyed in transit.
+#[test]
+fn transport_faults_retry_transparently_and_ledgers_absorb_the_loss() {
+    let exec = Arc::new(Executor::from_env());
+    let data = uniform(150, 2, 1, test_seed() ^ 0xD707);
+    let rank: Arc<dyn RankFn> = Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0)]));
+
+    let remote = Arc::new(anti_server(&data, 3));
+    let svc = Arc::new(RerankService::new(
+        Arc::clone(&remote) as Arc<dyn SearchInterface>,
+        data.len(),
+    ));
+    let handle = EdgeServer::serve(svc, Arc::clone(&exec), EdgeConfig::default()).expect("bind");
+
+    // Connection 0 is the capabilities fetch (must pass); 3 is destroyed
+    // before the edge hears it; 6 is answered (charged) then truncated.
+    let mut faults = vec![ProxyFault::Pass; 7];
+    faults[3] = ProxyFault::Drop;
+    faults[6] = ProxyFault::Truncate;
+    let (proxy_addr, injected) = fault_proxy(handle.addr(), faults);
+
+    let adapter = Arc::new(HttpSiteAdapter::connect(proxy_addr).expect("connect via proxy"));
+    let clock = Arc::new(MockClock::new());
+    let svc = RerankService::new(Arc::clone(&adapter) as Arc<dyn SearchInterface>, data.len())
+        .with_retry_policy(RetryPolicy::none().attempts(10).backoff(50, 5_000))
+        .with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+    let mut s = svc.session(Query::all(), Arc::clone(&rank)).open().unwrap();
+    let (hits, err) = s.top(8);
+    assert!(err.is_none(), "transport faults must be transient: {err:?}");
+    assert_eq!(injected.load(Ordering::SeqCst), 2, "both faults fired");
+    assert!(
+        s.retries_spent() >= 2,
+        "each destroyed response was retried"
+    );
+
+    // The same run without the proxy gives the reference answer.
+    let local = Arc::new(anti_server(&data, 3));
+    let svc = RerankService::new(Arc::clone(&local) as Arc<dyn SearchInterface>, data.len());
+    let mut s = svc.session(Query::all(), Arc::clone(&rank)).open().unwrap();
+    let (want, err) = s.top(8);
+    assert!(err.is_none(), "{err:?}");
+    assert_eq!(
+        fingerprint(&hits),
+        fingerprint(&want),
+        "faults changed the answer"
+    );
+
+    // Exact reconciliation: the truncated response's charge reached the
+    // mirrors through the *next* response's cumulative counters.
+    assert_eq!(adapter.queries_issued(), remote.queries_issued());
+    assert_eq!(adapter.cost_units_issued(), remote.cost_units_issued());
+    // The dropped request was never charged; the truncated one was paid
+    // for and lost, so the remote ledger runs ahead of the fault-free one
+    // by exactly that re-issued query.
+    assert_eq!(remote.queries_issued(), local.queries_issued() + 1);
+    handle.shutdown();
+}
+
+/// Admission refusals are typed, carry `Retry-After`, and charge neither
+/// the site ledger nor the tenant ledger.
+#[test]
+fn admission_refusals_are_typed_uncharged_429s() {
+    let exec = Arc::new(Executor::from_env());
+    let data = uniform(60, 2, 1, test_seed() ^ 0xADA);
+    let sel = Query::all();
+
+    // Capacity gate: an edge with zero in-flight slots refuses everything.
+    let remote = Arc::new(anti_server(&data, 3));
+    let svc = Arc::new(RerankService::new(
+        Arc::clone(&remote) as Arc<dyn SearchInterface>,
+        data.len(),
+    ));
+    let config = EdgeConfig::default()
+        .with_max_inflight(0)
+        .with_retry_after_ms(1500);
+    let handle = EdgeServer::serve(Arc::clone(&svc), Arc::clone(&exec), config).expect("bind");
+
+    // Raw round trip, so the header is visible.
+    let req = EdgeClient::request(&sel, &[(0, Direction::Asc, 1.0)], 3, None, None, None);
+    let body = query_reranking::edge::Json::obj(vec![(
+        "requests",
+        query_reranking::edge::Json::Arr(vec![req.clone()]),
+    )])
+    .encode();
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    write_request(&stream, "POST", "/v1/rerank", &[], body.as_bytes()).unwrap();
+    let resp = read_response(&stream).unwrap();
+    assert_eq!(resp.status, 429);
+    assert_eq!(
+        resp.header("retry-after"),
+        Some("2"),
+        "1500ms rounds up to 2 whole seconds"
+    );
+    let parsed = query_reranking::edge::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    let error = parsed.get("error").expect("typed body");
+    assert_eq!(
+        error.get("code").and_then(|c| c.as_str()),
+        Some("admission")
+    );
+    assert_eq!(
+        error.get("reason").and_then(|r| r.as_str()),
+        Some("capacity")
+    );
+    assert_eq!(
+        error.get("retry_after_ms").and_then(|r| r.as_u64()),
+        Some(1500)
+    );
+    // Neither ledger moved.
+    assert_eq!(remote.queries_issued(), 0, "refusal issued no queries");
+    let tenant = parsed.get("tenant").expect("tenant ledger in refusal");
+    assert_eq!(tenant.get("queries").and_then(|q| q.as_u64()), Some(0));
+    assert_eq!(tenant.get("cost_units").and_then(|q| q.as_u64()), Some(0));
+    assert_eq!(handle.rejected(), 1);
+    assert_eq!(handle.admitted(), 0);
+    handle.shutdown();
+
+    // Tenant-budget gate: a zero query budget refuses before serving.
+    let remote = Arc::new(anti_server(&data, 3));
+    let svc = Arc::new(RerankService::new(
+        Arc::clone(&remote) as Arc<dyn SearchInterface>,
+        data.len(),
+    ));
+    let config = EdgeConfig::default().with_tenant_query_budget(0);
+    let handle = EdgeServer::serve(Arc::clone(&svc), Arc::clone(&exec), config).expect("bind");
+    let client = EdgeClient::new(handle.addr(), "tenant-a");
+    match client.rerank(vec![req]) {
+        Err(EdgeClientError::Rejected {
+            reason,
+            retry_after_ms,
+        }) => {
+            assert_eq!(reason, "tenant_budget");
+            assert_eq!(retry_after_ms, Some(1000), "default hint");
+        }
+        other => panic!("expected a tenant-budget refusal, got {other:?}"),
+    }
+    assert_eq!(remote.queries_issued(), 0);
+    assert_eq!(handle.rejected(), 1);
+    handle.shutdown();
+}
+
+/// The front door end to end: `/v1/rerank` through [`EdgeClient`] equals
+/// an in-process `serve_batch` — bit-exact hits per request (per-request
+/// *spend* is legitimately interleaving-dependent when concurrent
+/// requests amortize each other's queries through the shared knowledge,
+/// so the ledger assertions are the invariant ones: the tenant is charged
+/// exactly the summed session spend, and the summed spend covers every
+/// query the site was actually asked).
+#[test]
+fn front_door_batches_match_in_process_serve_batch() {
+    let exec = Arc::new(Executor::from_env());
+    let data = uniform(150, 2, 1, test_seed() ^ 0xF00D);
+    let sel = Query::all();
+    let rank: Arc<dyn RankFn> = Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)]));
+
+    // In-process reference batch: two healthy requests.
+    let local = Arc::new(anti_server(&data, 3));
+    let svc = RerankService::new(Arc::clone(&local) as Arc<dyn SearchInterface>, data.len());
+    let want = svc.serve_batch(
+        &exec,
+        vec![
+            BatchRequest::new(sel.clone(), Arc::clone(&rank), 5),
+            BatchRequest::new(sel.clone(), Arc::clone(&rank), 8),
+        ],
+    );
+    assert!(want[0].error.is_none(), "{:?}", want[0].error);
+    assert!(want[1].error.is_none(), "{:?}", want[1].error);
+
+    // The same batch through the wire.
+    let remote = Arc::new(anti_server(&data, 3));
+    let svc = Arc::new(RerankService::new(
+        Arc::clone(&remote) as Arc<dyn SearchInterface>,
+        data.len(),
+    ));
+    let handle =
+        EdgeServer::serve(Arc::clone(&svc), Arc::clone(&exec), EdgeConfig::default()).unwrap();
+    let client = EdgeClient::new(handle.addr(), "tenant-a");
+    let wire_rank = [(0usize, Direction::Asc, 1.0), (1usize, Direction::Asc, 1.0)];
+    let reply = client
+        .rerank(vec![
+            EdgeClient::request(&sel, &wire_rank, 5, None, None, None),
+            EdgeClient::request(&sel, &wire_rank, 8, None, None, None),
+        ])
+        .expect("front door");
+
+    assert_eq!(reply.outcomes.len(), 2);
+    for (i, (got, want)) in reply.outcomes.iter().zip(&want).enumerate() {
+        assert_eq!(got.error_code, None, "request {i}");
+        let want_fp = fingerprint(&want.hits);
+        let got_fp: Vec<(u32, u64)> = got
+            .hits
+            .iter()
+            .map(|(_, score, t)| (t.id.0, score.to_bits()))
+            .collect();
+        assert_eq!(got_fp, want_fp, "request {i}: hits diverged over the wire");
+    }
+    // The tenant was charged exactly the summed session spend, and the
+    // sessions together paid for every query the site actually served.
+    let spent: u64 = reply.outcomes.iter().map(|o| o.queries_spent).sum();
+    assert_eq!(reply.tenant.0, spent);
+    assert_eq!(spent, remote.queries_issued());
+    assert_eq!(handle.admitted(), 1);
+    assert_eq!(handle.rejected(), 0);
+
+    // /stats serves the same counters over the wire.
+    let stats = client.stats().expect("stats");
+    let edge = stats.get("edge").expect("edge block");
+    assert_eq!(edge.get("admitted").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(edge.get("rejected").and_then(|v| v.as_u64()), Some(0));
+    assert_eq!(
+        stats
+            .get("service")
+            .and_then(|s| s.get("batches_served"))
+            .and_then(|v| v.as_u64()),
+        Some(1)
+    );
+    handle.shutdown();
+}
+
+/// The typed error taxonomy crosses the wire: a solo budget-starved
+/// request (no concurrent partner to amortize with, so the trip is
+/// deterministic) reports `BudgetExhausted` in-process and the stable
+/// code `"budget_exhausted"` over the wire, with identical partial hits
+/// — already-paid-for results are preserved, not discarded.
+#[test]
+fn budget_exhaustion_crosses_the_wire_with_partial_results() {
+    let exec = Arc::new(Executor::from_env());
+    let data = uniform(150, 2, 1, test_seed() ^ 0xB4D6);
+    let sel = Query::all();
+    let rank: Arc<dyn RankFn> = Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0), (AttrId(1), 1.0)]));
+
+    let local = Arc::new(anti_server(&data, 3));
+    let svc = RerankService::new(Arc::clone(&local) as Arc<dyn SearchInterface>, data.len());
+    let want = svc.serve_batch(
+        &exec,
+        vec![BatchRequest::new(sel.clone(), Arc::clone(&rank), 5).budget(3)],
+    );
+    assert!(
+        matches!(want[0].error, Some(RerankError::BudgetExhausted { .. })),
+        "reference must trip the budget: {:?}",
+        want[0].error
+    );
+
+    let remote = Arc::new(anti_server(&data, 3));
+    let svc = Arc::new(RerankService::new(
+        Arc::clone(&remote) as Arc<dyn SearchInterface>,
+        data.len(),
+    ));
+    let handle =
+        EdgeServer::serve(Arc::clone(&svc), Arc::clone(&exec), EdgeConfig::default()).unwrap();
+    let client = EdgeClient::new(handle.addr(), "tenant-a");
+    let wire_rank = [(0usize, Direction::Asc, 1.0), (1usize, Direction::Asc, 1.0)];
+    let reply = client
+        .rerank(vec![EdgeClient::request(
+            &sel,
+            &wire_rank,
+            5,
+            Some(3),
+            None,
+            None,
+        )])
+        .expect("front door");
+    assert_eq!(
+        reply.outcomes[0].error_code.as_deref(),
+        Some("budget_exhausted"),
+        "the error taxonomy crosses the wire typed"
+    );
+    let want_fp = fingerprint(&want[0].hits);
+    let got_fp: Vec<(u32, u64)> = reply.outcomes[0]
+        .hits
+        .iter()
+        .map(|(_, score, t)| (t.id.0, score.to_bits()))
+        .collect();
+    assert_eq!(got_fp, want_fp, "partial results diverged over the wire");
+    assert_eq!(reply.outcomes[0].queries_spent, want[0].stats.queries_spent);
+    assert_eq!(remote.queries_issued(), local.queries_issued());
+    handle.shutdown();
+}
+
+/// Tie and horizon knobs ride the wire: `"tie": "assume_distinct"` on a
+/// 1-D rank reaches the session builder (observable as a successful run
+/// on a heavily tied attribute), and a malformed rank is a typed `400`
+/// before anything is charged.
+#[test]
+fn wire_knobs_reach_the_session_and_bad_requests_are_uncharged_400s() {
+    let exec = Arc::new(Executor::from_env());
+    let data = uniform(80, 2, 1, test_seed() ^ 0x71E);
+    let sel = Query::all();
+    let remote = Arc::new(anti_server(&data, 3));
+    let svc = Arc::new(RerankService::new(
+        Arc::clone(&remote) as Arc<dyn SearchInterface>,
+        data.len(),
+    ));
+    let handle =
+        EdgeServer::serve(Arc::clone(&svc), Arc::clone(&exec), EdgeConfig::default()).unwrap();
+    let client = EdgeClient::new(handle.addr(), "tenant-a");
+    let wire_rank = [(0usize, Direction::Asc, 1.0)];
+
+    // tie + horizon accepted and served.
+    let reply = client
+        .rerank(vec![EdgeClient::request(
+            &sel,
+            &wire_rank,
+            3,
+            None,
+            Some("assume_distinct"),
+            Some(10),
+        )])
+        .expect("knobs accepted");
+    assert_eq!(reply.outcomes[0].error_code, None);
+    assert_eq!(reply.outcomes[0].hits.len(), 3);
+
+    // An out-of-schema rank attr is refused before any query is issued.
+    let charged_before = remote.queries_issued();
+    let bad = EdgeClient::request(&sel, &[(9usize, Direction::Asc, 1.0)], 3, None, None, None);
+    match client.rerank(vec![bad]) {
+        Err(EdgeClientError::Failed(msg)) => {
+            assert!(msg.contains("400"), "expected a 400, got: {msg}");
+            assert!(msg.contains("invalid_request"), "typed body: {msg}");
+        }
+        other => panic!("expected a 400 failure, got {other:?}"),
+    }
+    assert_eq!(
+        remote.queries_issued(),
+        charged_before,
+        "validation rejections are uncharged"
+    );
+    handle.shutdown();
+}

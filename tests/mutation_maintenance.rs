@@ -482,3 +482,90 @@ fn open_maintained_rejects_custom_strategies_and_inexact_ties() {
         "wrong error: {err}"
     );
 }
+
+/// Satellite coverage for the compaction boundary itself: `gap` must flip
+/// exactly at the cap, not one delta early or late. A cap-0 feed (the
+/// "mutations happen but nothing is retained" degenerate) reports a gap
+/// for every stale watermark; a cap-`n` feed holding exactly `n` deltas
+/// is still fully replayable from zero.
+#[test]
+fn compaction_cap_boundaries_set_gap_exactly() {
+    let mut rng = StdRng::seed_from_u64(seeded(0xCAB0));
+
+    // Cap 0: every delta is discarded the moment it is logged. Any
+    // watermark behind `current` is a gap, and the gap comes with zero
+    // deltas — the caller has nothing to patch from.
+    let server = SimServer::new(dataset(&mut rng, 12, 2), SystemRank::pseudo_random(7), 4)
+        .with_mutation_log_cap(0);
+    server.delete(TupleId(0)).expect("live id");
+    let log = server.mutations_since(0).expect("feed");
+    assert!(log.gap, "cap 0 must gap any stale watermark");
+    assert!(log.deltas.is_empty(), "cap 0 retains nothing");
+    // A caller already at the watermark has missed nothing: no gap.
+    let log = server.mutations_since(server.mutation_seq()).expect("feed");
+    assert!(!log.gap, "current watermark never gaps");
+    assert!(log.deltas.is_empty());
+
+    // Exactly at cap: n mutations against a cap of n — the whole history
+    // is retained, so replay from zero is still exact (no gap).
+    let cap = 3usize;
+    let server = SimServer::new(dataset(&mut rng, 12, 2), SystemRank::pseudo_random(8), 4)
+        .with_mutation_log_cap(cap);
+    for id in 0..cap {
+        server.delete(TupleId(id as u32)).expect("live id");
+    }
+    let log = server.mutations_since(0).expect("feed");
+    assert!(!log.gap, "exactly-at-cap history is fully retained");
+    assert_eq!(log.deltas.len(), cap);
+
+    // One past the cap: the oldest delta is compacted away, so a zero
+    // watermark gaps while a watermark of 1 (past the discarded delta)
+    // does not.
+    server.delete(TupleId(cap as u32)).expect("live id");
+    let log = server.mutations_since(0).expect("feed");
+    assert!(log.gap, "cap+1 mutations compact delta 1 away");
+    assert_eq!(log.deltas.len(), cap, "retained window is still the cap");
+    let log = server.mutations_since(1).expect("feed");
+    assert!(!log.gap, "watermark 1 has seen the compacted delta");
+    assert_eq!(log.deltas.len(), cap);
+}
+
+/// A gapped feed must force a full re-drive, never a patch: with a cap-0
+/// log, every refresh that observes a mutation sees `gap = true`, applies
+/// zero deltas, and rebuilds — and the rebuilt materialization matches
+/// the full re-drive oracle byte for byte.
+#[test]
+fn cap_zero_feed_forces_rebuild_not_patch() {
+    let mut rng = StdRng::seed_from_u64(seeded(0xCAB1));
+    let n = 30usize;
+    let server = Arc::new(
+        SimServer::new(dataset(&mut rng, n, 2), SystemRank::pseudo_random(9), 4)
+            .with_mutation_log_cap(0),
+    );
+    let rank: Arc<dyn RankFn> = Arc::new(LinearRank::asc(vec![(AttrId(0), 1.0)]));
+    let sel = Query::all();
+    let svc = RerankService::new(Arc::clone(&server) as Arc<dyn SearchInterface>, n);
+    let mut maintained = svc
+        .session(sel.clone(), Arc::clone(&rank))
+        .open_maintained(5)
+        .expect("open_maintained");
+    let mut next_id = n as u32;
+    for round in 0..3 {
+        mutate_once(&mut rng, &server, &mut next_id, 2);
+        let outcome = maintained.refresh().expect("refresh");
+        assert!(
+            outcome.redrove,
+            "round {round}: a gapped feed cannot be patched"
+        );
+        assert_eq!(
+            outcome.applied, 0,
+            "round {round}: nothing to apply across a gap"
+        );
+        let (truth, _) = oracle(&server, &sel, &rank, 5);
+        assert_eq!(
+            fingerprint(&maintained.top()),
+            truth,
+            "round {round}: rebuild diverged from the oracle"
+        );
+    }
+}
